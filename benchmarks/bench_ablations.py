@@ -1,0 +1,230 @@
+"""Ablations — the design choices DESIGN.md calls out, quantified.
+
+A1: the "three in the air" ack window (vs stop-and-wait, vs deeper);
+A2: 8-bit cut-through pass-through vs store-and-forward global sums;
+A3: why a *six*-dimensional mesh (vs 3D/4D at equal node count);
+A4: the two-stream prefetching EDRAM controller (vs more streams).
+
+Each ablation runs the same machinery with the design knob turned, so the
+numbers isolate that choice's contribution.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.machine.asic import ASICConfig, MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.machine.memory import MemoryModel
+from repro.machine.scu import DmaDescriptor
+from repro.machine.topology import TorusTopology
+from repro.perfmodel.collectives import global_sum_time
+from repro.util.units import GB, US
+
+
+# --------------------------------------------------------------------------
+# A1: the ack window
+# --------------------------------------------------------------------------
+def _bandwidth_with_window(window: int, nwords: int = 1500) -> float:
+    """Sustained one-direction payload rate with *bidirectional* traffic.
+
+    Both nodes stream simultaneously — the realistic nearest-neighbour
+    exchange — so acknowledgements queue behind reverse-direction data
+    frames, lengthening the effective round trip.  That queuing is exactly
+    what makes a window of three (not two) necessary for full bandwidth.
+    """
+    asic = dataclasses.replace(ASICConfig(), ack_window_words=window)
+    m = QCDOCMachine(MachineConfig(dims=(2, 1, 1, 1, 1, 1), asic=asic))
+    m.bring_up()
+    for node in (0, 1):
+        m.nodes[node].memory.alloc("tx", np.arange(nwords, dtype=np.uint64))
+        m.nodes[node].memory.alloc("rx", np.zeros(nwords, dtype=np.uint64))
+    d_fwd = m.topology.direction(0, +1)
+    d_bwd = m.topology.opposite(d_fwd)
+    t0 = m.sim.now
+    events = [
+        m.nodes[1].scu.recv(d_bwd, DmaDescriptor("rx", block_len=nwords)),
+        m.nodes[0].scu.recv(d_fwd, DmaDescriptor("rx", block_len=nwords)),
+        m.nodes[0].scu.send(d_fwd, DmaDescriptor("tx", block_len=nwords)),
+        m.nodes[1].scu.send(d_bwd, DmaDescriptor("tx", block_len=nwords)),
+    ]
+    m.sim.run(until=m.sim.all_of(events))
+    return 8.0 * nwords / (m.sim.now - t0)
+
+
+def test_ablation_a1_ack_window(benchmark, report):
+    windows = (1, 2, 3, 6)
+    rates = benchmark.pedantic(
+        lambda: {w: _bandwidth_with_window(w) for w in windows},
+        rounds=1,
+        iterations=1,
+    )
+    wire = ASICConfig().link_bandwidth
+
+    # each direction's wire carries 72-bit data frames plus 8-bit acks for
+    # the reverse stream: the achievable payload ceiling is 64/(72+8) of
+    # the raw bit rate.
+    asic = ASICConfig()
+    ceiling = (64.0 / 80.0) * asic.clock_hz / 8.0
+
+    t = report(
+        "A1: bidirectional link bandwidth vs ack window (section 2.2)",
+        ["window (words)", "sustained/direction", "fraction of ack-adjusted ceiling"],
+    )
+    for w, bw in rates.items():
+        t.add_row([w, f"{bw/1e6:.1f} MB/s", f"{bw/ceiling:.2f}"])
+    emit(t)
+
+    # stop-and-wait pays the (data-queued) ack round trip per word and
+    # loses ~10% even here; with the window >= the round trip in words the
+    # ceiling is reached — "this 'three in the air' protocol allows full
+    # bandwidth to be achieved ... and amortizes the round-trip handshake".
+    assert rates[1] < 0.93 * ceiling
+    assert rates[3] > 0.97 * ceiling
+    # deeper windows buy nothing once the round trip is hidden — that is
+    # why the hardware stops at 3 (holding registers are silicon area);
+    # the third word is margin for acks delayed behind a full in-flight
+    # frame on real silicon.
+    assert rates[6] <= rates[3] * 1.01
+
+
+# --------------------------------------------------------------------------
+# A2: cut-through global operations
+# --------------------------------------------------------------------------
+def test_ablation_a2_cut_through(benchmark, report):
+    asic = ASICConfig()
+    dims_list = {
+        "128 (4x4x4x2)": (4, 4, 4, 2),
+        "8192 (8x8x8x16)": (8, 8, 8, 16),
+        "12288 (16x8x8x12)": (16, 8, 8, 12),
+    }
+
+    def run():
+        out = {}
+        for name, dims in dims_list.items():
+            cut = global_sum_time(dims, doubled=False)
+            hops = sum(d - 1 for d in dims if d > 1)
+            ndims = sum(1 for d in dims if d > 1)
+            # store-and-forward: a full 72-bit word serialisation per hop
+            sandf = ndims * asic.word_serialisation_time + hops * (
+                asic.word_serialisation_time + asic.wire_latency
+            )
+            out[name] = (cut, sandf)
+        return out
+
+    rows = benchmark(run)
+
+    t = report(
+        "A2: global-sum latency, 8-bit cut-through vs store-and-forward",
+        ["machine", "cut-through", "store-and-forward", "speedup"],
+    )
+    for name, (cut, sandf) in rows.items():
+        t.add_row(
+            [name, f"{cut/US:.2f} us", f"{sandf/US:.2f} us", f"{sandf/cut:.1f}x"]
+        )
+    emit(t)
+
+    for cut, sandf in rows.values():
+        assert cut < sandf
+    # at production scale the pass-through wins by several-fold
+    assert rows["12288 (16x8x8x12)"][1] / rows["12288 (16x8x8x12)"][0] > 3
+
+
+# --------------------------------------------------------------------------
+# A3: mesh dimensionality
+# --------------------------------------------------------------------------
+def test_ablation_a3_six_dimensions(benchmark, report):
+    """Same 4096 nodes as a 3D, 4D and 6D torus."""
+    shapes = {
+        "3D (16x16x16)": (16, 16, 16),
+        "4D (8x8x8x8)": (8, 8, 8, 8),
+        "6D (8x8x4x4x2x2)": (8, 8, 4, 4, 2, 2),
+    }
+
+    def count_4d_foldings(dims) -> int:
+        """Distinct 4-dimensional logical shapes the torus folds into
+        (partitions of the axis set into 4 ordered groups of adjacent-fold
+        validity; counted by distinct logical dim multisets)."""
+        from itertools import combinations
+
+        axes = list(range(len(dims)))
+        if len(axes) < 4:
+            return 0
+        shapes_found = set()
+        # choose which axes merge: enumerate set partitions into 4 groups
+        # (small n: brute force over group assignments)
+        from itertools import product as iproduct
+
+        for assign in iproduct(range(4), repeat=len(axes)):
+            if len(set(assign)) != 4:
+                continue
+            logical = [1, 1, 1, 1]
+            for axis, group in zip(axes, assign):
+                logical[group] *= dims[axis]
+            shapes_found.add(tuple(sorted(logical)))
+        return len(shapes_found)
+
+    def run():
+        out = {}
+        for name, dims in shapes.items():
+            topo = TorusTopology(dims)
+            diameter = sum(d // 2 for d in dims)
+            gsum = global_sum_time(dims)
+            out[name] = (
+                topo.n_nodes,
+                diameter,
+                gsum,
+                2 * len([d for d in dims if d > 1]),
+                count_4d_foldings(dims),
+            )
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = report(
+        "A3: 4096 nodes arranged as a 3/4/6-dimensional torus",
+        ["arrangement", "diameter (hops)", "global sum", "links/node", "distinct 4D physics machines"],
+    )
+    for name, (n, diameter, gsum, links, folds) in rows.items():
+        assert n == 4096
+        t.add_row([name, diameter, f"{gsum/US:.2f} us", links, folds])
+    emit(t)
+
+    d3 = rows["3D (16x16x16)"][1]
+    d6 = rows["6D (8x8x4x4x2x2)"][1]
+    # higher dimensionality shortens the diameter (denser packaging,
+    # shorter worst-case cables)...
+    assert d6 < d3
+    # ...and — the paper's stated reason — only a >=4-dimensional torus
+    # can host 4D physics partitions at all, and the 6-torus offers many
+    # distinct 4D machine shapes in software (E11 proves adjacency).
+    assert rows["3D (16x16x16)"][4] == 0
+    assert rows["6D (8x8x4x4x2x2)"][4] > rows["4D (8x8x8x8)"][4] >= 1
+    # the cost: more links per node (the paper caps at 6 dims because of
+    # motherboard cable count) and slightly slower small global sums
+    # (one serialisation per dimension phase).
+    assert rows["6D (8x8x4x4x2x2)"][3] == 12
+
+
+# --------------------------------------------------------------------------
+# A4: EDRAM prefetch streams
+# --------------------------------------------------------------------------
+def test_ablation_a4_prefetch_streams(benchmark, report):
+    mem = MemoryModel(ASICConfig())
+    streams = (1, 2, 3, 4, 6)
+    rates = benchmark(lambda: {s: mem.bandwidth("edram", s) for s in streams})
+
+    t = report(
+        "A4: EDRAM bandwidth vs concurrent access streams (section 2.1)",
+        ["streams", "bandwidth", "note"],
+    )
+    notes = {2: "a(x) * b(x): the controller's design point", 3: "row thrash begins"}
+    for s, bw in rates.items():
+        t.add_row([s, f"{bw/GB:.2f} GB/s", notes.get(s, "")])
+    emit(t)
+
+    assert rates[1] == rates[2] == pytest.approx(8 * GB)
+    assert rates[3] < rates[2]
+    assert rates[6] < rates[4] < rates[3]

@@ -1,0 +1,56 @@
+"""E2 — Local-volume sweep: EDRAM residency vs DDR spill (paper section 4).
+
+Paper: "for most of the fermion formulations, a 6^4 local volume still fits
+in our 4 Megabytes of imbedded memory.  For still larger volumes, when we
+must put part of the problem in external DDR DRAM, the performance figures
+fall to the range of 30% of peak."
+"""
+
+import pytest
+
+from conftest import emit
+from repro.perfmodel import DiracPerfModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DiracPerfModel()
+
+
+def test_e02_local_volume_sweep(benchmark, model, report):
+    sizes = (2, 4, 6, 8, 10, 12)
+
+    def run():
+        rows = []
+        for L in sizes:
+            shape = (L, L, L, L)
+            ws = model.working_set_bytes("wilson", L**4)
+            rows.append((L, ws, model.efficiency("wilson", local_shape=shape)))
+        return rows
+
+    rows = benchmark(run)
+
+    t = report(
+        "E2: Wilson CG efficiency vs local volume (EDRAM = 4 MB)",
+        ["local volume", "working set", "residency", "model eff", "paper"],
+    )
+    notes = {4: "40% (benchmark point)", 6: "still EDRAM-resident", 8: "~30% once spilled"}
+    for L, ws, eff in rows:
+        t.add_row(
+            [
+                f"{L}^4",
+                f"{ws/1e6:.2f} MB",
+                "EDRAM" if ws <= 4e6 else "spills to DDR",
+                f"{100*eff:.1f}%",
+                notes.get(L, ""),
+            ]
+        )
+    emit(t)
+
+    by_L = {L: (ws, eff) for L, ws, eff in rows}
+    assert by_L[6][0] < 4e6  # 6^4 fits
+    assert by_L[8][0] > 4e6  # 8^4 spills
+    assert by_L[4][1] == pytest.approx(0.40, abs=0.005)
+    assert by_L[6][1] == pytest.approx(0.40, abs=0.01)
+    assert 0.27 <= by_L[8][1] <= 0.33  # "the range of 30%"
+    assert by_L[12][1] < by_L[8][1]  # deeper spill, lower efficiency

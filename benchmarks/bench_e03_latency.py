@@ -1,0 +1,72 @@
+"""E3 — Nearest-neighbour latency, measured on the functional simulator.
+
+Paper section 2.2: "a memory-to-memory transfer time of about 600 ns for a
+nearest neighbor transfer ... for transfers as small as 24, 64 bit words
+... the latency of 600 ns for the first word is still small compared to
+the 3.3 us time for the remaining 23 words.  Our 600 ns memory-to-memory
+latency is to be compared to times of 5-10 us just to begin a transfer
+when using standard networks like Ethernet."
+
+Unlike E1/E2 (analytic model), these numbers come out of the *functional*
+SCU protocol simulation: DMA fetch, frame serialisation, wire flight,
+window acks, DMA store.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.machine.asic import MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.machine.scu import DmaDescriptor
+from repro.perfmodel.latency import cluster_message_time
+from repro.util.units import NS, US
+
+
+def measure_transfer(nwords: int) -> float:
+    """Memory-to-memory time of an n-word transfer between neighbours."""
+    m = QCDOCMachine(MachineConfig(dims=(2, 1, 1, 1, 1, 1)))
+    m.bring_up()
+    m.nodes[0].memory.alloc("tx", np.arange(1, nwords + 1, dtype=np.uint64))
+    m.nodes[1].memory.alloc("rx", np.zeros(nwords, dtype=np.uint64))
+    d = m.topology.direction(0, +1)
+    t0 = m.sim.now
+    recv = m.nodes[1].scu.recv(m.topology.opposite(d), DmaDescriptor("rx", block_len=nwords))
+    m.nodes[0].scu.send(d, DmaDescriptor("tx", block_len=nwords))
+    m.sim.run(until=recv)
+    return m.sim.now - t0
+
+
+def test_e03_memory_to_memory_latency(benchmark, report):
+    sizes = (1, 3, 24, 96, 384)
+    times = benchmark.pedantic(
+        lambda: [measure_transfer(n) for n in sizes], rounds=1, iterations=1
+    )
+
+    t = report(
+        "E3: nearest-neighbour transfer time (functional SCU simulation)",
+        ["words", "measured", "paper expectation", "Ethernet (to *begin*)"],
+    )
+    expectations = {
+        1: "~600 ns",
+        24: "600 ns + 3.3 us",
+    }
+    for n, meas in zip(sizes, times):
+        t.add_row(
+            [
+                n,
+                f"{meas/US:.3f} us",
+                expectations.get(n, ""),
+                "5-10 us",
+            ]
+        )
+    emit(t)
+
+    by_n = dict(zip(sizes, times))
+    # first word: exactly the paper's 600 ns
+    assert by_n[1] == pytest.approx(600 * NS, rel=1e-9)
+    # 24 words: 600 ns + ~3.3 us streaming
+    assert by_n[24] == pytest.approx(600 * NS + 23 * 144 * NS, rel=1e-9)
+    assert abs((by_n[24] - by_n[1]) - 3.3 * US) < 0.05 * US
+    # QCDOC finishes the paper's 24-word halo before Ethernet *begins*
+    assert by_n[24] < 5 * US <= cluster_message_time(1) + 3 * US

@@ -1,0 +1,38 @@
+"""E6 — The 4096-node machine's bill of materials (paper section 4).
+
+Every line is the paper's printed figure; the bench regenerates the table,
+the totals, and the paper's own $1,708.45 internal arithmetic discrepancy
+(its printed total exceeds the sum of its printed lines).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.perfmodel.cost import QCDOC_4096_BOM, QCDOC_4096_TOTAL_WITH_RND
+
+
+def test_e06_bill_of_materials(benchmark, report):
+    audit = benchmark(QCDOC_4096_BOM.audit)
+
+    t = report(
+        "E6: 4096-node QCDOC cost (paper section 4, verbatim)",
+        ["item", "qty", "dollars"],
+    )
+    for line in QCDOC_4096_BOM.lines:
+        t.add_row([line.item, line.quantity, f"${line.total_dollars:,.2f}"])
+    t.add_row(["sum of lines", "", f"${audit['component_sum']:,.2f}"])
+    t.add_row(["paper printed total", "", f"${audit['paper_total']:,.2f}"])
+    t.add_row(["(paper's internal discrepancy)", "", f"${audit['discrepancy']:,.2f}"])
+    t.add_row(["prorated R&D ($2,166,000 total)", "", f"${QCDOC_4096_BOM.rnd_prorated_dollars:,.2f}"])
+    t.add_row(["grand total", "", f"${audit['with_rnd']:,.2f}"])
+    emit(t)
+
+    assert audit["paper_total"] == 1_610_442.00
+    assert audit["with_rnd"] == QCDOC_4096_TOTAL_WITH_RND == 1_709_601.00
+    assert audit["component_sum"] == pytest.approx(1_608_733.55, abs=0.01)
+    # daughterboards dominate: > 2/3 of the machine cost (the "QCD on a
+    # chip" economics: the node *is* the machine)
+    db = next(l for l in QCDOC_4096_BOM.lines if "daughterboards" in l.item)
+    assert db.total_dollars / audit["component_sum"] > 0.66
+    # per-node cost ~ $395 of parts
+    assert (audit["paper_total"] / 4096) == pytest.approx(393.2, abs=1.0)

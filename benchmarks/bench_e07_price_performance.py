@@ -1,0 +1,49 @@
+"""E7 — Price/performance vs clock speed (paper section 4 and abstract).
+
+Paper: "Using a cost of $1,709,601 for our 4096 node QCDOC and a 45%
+efficiency for our Dirac operator, gives a price/performance of $1.29 per
+sustained Megaflops for 360 MHz operation, $1.10 ... for 420 MHz and
+$1.03 ... for 450 MHz" — and volume discounts should take the 12,288-node
+machines "very close to our targeted $1 per sustained Megaflops", vs
+QCDSP's $10 (Gordon Bell 1998).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.perfmodel.baselines import CLUSTER_2004, QCDSP
+from repro.perfmodel.cost import (
+    price_performance,
+    price_performance_table,
+    volume_scaled_bom,
+)
+from repro.util.units import MHZ
+
+PAPER = {360: 1.29, 420: 1.10, 450: 1.03}
+
+
+def test_e07_price_performance(benchmark, report):
+    table = benchmark(price_performance_table)
+
+    t = report(
+        "E7: dollars per sustained Megaflops (45% efficiency)",
+        ["machine", "clock", "model", "paper"],
+    )
+    for clock, price in table:
+        mhz = int(clock / MHZ)
+        t.add_row(["QCDOC 4096", f"{mhz} MHz", f"${price:.2f}", f"${PAPER[mhz]:.2f}"])
+    bom12k = volume_scaled_bom(12288)
+    p12k = price_performance(450 * MHZ, n_nodes=12288, total_dollars=bom12k.total_with_rnd)
+    t.add_row(["QCDOC 12288 (volume discount)", "450 MHz", f"${p12k:.2f}", "~$1.00 target"])
+    qcdsp = QCDSP.dollars_per_node / (QCDSP.node_sustained() / 1e6)
+    t.add_row(["QCDSP (1998)", "-", f"${qcdsp:.2f}", "$10.00"])
+    cluster = CLUSTER_2004.dollars_per_node / (CLUSTER_2004.node_sustained() / 1e6)
+    t.add_row(["2004 cluster (compute-bound)", "-", f"${cluster:.2f}", "-"])
+    emit(t)
+
+    for clock, price in table:
+        assert price == pytest.approx(PAPER[int(clock / MHZ)], abs=0.005)
+    assert 0.9 < p12k < 1.1  # "very close to $1"
+    assert qcdsp == pytest.approx(10.0, rel=0.01)
+    # who wins: QCDOC ~ an order of magnitude ahead of its predecessor
+    assert qcdsp / price_performance(450 * MHZ) > 8

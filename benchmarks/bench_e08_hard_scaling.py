@@ -1,0 +1,72 @@
+"""E8 — Hard scaling: the 32^3 x 64 problem on 64..16384 nodes.
+
+Paper section 1's design thesis: with a low-latency mesh, a *fixed-size*
+problem keeps speeding up to tens of thousands of nodes, while commodity
+networks stall as per-node work shrinks.  The sweep compares QCDOC
+(calibrated model + explicit halo/collective costs), a 2004 GigE cluster,
+and QCDSP.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.perfmodel import HardScalingModel
+
+NODE_COUNTS = (64, 256, 1024, 4096, 8192, 16384)
+
+
+def test_e08_hard_scaling_sweep(benchmark, report):
+    hs = HardScalingModel()
+    points = benchmark.pedantic(
+        lambda: hs.sweep(NODE_COUNTS), rounds=1, iterations=1
+    )
+
+    t = report(
+        "E8: sustained Tflops on a fixed 32^3 x 64 Wilson problem",
+        ["nodes", "local volume", "QCDOC", "cluster-2004", "QCDSP", "cluster comm frac"],
+    )
+    by = {(p.machine, p.n_nodes): p for p in points}
+    for n in NODE_COUNTS:
+        q = by[("qcdoc", n)]
+        c = by[("cluster-2004", n)]
+        s = by[("QCDSP", n)]
+        t.add_row(
+            [
+                n,
+                q.local_volume,
+                f"{q.sustained_flops/1e12:.3f}",
+                f"{c.sustained_flops/1e12:.3f}",
+                f"{s.sustained_flops/1e12:.3f}",
+                f"{c.comm_fraction:.2f}",
+            ]
+        )
+    emit(t)
+
+    # QCDOC: near-ideal hard scaling across 256x more nodes
+    q_speedup = (
+        by[("qcdoc", 16384)].sustained_flops / by[("qcdoc", 64)].sustained_flops
+    )
+    assert q_speedup > 0.75 * 256
+    # the paper's benchmark point: 8192 nodes = 4^4 local volume at ~40%
+    q8k = by[("qcdoc", 8192)]
+    assert q8k.local_volume == 256
+    assert q8k.efficiency == pytest.approx(0.40, abs=0.01)
+    # cluster: saturates, dominated by communication
+    c_speedup = (
+        by[("cluster-2004", 16384)].sustained_flops
+        / by[("cluster-2004", 64)].sustained_flops
+    )
+    assert c_speedup < 0.35 * 256
+    assert by[("cluster-2004", 16384)].comm_fraction > 0.5
+    # crossover: few-thousand nodes, then QCDOC wins outright
+    crossover = hs.crossover_nodes()
+    assert 64 < crossover <= 8192
+    assert (
+        by[("qcdoc", 16384)].sustained_flops
+        > 2 * by[("cluster-2004", 16384)].sustained_flops
+    )
+    # QCDSP: an order of magnitude below QCDOC at every size
+    assert all(
+        by[("qcdoc", n)].sustained_flops > 10 * by[("QCDSP", n)].sustained_flops
+        for n in NODE_COUNTS
+    )

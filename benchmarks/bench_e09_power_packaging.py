@@ -1,0 +1,57 @@
+"""E9 — Power, packaging and floor space (paper section 2.4).
+
+Paper: ~20 W per 2-node daughterboard including DRAM; 64 nodes per
+motherboard (a 2^6 hypercube); a water-cooled rack of 1024 nodes delivers
+1.0 Tflops peak for under 10,000 W; stacked racks put 10,000 nodes in
+"about 60 square feet".
+"""
+
+import pytest
+
+from conftest import emit
+from repro.perfmodel import PackagingModel
+
+
+def test_e09_power_and_packaging(benchmark, report):
+    pack = PackagingModel()
+
+    def rollup():
+        return {
+            n: (pack.breakdown(n), pack.power_watts(n), pack.footprint_sqft(n))
+            for n in (64, 1024, 4096, 10240, 12288)
+        }
+
+    rows = benchmark(rollup)
+
+    t = report(
+        "E9: packaging roll-up",
+        ["nodes", "motherboards", "racks", "power", "footprint", "paper anchor"],
+    )
+    anchors = {
+        64: "one motherboard",
+        1024: "1 rack, <10 kW, 1.0 Tflops peak",
+        10240: "~60 sq ft (stacked racks)",
+    }
+    for n, (b, watts, sqft) in rows.items():
+        t.add_row(
+            [
+                n,
+                b["motherboards"],
+                b["racks"],
+                f"{watts/1e3:.1f} kW",
+                f"{sqft:.0f} sqft",
+                anchors.get(n, ""),
+            ]
+        )
+    emit(t)
+
+    b64 = rows[64][0]
+    assert b64["motherboards"] == 1 and b64["daughterboards"] == 32
+    # one rack: 1024 nodes, under 10 kW, ~1 Tflops peak
+    assert rows[1024][0]["racks"] == 1
+    assert rows[1024][1] < 10_000
+    assert pack.rack_peak_flops() == pytest.approx(1.024e12, rel=0.03)
+    # 10k nodes in about 60 square feet
+    assert rows[10240][2] == pytest.approx(60, abs=12)
+    # energy efficiency: several sustained Mflops per watt
+    assert pack.megaflops_per_watt(1024) > 3.0

@@ -1,0 +1,62 @@
+"""E11 — Software partitioning of the 6-torus (paper sections 2.2 & 4).
+
+Paper: "we chose to make the mesh network six dimensional, so we can make
+lower-dimensional partitions of the machine in software, without moving
+cables"; the 1024-node machine is "cabled together in a single
+six-dimensional mesh, giving a machine of size 8x4x4x2x2x2".
+
+The bench folds that machine into every dimensionality 1..6 and *audits*
+that each logical nearest-neighbour pair is one physical hop — the
+property "without moving cables" rests on.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.machine.topology import Partition, TorusTopology
+
+#: foldings of the 1024-node rack into 1..6 logical dimensions
+FOLDINGS = {
+    1: [(0, 1, 2, 3, 4, 5)],
+    2: [(0, 1, 2), (3, 4, 5)],
+    3: [(0, 1), (2, 3), (4, 5)],
+    4: [(0,), (1,), (2, 3), (4, 5)],
+    5: [(0,), (1,), (2,), (3,), (4, 5)],
+    6: [(0,), (1,), (2,), (3,), (4,), (5,)],
+}
+
+
+def test_e11_partition_foldings(benchmark, report):
+    rack = TorusTopology((8, 4, 4, 2, 2, 2))
+
+    def fold_all():
+        out = {}
+        for ndim, groups in FOLDINGS.items():
+            p = Partition(rack, (0,) * 6, rack.dims, groups)
+            out[ndim] = (p.logical_dims, p.adjacency_audit())
+        return out
+
+    results = benchmark.pedantic(fold_all, rounds=1, iterations=1)
+
+    t = report(
+        "E11: the 1024-node rack (8x4x4x2x2x2) folded in software",
+        ["logical ndim", "logical machine", "neighbour pairs audited", "all 1 hop"],
+    )
+    for ndim, (dims, audited) in sorted(results.items()):
+        t.add_row([ndim, "x".join(map(str, dims)), audited, "yes"])
+    emit(t)
+
+    assert rack.n_nodes == 1024
+    for ndim, (dims, audited) in results.items():
+        n = 1
+        for d in dims:
+            n *= d
+        assert n == 1024  # every folding uses every node
+        assert len(dims) == ndim
+        # audit returns (pairs checked) only if every pair was adjacent
+        expected_pairs = 1024 * 2 * sum(1 for d in dims if d > 1)
+        assert audited == expected_pairs
+    # the QCD mapping the paper describes: 4-dimensional machine
+    assert results[4][0] == (8, 4, 8, 4)
+    # 1-dimensional ring through all 1024 nodes
+    assert results[1][0] == (1024,)

@@ -1,0 +1,72 @@
+"""E12 — The PROM-less network boot (paper section 3.1).
+
+Paper: "each node receives about 100 UDP packets that are handled by the
+Ethernet/JTAG controller ... Then the run kernel is loaded down, also
+taking about 100 UDP packets ...  All subsequent communications between
+the host and nodes uses the RPC protocol."
+
+The bench boots simulated machines of growing size through the qdaemon and
+counts packets per node and wall-clock; concurrent (threaded-daemon) boots
+must scale far better than linearly.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.host.qdaemon import Qdaemon
+from repro.machine.asic import MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.util.units import MS
+
+SIZES = {
+    4: (2, 2, 1, 1, 1, 1),
+    16: (2, 2, 2, 2, 1, 1),
+    64: (2, 2, 2, 2, 2, 2),
+}
+
+
+def boot_machine(dims):
+    machine = QCDOCMachine(MachineConfig(dims=dims), word_batch=8)
+    daemon = Qdaemon(machine)
+    ok = daemon.boot()
+    agent = daemon.agents[0]
+    return {
+        "nodes": machine.n_nodes,
+        "all_ok": all(ok.values()),
+        "jtag_packets": agent.report.jtag_packets,
+        "loader_packets": agent.report.run_kernel_packets,
+        "boot_seconds": machine.sim.now,
+        "rpc": all(a.rpc_available for a in daemon.agents.values()),
+    }
+
+
+def test_e12_boot_scaling(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: [boot_machine(d) for d in SIZES.values()], rounds=1, iterations=1
+    )
+
+    t = report(
+        "E12: two-stage PROM-less boot via Ethernet/JTAG + qdaemon",
+        ["nodes", "JTAG pkts/node", "loader pkts/node", "boot time", "RPC up"],
+    )
+    for r in results:
+        t.add_row(
+            [
+                r["nodes"],
+                r["jtag_packets"],
+                r["loader_packets"],
+                f"{r['boot_seconds']/MS:.1f} ms",
+                r["rpc"],
+            ]
+        )
+    emit(t)
+
+    for r in results:
+        assert r["all_ok"] and r["rpc"]
+        # "about 100 UDP packets" per stage
+        assert 95 <= r["jtag_packets"] <= 105
+        assert 95 <= r["loader_packets"] <= 105
+    # concurrency: 16x the nodes must cost far less than 16x the time
+    t4 = results[0]["boot_seconds"]
+    t64 = results[-1]["boot_seconds"]
+    assert t64 < 6 * t4

@@ -1,0 +1,63 @@
+"""E13 — The machine family and peak speeds (abstract, sections 1 & 4).
+
+Paper: 1 Gflops peak per node at 500 MHz; running machines of 64, 128 and
+512 nodes; a 1024-node rack being debugged; a 4096-node (4 Tflops) machine
+in assembly; and three 12,288-node, "10+ Teraflops" machines (RBRC,
+UKQCD, US lattice community) due in fall 2004.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.machine.asic import PRESETS
+from repro.util import fmt_si
+from repro.util.units import MHZ
+
+
+def test_e13_machine_family(benchmark, report):
+    def build():
+        return {
+            name: (cfg.n_nodes, cfg.asic.clock_hz, cfg.peak_flops)
+            for name, cfg in PRESETS.items()
+        }
+
+    table = benchmark(build)
+
+    t = report(
+        "E13: the QCDOC machine family",
+        ["machine", "dims", "nodes", "clock", "peak", "paper status (July 2004)"],
+    )
+    status = {
+        "motherboard-64": "running QCD for weeks",
+        "benchmark-128": "benchmark machine (450 MHz)",
+        "columbia-512": "running reliably (360 MHz)",
+        "rack-1024": "final debugging",
+        "columbia-4096": "assembly, $1.6M",
+        "production-12288": "three planned: RBRC, UKQCD, US lattice",
+    }
+    for name, cfg in PRESETS.items():
+        nodes, clock, peak = table[name]
+        t.add_row(
+            [
+                name,
+                "x".join(map(str, cfg.dims)),
+                nodes,
+                f"{int(clock/MHZ)} MHz",
+                fmt_si(peak) + "flops",
+                status[name],
+            ]
+        )
+    emit(t)
+
+    assert table["motherboard-64"][0] == 64
+    assert table["benchmark-128"][0] == 128
+    assert table["columbia-512"][0] == 512
+    assert table["rack-1024"][0] == 1024
+    assert table["columbia-4096"][0] == 4096
+    assert table["production-12288"][0] == 12288
+    # "Each node has a peak speed of 1 Gigaflops"
+    assert PRESETS["rack-1024"].asic.peak_flops == pytest.approx(1e9)
+    # "4096 node (4 Teraflops)"
+    assert table["columbia-4096"][2] == pytest.approx(4.1e12, rel=0.03)
+    # "two 12,288 node, 10+ Teraflops machines"
+    assert table["production-12288"][2] > 10e12

@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks (E1-E14).
+
+Each ``bench_eNN_*.py`` regenerates one quantitative claim of the paper's
+evaluation and prints a paper-vs-measured table; ``pytest benchmarks/
+--benchmark-only`` runs them all.  The tables land on stdout (pytest's
+``-s`` shows them live; the captured output is in the report either way).
+"""
+
+import sys
+
+import pytest
+
+from repro.util.tables import Table
+
+
+def emit(table: Table) -> None:
+    """Print a results table, unbuffered, with surrounding whitespace."""
+    sys.stdout.write("\n" + table.render() + "\n")
+    sys.stdout.flush()
+
+
+@pytest.fixture
+def report():
+    """A factory for paper-vs-measured tables."""
+
+    def make(title: str, headers):
+        return Table(headers, title=title)
+
+    return make

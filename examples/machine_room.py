@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""The machine room: configurations, dollars, watts and floor space.
+
+Regenerates the paper's machine-level tables from the models: the family
+of machines (64-node motherboard through the 12,288-node production
+systems), the 4096-node bill of materials, price/performance versus clock
+speed, and the packaging/power roll-up.
+
+Run:  python examples/machine_room.py
+"""
+
+from repro import PRESETS, DiracPerfModel, PackagingModel
+from repro.perfmodel.cost import (
+    QCDOC_4096_BOM,
+    price_performance,
+    price_performance_table,
+    volume_scaled_bom,
+)
+from repro.util import Table, fmt_rate, fmt_si
+from repro.util.units import MHZ
+
+
+def main() -> None:
+    # -- the machine family --------------------------------------------------
+    t = Table(
+        ["machine", "dims", "nodes", "peak", "power"],
+        title="QCDOC machine family (paper sections 2.4 and 4)",
+    )
+    for name, cfg in PRESETS.items():
+        t.add_row(
+            [
+                name,
+                "x".join(map(str, cfg.dims)),
+                cfg.n_nodes,
+                fmt_si(cfg.peak_flops) + "flops",
+                f"{cfg.power_watts()/1e3:.1f} kW",
+            ]
+        )
+    print(t.render())
+
+    # -- the published node parameters ------------------------------------------
+    asic = PRESETS["rack-1024"].asic
+    t0 = Table(["parameter", "value"], title="\nper-node parameters (500 MHz)")
+    t0.add_row(["peak", fmt_si(asic.peak_flops) + "flops"])
+    t0.add_row(["EDRAM", f"4 MB @ {fmt_rate(asic.edram_bandwidth)}"])
+    t0.add_row(["DDR", fmt_rate(asic.ddr_bandwidth)])
+    t0.add_row(["links", f"24 x {fmt_rate(asic.link_bandwidth)} = "
+                + fmt_rate(asic.total_link_bandwidth)])
+    t0.add_row(["neighbour latency", f"{asic.neighbour_latency*1e9:.0f} ns"])
+    print(t0.render())
+
+    # -- the 4096-node bill of materials ---------------------------------------
+    t2 = Table(["item", "qty", "dollars"], title="\n4096-node machine cost (paper section 4)")
+    for line in QCDOC_4096_BOM.lines:
+        t2.add_row([line.item, line.quantity, f"${line.total_dollars:,.2f}"])
+    audit = QCDOC_4096_BOM.audit()
+    t2.add_row(["component sum", "", f"${audit['component_sum']:,.2f}"])
+    t2.add_row(["paper's printed total", "", f"${audit['paper_total']:,.2f}"])
+    t2.add_row(["prorated R&D", "", f"${QCDOC_4096_BOM.rnd_prorated_dollars:,.2f}"])
+    t2.add_row(["grand total", "", f"${audit['with_rnd']:,.2f}"])
+    print(t2.render())
+
+    # -- price/performance vs clock ---------------------------------------------
+    t3 = Table(
+        ["clock", "sustained (45%)", "$/sustained Mflops", "paper"],
+        title="\nprice/performance (4096 nodes)",
+    )
+    paper = {360: "$1.29", 420: "$1.10", 450: "$1.03"}
+    for clock, price in price_performance_table():
+        mhz = int(clock / MHZ)
+        sustained = 4096 * 2 * clock * 0.45
+        t3.add_row(
+            [f"{mhz} MHz", fmt_si(sustained) + "flops", f"${price:.2f}", paper[mhz]]
+        )
+    bom12k = volume_scaled_bom(12288)
+    p12k = price_performance(450 * MHZ, n_nodes=12288, total_dollars=bom12k.total_with_rnd)
+    t3.add_row(["450 MHz, 12288 nodes (volume discount)", "", f"${p12k:.2f}", "~$1 target"])
+    print(t3.render())
+
+    # -- packaging / power / floor space ---------------------------------------
+    pack = PackagingModel()
+    t4 = Table(
+        ["nodes", "racks", "power", "footprint", "peak"],
+        title="\npackaging roll-up (water-cooled, stacked racks)",
+    )
+    for n in (64, 1024, 4096, 10240, 12288):
+        b = pack.breakdown(n)
+        t4.add_row(
+            [
+                n,
+                b["racks"],
+                f"{pack.power_watts(n)/1e3:.1f} kW",
+                f"{pack.footprint_sqft(n):.0f} sqft",
+                fmt_si(n * asic.peak_flops) + "flops",
+            ]
+        )
+    print(t4.render())
+    print(
+        f"\none rack: {pack.rack_peak_flops()/1e12:.2f} Tflops peak at "
+        f"{pack.rack_power_watts()/1e3:.1f} kW (paper: 1.0 Tflops, <10 kW)"
+    )
+
+    # -- what it sustains on physics -------------------------------------------
+    model = DiracPerfModel()
+    t5 = Table(
+        ["operator", "model efficiency", "paper"],
+        title="\nsustained CG efficiency, 4^4 local volume, double precision",
+    )
+    for op, paper_val in (("wilson", "40%"), ("asqtad", "38%"), ("clover", "46.5%")):
+        t5.add_row([op, f"{100*model.efficiency(op):.1f}%", paper_val])
+    print(t5.render())
+    print("\nmachine_room OK")
+
+
+if __name__ == "__main__":
+    main()

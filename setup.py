@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 660
+editable installs (which build a wheel) fail.  With this setup.py present and
+no [build-system] table in pyproject.toml, `pip install -e .` falls back to
+`setup.py develop`, which works offline.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""The user-visible communications API (paper section 3.3).
+
+"The communications API allows the user to control the settings of the DMA
+units in the SCUs ... the SCU's can store DMA instructions internally, so
+that only a single write (start transfer) is needed to start up to 24
+communications ... We also have API interfaces to the global sum and
+broadcast features of the SCU hardware."
+
+:class:`~repro.comms.api.CommsAPI` is what node programs receive: axis/sign
+addressed sends and receives over the partition's logical topology,
+persistent descriptors, supervisor packets, global sums, and compute-time
+charging.
+"""
+
+from repro.comms.api import CommsAPI, face_descriptor, full_descriptor
+
+__all__ = ["CommsAPI", "face_descriptor", "full_descriptor"]

@@ -1,0 +1,176 @@
+"""Node-program communications API over the simulated SCU hardware.
+
+A node program is a generator ``def program(api): ... yield api.send(...)``
+running on one logical rank of a partition.  The API mirrors the paper's
+user-level software (section 3.3):
+
+* zero-copy block-strided DMA sends/receives addressed by *logical* axis
+  and sign (the partition translates to a physical link direction);
+* persistent ("stored") descriptors started by a single call;
+* supervisor packets;
+* SCU global sums (with the deterministic accumulation order that makes
+  runs bit-exactly repeatable);
+* ``compute(flops)`` to charge simulated CPU time for numpy-evaluated
+  physics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.machine.globalops import GlobalOpsEngine
+from repro.machine.node import Node
+from repro.machine.scu import DmaDescriptor
+from repro.machine.topology import Partition
+from repro.sim.core import Event
+from repro.util.errors import ConfigError
+
+
+def full_descriptor(node: Node, buffer: str) -> DmaDescriptor:
+    """A descriptor covering an entire named buffer."""
+    return DmaDescriptor(buffer=buffer, block_len=node.memory.word_count(buffer))
+
+
+def face_descriptor(
+    buffer: str,
+    local_shape: Sequence[int],
+    axis: int,
+    side: int,
+    words_per_site: int,
+    depth: int = 1,
+) -> DmaDescriptor:
+    """Block-strided descriptor selecting one boundary face of a field.
+
+    For a field stored site-major over ``local_shape`` (last axis fastest)
+    with ``words_per_site`` 64-bit words per site, the face
+    ``x_axis < depth`` (``side=-1``) or ``x_axis >= L-depth`` (``side=+1``)
+    is exactly ``head`` contiguous blocks of ``depth*tail`` sites separated
+    by ``L*tail`` sites — which is why the SCU's block-strided DMA (paper
+    section 2.2) moves lattice halos with *zero* copying or packing.
+
+    The word order produced equals the site order of
+    :func:`repro.lattice.halos.face_indices`, so sender and receiver agree
+    element-by-element.
+    """
+    shape = tuple(int(s) for s in local_shape)
+    if not 0 <= axis < len(shape):
+        raise ConfigError(f"axis {axis} out of range for shape {shape}")
+    L = shape[axis]
+    if not 1 <= depth <= L:
+        raise ConfigError(f"bad face depth {depth} for axis extent {L}")
+    head = int(np.prod(shape[:axis])) if axis > 0 else 1
+    tail = int(np.prod(shape[axis + 1 :])) if axis + 1 < len(shape) else 1
+    block_sites = depth * tail
+    period_sites = L * tail
+    offset_sites = 0 if side < 0 else (L - depth) * tail
+    return DmaDescriptor(
+        buffer=buffer,
+        block_len=block_sites * words_per_site,
+        nblocks=head,
+        stride=period_sites * words_per_site,
+        offset=offset_sites * words_per_site,
+    )
+
+
+class CommsAPI:
+    """Per-rank handle given to node programs by
+    :meth:`repro.machine.machine.QCDOCMachine.run_partition`."""
+
+    def __init__(
+        self,
+        machine,
+        partition: Partition,
+        global_engine: GlobalOpsEngine,
+        rank: int,
+        node: Node,
+    ):
+        self.machine = machine
+        self.partition = partition
+        self.globals = global_engine
+        self.rank = rank
+        self.node = node
+        self.sim = node.sim
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        """Logical machine dimensions of this partition."""
+        return self.partition.logical_dims
+
+    @property
+    def coord(self) -> Tuple[int, ...]:
+        return self.partition.logical_coord(self.rank)
+
+    @property
+    def memory(self):
+        return self.node.memory
+
+    def _direction(self, axis: int, sign: int) -> int:
+        return self.partition.physical_direction(self.rank, axis, sign)
+
+    # -- memory ------------------------------------------------------------
+    def alloc(self, name: str, array: np.ndarray, region: Optional[str] = None):
+        return self.node.memory.alloc(name, array, region)
+
+    def buffer(self, name: str) -> np.ndarray:
+        return self.node.memory.get(name)
+
+    # -- point-to-point ---------------------------------------------------------
+    def send(self, axis: int, sign: int, descriptor: DmaDescriptor) -> Event:
+        """Start a DMA send toward the logical ``(axis, sign)`` neighbour."""
+        return self.node.scu.send(self._direction(axis, sign), descriptor)
+
+    def recv(self, axis: int, sign: int, descriptor: DmaDescriptor) -> Event:
+        """Post a DMA receive from the logical ``(axis, sign)`` neighbour."""
+        return self.node.scu.recv(self._direction(axis, sign), descriptor)
+
+    def send_buffer(self, axis: int, sign: int, name: str) -> Event:
+        return self.send(axis, sign, full_descriptor(self.node, name))
+
+    def recv_buffer(self, axis: int, sign: int, name: str) -> Event:
+        return self.recv(axis, sign, full_descriptor(self.node, name))
+
+    # -- persistent descriptors ---------------------------------------------------
+    def store_send(self, axis: int, sign: int, descriptor: DmaDescriptor) -> None:
+        self.node.scu.store_descriptor("send", self._direction(axis, sign), descriptor)
+
+    def store_recv(self, axis: int, sign: int, descriptor: DmaDescriptor) -> None:
+        self.node.scu.store_descriptor("recv", self._direction(axis, sign), descriptor)
+
+    def start_stored(self) -> Event:
+        """One write starts every stored transfer; yields when all done."""
+        events = self.node.scu.start_stored()
+        return self.sim.all_of(list(events.values()))
+
+    # -- supervisor ------------------------------------------------------------
+    def send_supervisor(self, axis: int, sign: int, word: int) -> Event:
+        return self.node.scu.send_supervisor(self._direction(axis, sign), word)
+
+    def wait_supervisor(self) -> Event:
+        return self.node.wait_supervisor()
+
+    # -- collectives ------------------------------------------------------------
+    def global_sum(self, values: np.ndarray) -> Event:
+        """Contribute to a partition-wide sum; yields the summed array.
+
+        All ranks receive bitwise-identical results (canonical accumulation
+        order in the SCU global mode).
+        """
+        return self.globals.contribute_sum(self.rank, values)
+
+    def barrier(self) -> Event:
+        """Synchronise all ranks (a 1-word global sum)."""
+        return self.globals.contribute_sum(self.rank, np.zeros(1))
+
+    # -- compute ------------------------------------------------------------
+    def compute(self, flops: float) -> Event:
+        """Charge simulated CPU time for ``flops`` floating-point ops."""
+        return self.node.compute(flops)
+
+    def wait(self, events: Iterable[Event]) -> Event:
+        return self.sim.all_of(list(events))
+
+    def __repr__(self) -> str:
+        return f"CommsAPI(rank={self.rank}, coord={self.coord}, dims={self.dims})"

@@ -1,0 +1,102 @@
+"""Domain-wall fermions: the five-dimensional Shamir operator.
+
+Paper section 4: "A newer discretization of the Dirac operator, domain wall
+fermions, has been heavily used in our QCD simulations on QCDSP.  This is a
+prime target for much of our work with QCDOC.  This discretization is
+naturally five-dimensional" — and is the reason the machine's software
+supports five-dimensional physics partitions.
+
+Fields live on ``(Ls, V, 4, 3)``: ``Ls`` slices of a 4-dimensional Wilson
+spinor field, with the gauge field identical on every slice (no links in
+the 5th direction).  The operator is
+
+``D psi_s = [D_w(-M5) + 1] psi_s - P_- psi_{s+1} - P_+ psi_{s-1}``
+
+with chiral projectors ``P_pm = (1 pm gamma_5)/2`` and boundary conditions
+``psi_{Ls} -> -m_f psi_0``, ``psi_{-1} -> -m_f psi_{Ls-1}`` that couple the
+two walls through the physical quark mass ``m_f``.  ``M5`` is the
+domain-wall height (0 < M5 < 2 for one physical mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fermions.gamma import P_MINUS, P_PLUS, apply_spin_matrix, gamma5_sandwich
+from repro.fermions.wilson import WilsonDirac
+from repro.lattice.gauge import GaugeField
+from repro.util.errors import ConfigError
+
+
+class DomainWallDirac:
+    """Shamir domain-wall operator on a 4-dimensional gauge background.
+
+    Parameters
+    ----------
+    gauge:
+        4-dimensional gauge field (shared by all ``Ls`` slices).
+    Ls:
+        Extent of the fifth dimension.
+    M5:
+        Domain-wall height; the 4-dimensional kernel is ``D_w(-M5)``.
+    mf:
+        Physical (wall-coupling) quark mass.
+    """
+
+    def __init__(self, gauge: GaugeField, Ls: int, M5: float = 1.8, mf: float = 0.1):
+        if Ls < 1:
+            raise ConfigError(f"Ls must be >= 1, got {Ls}")
+        if gauge.geometry.ndim != 4:
+            raise ConfigError("domain-wall fermions need a 4-dimensional gauge field")
+        self.gauge = gauge
+        self.geometry = gauge.geometry
+        self.Ls = int(Ls)
+        self.M5 = float(M5)
+        self.mf = float(mf)
+        self.kernel = WilsonDirac(gauge, mass=-self.M5)
+
+    @property
+    def field_shape(self):
+        return (self.Ls, self.geometry.volume, 4, 3)
+
+    def _check(self, psi: np.ndarray) -> None:
+        if psi.shape != self.field_shape:
+            raise ConfigError(
+                f"field shape {psi.shape}, expected {self.field_shape}"
+            )
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        """``D_dwf psi``."""
+        self._check(psi)
+        out = np.empty_like(psi)
+        # 4-dimensional part, slice by slice (same gauge field each slice).
+        for s in range(self.Ls):
+            out[s] = self.kernel.apply(psi[s]) + psi[s]
+        # 5th-dimension hopping with mass-coupled walls.
+        for s in range(self.Ls):
+            up = psi[s + 1] if s + 1 < self.Ls else -self.mf * psi[0]
+            dn = psi[s - 1] if s - 1 >= 0 else -self.mf * psi[self.Ls - 1]
+            out[s] -= apply_spin_matrix(P_MINUS, up)
+            out[s] -= apply_spin_matrix(P_PLUS, dn)
+        return out
+
+    def apply_dagger(self, psi: np.ndarray) -> np.ndarray:
+        """``D^+ = (Gamma_5 R) D (R Gamma_5)``.
+
+        Domain-wall gamma5-hermiticity involves the reflection ``R`` of the
+        fifth dimension (``s -> Ls-1-s``) composed with 4-dimensional
+        ``gamma_5``.
+        """
+        self._check(psi)
+        flipped = gamma5_sandwich(psi[::-1])
+        return gamma5_sandwich(self.apply(flipped)[::-1])
+
+    def normal(self, psi: np.ndarray) -> np.ndarray:
+        """``D^+ D psi`` — hermitian positive, the CG target."""
+        return self.apply_dagger(self.apply(psi))
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainWallDirac(shape={self.geometry.shape}, Ls={self.Ls}, "
+            f"M5={self.M5}, mf={self.mf})"
+        )

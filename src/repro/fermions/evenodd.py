@@ -1,0 +1,127 @@
+"""Even-odd (red-black) preconditioned Wilson solves.
+
+The Wilson hopping term only connects opposite-parity sites, so in the
+even/odd ordering the operator is
+
+``D = [[A, D_eo], [D_oe, A]]``,  ``A = (m + 4r) * 1``,
+``D_eo = D_oe-type = -(1/2) H`` (the hopping restricted to one parity),
+
+and the odd sites can be eliminated exactly (Schur complement):
+
+``M psi_e = b_e - D_eo A^{-1} b_o``,   ``M = A - D_eo A^{-1} D_oe``,
+``psi_o = A^{-1} (b_o - D_oe psi_e)``.
+
+``M`` acts on half the sites and is markedly better conditioned, so CG on
+its normal equations converges in notably fewer (and cheaper) iterations —
+the standard production trick on QCDOC-era machines and a natural
+"optional feature" extension of the paper's solver benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fermions.gamma import gamma5_sandwich
+from repro.fermions.wilson import WilsonDirac
+from repro.solvers.cg import SolveResult, cg
+from repro.util.errors import ConfigError
+
+
+class EvenOddWilson:
+    """Schur-preconditioned interface to a :class:`WilsonDirac`."""
+
+    def __init__(self, dirac: WilsonDirac):
+        if not isinstance(dirac, WilsonDirac) or type(dirac) is not WilsonDirac:
+            # The clover term makes A site-dependent (a 12x12 block); this
+            # implementation assumes the scalar-diagonal Wilson case.
+            if getattr(dirac, "clover_tensor", None) is not None:
+                raise ConfigError(
+                    "even-odd preconditioning here supports plain Wilson only"
+                )
+        self.dirac = dirac
+        g = dirac.geometry
+        self.even = g.even_sites
+        self.odd = g.odd_sites
+        self.a = dirac.diag  # the scalar site-diagonal (m + 4r)
+        if self.a == 0:
+            raise ConfigError("even-odd elimination needs a nonzero diagonal")
+
+    # -- parity-restricted hopping -----------------------------------------
+    def _hop(self, psi_full: np.ndarray) -> np.ndarray:
+        """Full-lattice hopping of a field that lives on one parity."""
+        return self.dirac.hopping(psi_full)
+
+    def _embed(self, half: np.ndarray, sites: np.ndarray) -> np.ndarray:
+        g = self.dirac.geometry
+        full = np.zeros((g.volume, 4, 3), dtype=np.complex128)
+        full[sites] = half
+        return full
+
+    def schur_apply(self, psi_e: np.ndarray) -> np.ndarray:
+        """``M psi_e = A psi_e - (1/(4A)) [H [H psi_e]_odd]_even``.
+
+        ``psi_e`` is ``(V/2, 4, 3)`` over the even sites.
+        """
+        full = self._embed(psi_e, self.even)
+        h1 = self._hop(full)  # lives on odd sites
+        odd_part = self._embed(h1[self.odd], self.odd)
+        h2 = self._hop(odd_part)  # back on even sites
+        return self.a * psi_e - (0.25 / self.a) * h2[self.even]
+
+    def schur_apply_dagger(self, psi_e: np.ndarray) -> np.ndarray:
+        """``M^+ = gamma_5 M gamma_5`` (inherited from the Wilson operator)."""
+        return gamma5_sandwich(self.schur_apply(gamma5_sandwich(psi_e)))
+
+    # -- the full solve ---------------------------------------------------------
+    def solve(
+        self,
+        b: np.ndarray,
+        tol: float = 1e-8,
+        maxiter: int = 2000,
+    ) -> SolveResult:
+        """Solve ``D psi = b`` by even-odd elimination + CGNE on ``M``.
+
+        Returns a :class:`SolveResult` whose ``x`` is the *full-lattice*
+        solution and whose ``true_residual`` is measured against the
+        original unpreconditioned system.
+        """
+        g = self.dirac.geometry
+        if b.shape != (g.volume, 4, 3):
+            raise ConfigError(f"bad source shape {b.shape}")
+        b_e, b_o = b[self.even], b[self.odd]
+
+        # b'_e = b_e - D_eo A^{-1} b_o ; D_eo acts as -(1/2) H from odd.
+        odd_src = self._embed(b_o / self.a, self.odd)
+        b_eff = b_e + 0.5 * self._hop(odd_src)[self.even]
+
+        def normal(v):
+            return self.schur_apply_dagger(self.schur_apply(v))
+
+        inner = cg(
+            normal,
+            self.schur_apply_dagger(b_eff),
+            tol=tol,
+            maxiter=maxiter,
+        )
+        psi_e = inner.x
+
+        # back-substitute the odd sites: psi_o = (b_o + (1/2)[H psi_e]_o)/A
+        even_full = self._embed(psi_e, self.even)
+        psi_o = (b_o + 0.5 * self._hop(even_full)[self.odd]) / self.a
+
+        x = np.zeros_like(b)
+        x[self.even] = psi_e
+        x[self.odd] = psi_o
+
+        true_res = float(
+            np.linalg.norm(self.dirac.apply(x) - b) / np.linalg.norm(b)
+        )
+        return SolveResult(
+            x=x,
+            converged=inner.converged,
+            iterations=inner.iterations,
+            residuals=inner.residuals,
+            true_residual=true_res,
+        )

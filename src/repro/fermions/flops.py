@@ -1,0 +1,177 @@
+"""Exact per-site work accounting for every Dirac discretisation.
+
+These counts feed the performance model (:mod:`repro.perfmodel`) that
+regenerates the paper's sustained-efficiency numbers (experiment E1).  They
+are *derived*, not tuned: complex multiply = 6 flops, complex add = 2, an
+SU(3) matrix-vector product = 9 cmul + 6 cadd = 66 flops, and the totals
+below follow from the operator definitions in this package.
+
+Memory traffic is counted in 8-byte words per site per operator
+application, assuming the streaming access pattern of the hand-tuned
+assembly the paper describes (every operand read once, output written
+once; no speculative reuse beyond registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+CMUL = 6  #: flops in one complex multiply
+CADD = 2  #: flops in one complex add
+MATVEC_SU3 = 9 * CMUL + 6 * CADD  #: = 66, one SU(3) matrix x colour vector
+
+#: canonical community count for the Wilson hopping term (8 directions,
+#: two half-spinor SU(3) matvecs each, plus spin project/reconstruct adds)
+WILSON_DSLASH_FLOPS = 8 * (2 * MATVEC_SU3) + 264  # = 1320
+
+#: axpy of the diagonal (m + 4r) psi over 24 real components
+DIAG_AXPY_FLOPS = 48
+
+#: clover term: two hermitian 6x6 blocks applied to the upper/lower
+#: chirality halves (36 cmul + 30 cadd each) plus accumulation
+CLOVER_TERM_FLOPS = 2 * (36 * CMUL + 30 * CADD) + 24 * CADD  # = 600
+
+#: staggered: one SU(3) matvec per direction per hop family; ASQTAD has
+#: fat (1-hop) + long (3-hop) = 16 matvecs and 15 colour-vector adds
+ASQTAD_DSLASH_FLOPS = 16 * MATVEC_SU3 + 15 * 3 * CADD  # = 1146
+NAIVE_STAGGERED_DSLASH_FLOPS = 8 * MATVEC_SU3 + 7 * 3 * CADD  # = 570
+STAGGERED_DIAG_FLOPS = 12  # m * chi over 6 real components
+
+#: domain wall, per 5-dimensional site: the Wilson kernel plus the
+#: diagonal and the two chiral-projector hops in the 5th dimension
+DWF_5D_EXTRA_FLOPS = DIAG_AXPY_FLOPS + 2 * (12 * CADD)  # = 96
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Per-site cost sheet for one Dirac operator application.
+
+    Attributes
+    ----------
+    flops_per_site:
+        Floating-point operations per (4-dimensional) site.
+    words_per_site:
+        8-byte memory words moved per site in double precision
+        (halve for single precision).
+    gauge_words_per_site:
+        The subset of ``words_per_site`` that is gauge-field traffic
+        (re-usable across the 5th dimension for domain-wall fermions).
+    comm_bytes_per_face_site:
+        Bytes sent per boundary site per direction in double precision
+        (halve for single).
+    hop_depths:
+        Hop distances needing halo exchange (ASQTAD needs 1 and 3).
+    dirac_applications_per_cg_iteration:
+        CG on the normal equations applies D and D^+ once each.
+    """
+
+    name: str
+    flops_per_site: int
+    words_per_site: int
+    gauge_words_per_site: int
+    comm_bytes_per_face_site: int
+    hop_depths: Tuple[int, ...] = (1,)
+    dirac_applications_per_cg_iteration: int = 2
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """flops per byte of memory traffic (double precision)."""
+        return self.flops_per_site / (8.0 * self.words_per_site)
+
+    @property
+    def site_vector_words(self) -> int:
+        """64-bit words per site of one solver vector (double precision).
+
+        Wilson-type spinors are 12 complex = 24 words; staggered colour
+        vectors are 3 complex = 6 words.  Drives the CG linear-algebra
+        cost in the performance model.
+        """
+        return 6 if "staggered" in self.name or self.name == "asqtad" else 24
+
+
+def _wilson_cost() -> OperatorCost:
+    return OperatorCost(
+        name="wilson",
+        flops_per_site=WILSON_DSLASH_FLOPS + DIAG_AXPY_FLOPS,  # 1368
+        # gauge 8 x 18 + neighbour spinors 8 x 24 + site spinor 24 + store 24
+        words_per_site=144 + 192 + 24 + 24,  # 384
+        gauge_words_per_site=144,
+        comm_bytes_per_face_site=12 * 16,  # half spinor, 12 complex doubles
+    )
+
+
+def _clover_cost() -> OperatorCost:
+    w = _wilson_cost()
+    return OperatorCost(
+        name="clover",
+        flops_per_site=w.flops_per_site + CLOVER_TERM_FLOPS,  # 1968
+        # + packed clover: two hermitian 6x6 = 2 x (6 diag + 15 complex) words
+        words_per_site=w.words_per_site + 72,  # 456
+        gauge_words_per_site=w.gauge_words_per_site,
+        comm_bytes_per_face_site=w.comm_bytes_per_face_site,
+    )
+
+
+def _asqtad_cost() -> OperatorCost:
+    return OperatorCost(
+        name="asqtad",
+        flops_per_site=ASQTAD_DSLASH_FLOPS + STAGGERED_DIAG_FLOPS,  # 1158
+        # fat links 8 x 18 + long links 8 x 18 + 16 neighbour vectors x 6
+        # + site vector 6 + store 6
+        words_per_site=144 + 144 + 96 + 6 + 6,  # 396
+        gauge_words_per_site=288,
+        comm_bytes_per_face_site=3 * 16,  # one colour vector
+        hop_depths=(1, 3),
+    )
+
+
+def _naive_staggered_cost() -> OperatorCost:
+    return OperatorCost(
+        name="naive-staggered",
+        flops_per_site=NAIVE_STAGGERED_DSLASH_FLOPS + STAGGERED_DIAG_FLOPS,  # 582
+        words_per_site=144 + 48 + 6 + 6,  # 204
+        gauge_words_per_site=144,
+        comm_bytes_per_face_site=3 * 16,
+    )
+
+
+def _dwf_cost(Ls: int = 1) -> OperatorCost:
+    """Domain wall, expressed per 5-dimensional site.
+
+    The gauge field is shared by all Ls slices; a blocked kernel streams it
+    once per ``Ls`` slices, which is why the paper expects the
+    domain-wall assembly to *surpass* clover efficiency (section 4).  The
+    amortisation itself is applied by the performance model, which is why
+    ``gauge_words_per_site`` is reported separately.
+    """
+    w = _wilson_cost()
+    return OperatorCost(
+        name="dwf" if Ls == 1 else f"dwf(Ls={Ls})",
+        flops_per_site=WILSON_DSLASH_FLOPS + DWF_5D_EXTRA_FLOPS,  # 1416
+        words_per_site=w.words_per_site,
+        gauge_words_per_site=w.gauge_words_per_site,
+        comm_bytes_per_face_site=w.comm_bytes_per_face_site,
+    )
+
+
+OPERATOR_COSTS: Dict[str, OperatorCost] = {
+    c.name: c
+    for c in (
+        _wilson_cost(),
+        _clover_cost(),
+        _asqtad_cost(),
+        _naive_staggered_cost(),
+        _dwf_cost(),
+    )
+}
+
+
+def operator_cost(name: str) -> OperatorCost:
+    """Look up the cost sheet for an operator by name."""
+    try:
+        return OPERATOR_COSTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown operator {name!r}; known: {sorted(OPERATOR_COSTS)}"
+        ) from None

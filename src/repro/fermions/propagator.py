@@ -1,0 +1,95 @@
+"""Quark propagators and meson correlators.
+
+The physics deliverable of every QCD machine: propagators are columns of
+``D^{-1}`` from point sources (12 solves: 4 spins x 3 colours), and the
+pion two-point function is their spin-colour-summed modulus squared
+projected onto time slices,
+
+``C_pi(t) = sum_{x, s, c, s', c'} |S(x, t; 0)_{s c, s' c'}|^2``
+
+(gamma5-hermiticity turns the naive ``tr[S gamma5 S^+ gamma5]`` into this
+positive form).  On a free (unit-gauge) lattice ``C_pi`` falls off as a
+``cosh`` around the midpoint, and the effective mass plateaus at twice the
+free-quark energy — both asserted in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.lattice.geometry import LatticeGeometry
+from repro.solvers.cg import cgne
+from repro.util.errors import ConfigError
+
+
+def point_source(
+    geometry: LatticeGeometry, spin: int, colour: int, site: int = 0
+) -> np.ndarray:
+    """A delta-function Wilson source at one (site, spin, colour)."""
+    if not 0 <= spin < 4 or not 0 <= colour < 3:
+        raise ConfigError(f"bad spin/colour ({spin}, {colour})")
+    b = np.zeros((geometry.volume, 4, 3), dtype=np.complex128)
+    b[site, spin, colour] = 1.0
+    return b
+
+
+def point_propagator(
+    dirac,
+    site: int = 0,
+    tol: float = 1e-8,
+    maxiter: int = 4000,
+    callback: Optional[Callable[[int, int], None]] = None,
+) -> np.ndarray:
+    """All 12 columns of ``D^{-1}`` from a point source.
+
+    Returns ``(V, 4, 3, 4, 3)``: sink (spin, colour) x source (spin,
+    colour).  ``callback(column_index, iterations)`` reports per-solve
+    progress (12 CG solves, the workload that "dominates the calculational
+    time for QCD simulations").
+    """
+    g = dirac.geometry
+    prop = np.empty((g.volume, 4, 3, 4, 3), dtype=np.complex128)
+    col = 0
+    for spin in range(4):
+        for colour in range(3):
+            b = point_source(g, spin, colour, site)
+            res = cgne(dirac.apply, dirac.apply_dagger, b, tol=tol, maxiter=maxiter)
+            if not res.converged:
+                raise ConfigError(
+                    f"propagator column (s={spin}, c={colour}) did not converge"
+                )
+            prop[:, :, :, spin, colour] = res.x
+            if callback is not None:
+                callback(col, res.iterations)
+            col += 1
+    return prop
+
+
+def pion_correlator(
+    prop: np.ndarray, geometry: LatticeGeometry, time_axis: int = -1
+) -> np.ndarray:
+    """``C_pi(t)``: time-slice-projected pseudoscalar two-point function."""
+    axis = geometry.ndim - 1 if time_axis < 0 else time_axis
+    nt = geometry.shape[axis]
+    tcoord = geometry.coords[:, axis]
+    dens = np.abs(prop.reshape(geometry.volume, -1)) ** 2
+    per_site = dens.sum(axis=1)
+    corr = np.zeros(nt)
+    np.add.at(corr, tcoord, per_site)
+    return corr
+
+
+def effective_mass(corr: np.ndarray) -> np.ndarray:
+    """``m_eff(t) = ln[C(t) / C(t+1)]`` (forward log ratio)."""
+    c = np.asarray(corr, dtype=float)
+    if np.any(c <= 0):
+        raise ConfigError("correlator must be positive for an effective mass")
+    return np.log(c[:-1] / c[1:])
+
+
+def free_pion_prediction(nt: int, m_pi: float, amplitude: float) -> np.ndarray:
+    """``A [e^{-m t} + e^{-m (T-t)}]`` — the periodic-lattice cosh form."""
+    t = np.arange(nt)
+    return amplitude * (np.exp(-m_pi * t) + np.exp(-m_pi * (nt - t)))

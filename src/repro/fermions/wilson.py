@@ -1,0 +1,98 @@
+"""The (naive) Wilson-Dirac operator.
+
+``D psi(x) = (m + 4r) psi(x)
+  - (1/2) sum_mu [ (r - gamma_mu) U_mu(x) psi(x+mu)
+                 + (r + gamma_mu) U_mu(x-mu)^+ psi(x-mu) ]``
+
+with Wilson parameter ``r`` (default 1).  The operator satisfies
+``D^+ = gamma_5 D gamma_5`` (gamma5-hermiticity), which the test suite and
+the CG normal-equation solver both rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fermions.gamma import GAMMA, apply_spin_matrix, gamma5_sandwich
+from repro.lattice.gauge import GaugeField
+from repro.util.errors import ConfigError
+
+
+class WilsonDirac:
+    """Wilson fermion matrix on a 4-dimensional gauge field.
+
+    Parameters
+    ----------
+    gauge:
+        Background gauge field (any dimension is accepted; QCD uses 4).
+    mass:
+        Bare quark mass ``m``.
+    r:
+        Wilson parameter; ``r=1`` is the universal production choice.
+    """
+
+    #: field shape suffix this operator acts on
+    spin_dof = (4, 3)
+
+    def __init__(self, gauge: GaugeField, mass: float, r: float = 1.0):
+        self.gauge = gauge
+        self.geometry = gauge.geometry
+        self.mass = float(mass)
+        self.r = float(r)
+
+    @property
+    def diag(self) -> float:
+        """The site-diagonal coefficient ``m + ndim * r``."""
+        return self.mass + self.geometry.ndim * self.r
+
+    def _check(self, psi: np.ndarray) -> None:
+        expected = (self.geometry.volume,) + self.spin_dof
+        if psi.shape != expected:
+            raise ConfigError(f"field shape {psi.shape}, expected {expected}")
+
+    def hopping(self, psi: np.ndarray) -> np.ndarray:
+        """The nearest-neighbour ("dslash") part, without the diagonal.
+
+        Returns ``sum_mu [(r - gamma_mu) U psi_fwd + (r + gamma_mu) U^+ psi_bwd]``
+        (the caller supplies the -1/2).  This is the routine the paper's
+        hand-tuned assembly implements and the SCU halo exchange feeds.
+        """
+        self._check(psi)
+        g = self.gauge
+        out = np.zeros_like(psi)
+        for mu in range(self.geometry.ndim):
+            fwd = g.transport_fwd(mu, psi)
+            bwd = g.transport_bwd(mu, psi)
+            # (r - gamma) fwd + (r + gamma) bwd = r (fwd+bwd) - gamma (fwd-bwd)
+            out += self.r * (fwd + bwd)
+            out -= apply_spin_matrix(GAMMA[mu], fwd - bwd)
+        return out
+
+    def apply(self, psi: np.ndarray) -> np.ndarray:
+        """``D psi``."""
+        return self.diag * psi - 0.5 * self.hopping(psi)
+
+    def apply_dagger(self, psi: np.ndarray) -> np.ndarray:
+        """``D^+ psi = gamma_5 D gamma_5 psi``."""
+        return gamma5_sandwich(self.apply(gamma5_sandwich(psi)))
+
+    def normal(self, psi: np.ndarray) -> np.ndarray:
+        """``D^+ D psi`` — the hermitian positive operator CG inverts."""
+        return self.apply_dagger(self.apply(psi))
+
+    def dense_matrix(self) -> np.ndarray:
+        """Explicit ``(12V, 12V)`` matrix — tiny lattices only (tests)."""
+        v = self.geometry.volume
+        n = v * 12
+        if n > 4096:
+            raise ConfigError(f"dense matrix with {n} rows would be too large")
+        m = np.zeros((n, n), dtype=np.complex128)
+        basis = np.zeros((v, 4, 3), dtype=np.complex128)
+        for col in range(n):
+            basis.reshape(-1)[col] = 1.0
+            m[:, col] = self.apply(basis).reshape(-1)
+            basis.reshape(-1)[col] = 0.0
+        return m
+
+    def __repr__(self) -> str:
+        return f"WilsonDirac(shape={self.geometry.shape}, m={self.mass}, r={self.r})"

@@ -1,0 +1,29 @@
+"""Hybrid Monte Carlo: evolving QCD "through the phase space of the
+Feynman path integral" (paper sections 1 and 4).
+
+The paper's final ASIC verification was physics-grade: a five-day HMC
+evolution on 128 nodes, re-run and required to produce a configuration
+"identical in all bits".  This package provides the pure-gauge HMC that
+plays that role in the reproduction: Wilson gauge action and force,
+reversible symplectic integrators (leapfrog and Omelyan), Metropolis
+accept/reject with named deterministic RNG streams — so an evolution is a
+pure function of its seed, and bit-identical re-runs are a testable
+property, not an accident.
+"""
+
+from repro.hmc.actions import WilsonGaugeAction
+from repro.hmc.integrators import INTEGRATORS, leapfrog, omelyan
+from repro.hmc.hmc import HMC, TrajectoryResult
+from repro.hmc.heatbath import Heatbath
+from repro.hmc.pseudofermion import TwoFlavorWilsonHMC
+
+__all__ = [
+    "TwoFlavorWilsonHMC",
+    "WilsonGaugeAction",
+    "leapfrog",
+    "omelyan",
+    "INTEGRATORS",
+    "HMC",
+    "TrajectoryResult",
+    "Heatbath",
+]

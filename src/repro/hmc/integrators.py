@@ -1,0 +1,77 @@
+"""Reversible symplectic integrators for HMC molecular dynamics.
+
+Both integrators update ``(U, P)`` in place:
+
+* :func:`leapfrog` — the classic second-order scheme
+  (half-kick, drift, half-kick);
+* :func:`omelyan` — the position-version minimum-norm second-order scheme
+  (Omelyan/Mryglod/Folk), ~1.5-2x smaller energy violations at equal cost,
+  the workhorse of production lattice programs.
+
+Reversibility (integrate, negate momenta, integrate back, recover the
+start) and O(dt^2) energy conservation are asserted by the test suite —
+they are what make Metropolis exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.hmc.actions import WilsonGaugeAction
+from repro.lattice.gauge import GaugeField
+from repro.lattice.su3 import expm_su3
+
+#: Omelyan lambda: minimises the norm of the second-order error operator.
+OMELYAN_LAMBDA = 0.1931833275037836
+
+
+def _drift(gauge: GaugeField, momenta: np.ndarray, dt: float) -> None:
+    """``U <- exp(dt P) U`` for every link."""
+    ndim, v = momenta.shape[:2]
+    rot = expm_su3((dt * momenta).reshape(ndim * v, 3, 3)).reshape(
+        ndim, v, 3, 3
+    )
+    gauge.links = rot @ gauge.links
+
+
+def leapfrog(
+    gauge: GaugeField,
+    momenta: np.ndarray,
+    action: WilsonGaugeAction,
+    n_steps: int,
+    dt: float,
+) -> None:
+    """Standard leapfrog: P(dt/2) [U(dt) P(dt)]^(n-1) U(dt) P(dt/2)."""
+    momenta += (dt / 2.0) * action.force(gauge)
+    for step in range(n_steps):
+        _drift(gauge, momenta, dt)
+        if step < n_steps - 1:
+            momenta += dt * action.force(gauge)
+    momenta += (dt / 2.0) * action.force(gauge)
+
+
+def omelyan(
+    gauge: GaugeField,
+    momenta: np.ndarray,
+    action: WilsonGaugeAction,
+    n_steps: int,
+    dt: float,
+    lam: float = OMELYAN_LAMBDA,
+) -> None:
+    """Position-version Omelyan (2MN) integrator."""
+    for _ in range(n_steps):
+        _drift(gauge, momenta, lam * dt)
+        momenta += (dt / 2.0) * action.force(gauge)
+        _drift(gauge, momenta, (1.0 - 2.0 * lam) * dt)
+        momenta += (dt / 2.0) * action.force(gauge)
+        _drift(gauge, momenta, lam * dt)
+
+
+IntegratorFn = Callable[[GaugeField, np.ndarray, WilsonGaugeAction, int, float], None]
+
+INTEGRATORS: Dict[str, IntegratorFn] = {
+    "leapfrog": leapfrog,
+    "omelyan": omelyan,
+}

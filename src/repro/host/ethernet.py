@@ -1,0 +1,156 @@
+"""The Ethernet service network: host, switches, hubs, node ports.
+
+Topology (paper sections 2.3-2.4, figure 2): each daughterboard carries a
+5-port Ethernet hub serving its two nodes; motherboards hub those up; the
+host connects "via multiple Gigabit Ethernet links".  We model the tree as
+store-and-forward segments: a datagram pays serialisation on the 100 Mbit
+node segment, a per-hop switch latency for each level of the tree, and
+serialisation on the host's Gigabit segment; segments are half-duplex
+resources so concurrent boot traffic contends realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.sim.core import Event, Simulator
+from repro.util.errors import ConfigError
+from repro.util.units import MB, US
+
+Address = Union[str, int]  # "host" or a node id
+
+#: standard UDP-over-Ethernet overhead: 14 (eth) + 20 (IP) + 8 (UDP) bytes
+UDP_OVERHEAD_BYTES = 42
+#: conventional MTU payload
+MAX_PAYLOAD_BYTES = 1458
+
+
+@dataclass
+class UdpDatagram:
+    """One UDP packet on the service network."""
+
+    src: Address
+    dst: Address
+    port: int
+    payload: object  # opaque to the network (commands, code blocks, ...)
+    nbytes: int = 256
+
+    def wire_bytes(self) -> int:
+        return self.nbytes + UDP_OVERHEAD_BYTES
+
+
+class _Segment:
+    """A half-duplex link with serialisation and store-and-forward."""
+
+    def __init__(self, sim: Simulator, bandwidth: float, latency: float):
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._busy_until = 0.0
+        self.bytes_carried = 0
+
+    def occupy(self, nbytes: int) -> float:
+        """Reserve the segment; returns the absolute delivery time."""
+        start = max(self.sim.now, self._busy_until)
+        end = start + nbytes / self.bandwidth
+        self._busy_until = end
+        self.bytes_carried += nbytes
+        return end + self.latency
+
+
+class EthernetFabric:
+    """The whole service tree: one node segment per node, shared host links.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of node ports.
+    host_links:
+        Number of Gigabit links from the host into the switch layer —
+        "the physical connection to QCDOC is via multiple Gigabit Ethernet
+        links"; node traffic is spread across them round-robin.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        host_links: int = 4,
+        node_bandwidth: float = 100e6 / 8,  # 100 Mbit
+        host_bandwidth: float = 1e9 / 8,  # Gigabit
+        hop_latency: float = 5 * US,
+        tree_depth: int = 3,  # daughterboard hub, motherboard hub, switch
+    ):
+        if n_nodes < 1 or host_links < 1:
+            raise ConfigError("need at least one node and one host link")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.tree_depth = tree_depth
+        self.hop_latency = hop_latency
+        self.node_segments = [
+            _Segment(sim, node_bandwidth, 0.0) for _ in range(n_nodes)
+        ]
+        self.host_segments = [
+            _Segment(sim, host_bandwidth, 0.0) for _ in range(host_links)
+        ]
+        self._receivers: Dict[Address, Callable[[UdpDatagram], None]] = {}
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, address: Address, receiver: Callable[[UdpDatagram], None]):
+        self._receivers[address] = receiver
+
+    def _host_segment_for(self, node: int) -> _Segment:
+        return self.host_segments[node % len(self.host_segments)]
+
+    # -- transport ------------------------------------------------------------
+    def send(self, dgram: UdpDatagram) -> Event:
+        """Route a datagram; the event succeeds at delivery time.
+
+        Unknown destinations count as drops (UDP semantics: no error to
+        the sender) — the returned event still completes, with ``False``.
+        """
+        if dgram.nbytes > MAX_PAYLOAD_BYTES:
+            raise ConfigError(
+                f"payload {dgram.nbytes} exceeds MTU {MAX_PAYLOAD_BYTES}"
+            )
+        done = self.sim.event()
+        wire = dgram.wire_bytes()
+
+        # Path: src segment -> tree hops -> dst segment.
+        t = self.sim.now
+        segs: List[_Segment] = []
+        if isinstance(dgram.src, int):
+            segs.append(self.node_segments[dgram.src])
+        else:
+            node = dgram.dst if isinstance(dgram.dst, int) else 0
+            segs.append(self._host_segment_for(node))
+        if isinstance(dgram.dst, int):
+            segs.append(self.node_segments[dgram.dst])
+        else:
+            node = dgram.src if isinstance(dgram.src, int) else 0
+            segs.append(self._host_segment_for(node))
+
+        delivery = self.sim.now
+        for seg in segs:
+            delivery = max(delivery, seg.occupy(wire))
+        delivery += self.tree_depth * self.hop_latency
+
+        def arrive():
+            receiver = self._receivers.get(dgram.dst)
+            if receiver is None:
+                self.packets_dropped += 1
+                done.succeed(False)
+                return
+            self.packets_delivered += 1
+            receiver(dgram)
+            done.succeed(True)
+
+        self.sim.schedule(delivery - self.sim.now, arrive)
+        return done
+
+    def broadcast_to_nodes(self, make_dgram: Callable[[int], UdpDatagram]) -> List[Event]:
+        """Send one datagram per node (boot fan-out)."""
+        return [self.send(make_dgram(n)) for n in range(self.n_nodes)]

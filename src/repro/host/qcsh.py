@@ -1,0 +1,124 @@
+"""qcsh: the user command interface (paper section 3.1).
+
+"The command line interface to QCDOC is a modified UNIX tcsh, which we call
+the qcsh.  The qcsh runs with the UID of the application programmer,
+gathers commands to send to the qdaemon and manages the returning data
+stream.  A subprocess of the qcsh is also available to the qdaemon, so the
+qdaemon can request files on the host to be opened and they will have the
+permissions and protections of the application programmer."
+
+This is the programmatic analogue: a per-user session holding the user's
+allocations and a host-side file area opened *with the user's identity*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.host.qdaemon import Allocation, Qdaemon
+from repro.util.errors import MachineError
+
+
+class Qcsh:
+    """One user's shell session against a qdaemon."""
+
+    def __init__(self, qdaemon: Qdaemon, user: str):
+        self.qdaemon = qdaemon
+        self.user = user
+        self.history: List[str] = []
+        self.output: List[str] = []
+        #: host files opened on the user's behalf, with the user's identity
+        self.files: Dict[str, List[str]] = {}
+        self._current: Optional[Allocation] = None
+
+    # -- commands ------------------------------------------------------------
+    def alloc(self, groups, origin=None, extents=None, require_periodic=True) -> Allocation:
+        """``qalloc``: request a partition remapped to the given shape."""
+        self.history.append(f"alloc {groups}")
+        self._current = self.qdaemon.allocate(
+            self.user, groups, origin=origin, extents=extents,
+            require_periodic=require_periodic,
+        )
+        dims = "x".join(map(str, self._current.partition.logical_dims))
+        self.output.append(f"allocated job {self._current.job_id}: {dims}")
+        return self._current
+
+    def run(self, program: Callable, max_time: float = 100.0, **kwargs) -> List[object]:
+        """``qrun``: start an application on the current allocation."""
+        self.history.append("run")
+        if self._current is None:
+            raise MachineError("no allocation; run alloc first")
+        results = self.qdaemon.run_job(
+            self._current, program, max_time=max_time, **kwargs
+        )
+        self.output.append(f"job {self._current.job_id} finished")
+        return results
+
+    def free(self) -> None:
+        """``qfree``: release the current allocation."""
+        self.history.append("free")
+        if self._current is not None:
+            self.qdaemon.release(self._current)
+            self.output.append(f"released job {self._current.job_id}")
+            self._current = None
+
+    def status(self) -> Dict[str, object]:
+        """``qstat``: machine health as the daemon sees it."""
+        self.history.append("status")
+        return {
+            "machine_size": self.qdaemon.machine_size,
+            "healthy": len(self.qdaemon.healthy_nodes()),
+            "failed": self.qdaemon.failed_nodes(),
+            "active_jobs": sum(a.active for a in self.qdaemon.allocations),
+        }
+
+    # -- the tcsh-style text interface ---------------------------------------
+    def execute(self, line: str) -> str:
+        """Parse and run one shell command line.
+
+        Supported commands (the tcsh-modification's vocabulary):
+
+        * ``qalloc <groups>`` — groups are space-separated, axes within a
+          group comma-separated, e.g. ``qalloc 0 1 2,3 4,5`` for a
+          4-dimensional machine folding axes (2,3) and (4,5);
+        * ``qstat`` — machine status;
+        * ``qfree`` — release the current allocation;
+        * ``qhist`` — command history.
+        """
+        parts = line.strip().split()
+        if not parts:
+            return ""
+        cmd, args = parts[0], parts[1:]
+        if cmd == "qalloc":
+            if not args:
+                raise MachineError("qalloc needs group specs, e.g. 'qalloc 0 1 2,3'")
+            groups = [tuple(int(a) for a in g.split(",")) for g in args]
+            alloc = self.alloc(groups)
+            dims = "x".join(map(str, alloc.partition.logical_dims))
+            return f"job {alloc.job_id}: {dims}"
+        if cmd == "qstat":
+            st = self.status()
+            return (
+                f"machine {'x'.join(map(str, st['machine_size']))}: "
+                f"{st['healthy']} healthy, {len(st['failed'])} failed, "
+                f"{st['active_jobs']} active jobs"
+            )
+        if cmd == "qfree":
+            self.free()
+            return "freed"
+        if cmd == "qhist":
+            return "\n".join(self.history)
+        raise MachineError(f"qcsh: unknown command {cmd!r}")
+
+    # -- the host-file subprocess -------------------------------------------------
+    def open_file(self, path: str) -> List[str]:
+        """Open (create) a host file with this user's permissions.
+
+        Node kernels write application output here via the daemon — the
+        mechanism behind "returning application output to the user".
+        """
+        key = f"{self.user}:{path}"
+        return self.files.setdefault(key, [])
+
+    def append_output(self, path: str, line: str) -> None:
+        self.open_file(path).append(line)

@@ -1,0 +1,240 @@
+"""The qdaemon: host-side machine management (paper section 3.1).
+
+"Our primary host software is called the qdaemon.  This software is
+responsible for booting QCDOC, coordinating the initialization of the
+various networks, keeping track of the status of the nodes (including
+hardware problems), allocating user partitions of QCDOC, loading and
+starting execution of applications, and returning application output to the
+user."
+
+The daemon is "heavily threaded"; here each node's boot conversation is an
+independent simulation process, so boots overlap exactly the way threads
+over UDP sockets would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.host.boot import (
+    BOOT_KERNEL_BLOCKS,
+    LOADER_UDP_PORT,
+    RUN_KERNEL_BLOCKS,
+    STATUS_UDP_PORT,
+    BootState,
+    NodeBootAgent,
+)
+from repro.host.ethernet import EthernetFabric, UdpDatagram
+from repro.host.jtag import JTAG_UDP_PORT, JtagCommand, JtagOp
+from repro.machine.machine import QCDOCMachine
+from repro.machine.topology import Partition
+from repro.sim.core import Event
+from repro.util.errors import MachineError
+
+
+@dataclass
+class Allocation:
+    """One user partition handed out by the daemon."""
+
+    job_id: int
+    user: str
+    partition: Partition
+    active: bool = True
+
+
+class Qdaemon:
+    """Host daemon bound to one simulated machine.
+
+    Parameters
+    ----------
+    machine:
+        The :class:`QCDOCMachine` being managed.
+    faulty_nodes:
+        Node ids whose hardware self-test fails (status-tracking tests).
+    """
+
+    def __init__(
+        self,
+        machine: QCDOCMachine,
+        host_links: int = 4,
+        faulty_nodes: Sequence[int] = (),
+    ):
+        self.machine = machine
+        self.sim = machine.sim
+        self.fabric = EthernetFabric(
+            self.sim, machine.n_nodes, host_links=host_links
+        )
+        self.agents: Dict[int, NodeBootAgent] = {
+            i: NodeBootAgent(
+                self.sim, i, self.fabric, hw_ok=(i not in set(faulty_nodes))
+            )
+            for i in range(machine.n_nodes)
+        }
+        self.node_status: Dict[int, str] = {}
+        self.allocations: List[Allocation] = []
+        self._job_counter = 0
+        self.output_log: List[Tuple[float, str]] = []
+        self.booted = False
+        self.fabric.attach("host", self._on_datagram)
+
+    # -- host-side receive -----------------------------------------------------
+    def _on_datagram(self, dgram: UdpDatagram) -> None:
+        if dgram.port == STATUS_UDP_PORT:
+            node_id, text = dgram.payload
+            self.node_status[node_id] = text
+
+    # -- booting ---------------------------------------------------------------
+    def _boot_one(self, node_id: int):
+        send = self.fabric.send
+
+        def jtag(cmd: JtagCommand, nbytes: int = 256) -> Event:
+            return send(
+                UdpDatagram("host", node_id, JTAG_UDP_PORT, cmd, nbytes)
+            )
+
+        # Stage 1 over Ethernet/JTAG: reset, ~100 packets of boot kernel
+        # written straight into the instruction cache, then start.
+        yield jtag(JtagCommand(JtagOp.RESET))
+        for block in range(BOOT_KERNEL_BLOCKS):
+            yield jtag(
+                JtagCommand(JtagOp.WRITE_ICACHE, address=block, data=f"bk{block}"),
+                nbytes=1024,
+            )
+        yield jtag(JtagCommand(JtagOp.START))
+
+        # Wait for the boot kernel's hardware self-test verdict.
+        while self.node_status.get(node_id) not in ("boot-kernel-up", "hw-fail"):
+            yield self.sim.timeout(50e-6)
+        if self.node_status[node_id] == "hw-fail":
+            return False
+
+        # Stage 2 over the standard 100 Mbit port: the run kernel.
+        for block in range(RUN_KERNEL_BLOCKS):
+            yield send(
+                UdpDatagram(
+                    "host",
+                    node_id,
+                    LOADER_UDP_PORT,
+                    ("block", block, f"rk{block}"),
+                    nbytes=1400,
+                )
+            )
+        yield send(
+            UdpDatagram("host", node_id, LOADER_UDP_PORT, ("complete", -1, None), nbytes=64)
+        )
+        while self.node_status.get(node_id) != "run-kernel-up":
+            yield self.sim.timeout(50e-6)
+        return True
+
+    def boot(self) -> Dict[int, bool]:
+        """Boot every node (concurrently), then bring up the mesh.
+
+        Returns per-node success.  After this, surviving nodes talk RPC
+        and the SCU network is trained ("the run kernel initializes the
+        SCU controllers and the mesh network"), the partition-interrupt
+        path is checked, and the 6-dimensional machine size known.
+        """
+        procs = {
+            i: self.sim.process(self._boot_one(i), name=f"boot{i}")
+            for i in self.agents
+        }
+        done = self.sim.all_of(list(procs.values()))
+        self.sim.run(until=done)
+        results = {i: bool(p.value) for i, p in procs.items()}
+
+        # Run kernels collectively train the mesh links...
+        self.sim.run(until=self.machine.network.train_all())
+        self.machine._booted = True
+        # ...and check the partition-interrupt functionality end to end.
+        self.machine.raise_partition_interrupt(0, 0b1)
+        self.sim.run()
+        irq_ok = all(
+            ctrl.presented_bits & 0b1 for ctrl in self.machine.interrupts.values()
+        )
+        if not irq_ok:
+            raise MachineError("partition interrupt check failed during boot")
+        for ctrl in self.machine.interrupts.values():
+            ctrl.clear()
+        self.booted = True
+        return results
+
+    @property
+    def machine_size(self) -> Tuple[int, ...]:
+        """The six-dimensional size the run kernel determines."""
+        return self.machine.topology.dims
+
+    # -- partition allocation ---------------------------------------------------
+    def allocate(
+        self,
+        user: str,
+        groups: Sequence[Sequence[int]],
+        origin: Optional[Sequence[int]] = None,
+        extents: Optional[Sequence[int]] = None,
+        require_periodic: bool = True,
+    ) -> Allocation:
+        """Carve out a user partition; refuses overlap with active jobs."""
+        if not self.booted:
+            raise MachineError("machine not booted")
+        partition = self.machine.partition(
+            groups, origin=origin, extents=extents, require_periodic=require_periodic
+        )
+        new_nodes = {
+            partition.physical_node(r) for r in range(partition.n_nodes)
+        }
+        for alloc in self.allocations:
+            if not alloc.active:
+                continue
+            held = {
+                alloc.partition.physical_node(r)
+                for r in range(alloc.partition.n_nodes)
+            }
+            if held & new_nodes:
+                raise MachineError(
+                    f"allocation overlaps active job {alloc.job_id} "
+                    f"({len(held & new_nodes)} shared nodes)"
+                )
+        self._job_counter += 1
+        alloc = Allocation(self._job_counter, user, partition)
+        self.allocations.append(alloc)
+        return alloc
+
+    def release(self, alloc: Allocation) -> None:
+        alloc.active = False
+
+    # -- job execution --------------------------------------------------------
+    def run_job(
+        self,
+        alloc: Allocation,
+        program: Callable[..., object],
+        max_time: float = 100.0,
+        **kwargs,
+    ) -> List[object]:
+        """Load and start an application on a user partition.
+
+        Returns the per-rank results; the application's summary line is
+        appended to the output stream returned to the user (via qcsh).
+        """
+        if not alloc.active:
+            raise MachineError(f"job {alloc.job_id} was released")
+        results = m_results = self.machine.run_partition(
+            alloc.partition, program, max_time=max_time, **kwargs
+        )
+        self.output_log.append(
+            (self.sim.now, f"job {alloc.job_id} ({alloc.user}): completed "
+             f"{alloc.partition.n_nodes} ranks")
+        )
+        return results
+
+    # -- status ------------------------------------------------------------
+    def healthy_nodes(self) -> List[int]:
+        return [
+            i
+            for i, agent in self.agents.items()
+            if agent.state == BootState.RUN_KERNEL
+        ]
+
+    def failed_nodes(self) -> List[int]:
+        return [
+            i for i, agent in self.agents.items() if agent.state == BootState.FAILED
+        ]

@@ -1,0 +1,5 @@
+"""The node run kernel (paper section 3.2)."""
+
+from repro.kernel.kernel import RunKernel, Syscall, ThreadState
+
+__all__ = ["RunKernel", "Syscall", "ThreadState"]

@@ -1,0 +1,185 @@
+"""The lean, home-grown node run kernel.
+
+Paper section 3.2: "Our node run kernels provide essentially two threads —
+a kernel thread and an application thread.  For QCD, we have no reason to
+multitask on the node level, so the run kernels do not do any scheduling.
+... Once a user application is started, the thread switches to the
+application, until a system call is made by the application.  The kernel
+services this request and then returns control to the application thread.
+Upon program termination, the kernel thread is reinvoked and it checks on
+hardware status and reports back to the qdaemon and user."
+
+Also modelled: the custom UDP sockets interface, NFS-mounted host files
+(applications "write directly to the host disk system"), and the PPC 440
+memory protection used "to protect memory from unintended access, but not
+to translate addresses" — which is what lets the SCU DMA run zero-copy
+without page-table-walk hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.machine.node import Node
+from repro.sim.core import Event, Simulator
+from repro.util.errors import MachineError
+from repro.util.units import US
+
+#: fixed syscall entry/exit cost (thread switch + dispatch)
+SYSCALL_OVERHEAD = 2 * US
+
+
+class ThreadState(Enum):
+    KERNEL = auto()
+    APPLICATION = auto()
+
+
+@dataclass
+class Syscall:
+    """A serviced system-call record (for accounting/tests)."""
+
+    name: str
+    time: float
+    detail: str = ""
+
+
+class RunKernel:
+    """Per-node kernel instance.
+
+    Parameters
+    ----------
+    host_files:
+        The NFS-mounted host directory: ``path -> list of lines`` (shared
+        with the host side, typically a :class:`~repro.host.qcsh.Qcsh`
+        file area).
+    on_report:
+        Called with ``(node_id, status_text)`` when the kernel thread
+        reports after application termination.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        host_files: Optional[Dict[str, List[str]]] = None,
+        on_report: Optional[Callable[[int, str], None]] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.thread = ThreadState.KERNEL
+        self.host_files = host_files if host_files is not None else {}
+        self.on_report = on_report
+        self.syscalls: List[Syscall] = []
+        self.thread_switches = 0
+        self.stdout: List[str] = []
+        self._protected: set = set()
+        self.app_running = False
+
+    # -- thread model ----------------------------------------------------------
+    def _enter_kernel(self) -> None:
+        if self.thread != ThreadState.KERNEL:
+            self.thread = ThreadState.KERNEL
+            self.thread_switches += 1
+
+    def _enter_application(self) -> None:
+        if self.thread != ThreadState.APPLICATION:
+            self.thread = ThreadState.APPLICATION
+            self.thread_switches += 1
+
+    def run_application(self, app_gen) -> Event:
+        """Run an application generator under the two-thread discipline.
+
+        The application yields ordinary simulation events (comms, compute,
+        syscalls); on termination the kernel thread is re-entered, checks
+        hardware status and reports to the qdaemon.
+        """
+        if self.app_running:
+            raise MachineError("run kernels do not multitask: app already running")
+        self.app_running = True
+
+        def wrapper():
+            self._enter_application()
+            try:
+                result = yield from app_gen
+            finally:
+                # "Upon program termination, the kernel thread is
+                # reinvoked and it checks on hardware status and reports."
+                self._enter_kernel()
+                self.app_running = False
+                status = self.hardware_status()
+                if self.on_report is not None:
+                    self.on_report(self.node.node_id, status)
+            return result
+
+        return self.sim.process(wrapper(), name=f"app@{self.node.node_id}")
+
+    # -- system calls -----------------------------------------------------------
+    def syscall(self, name: str, *args) -> Event:
+        """Service a system call: kernel thread runs, then control returns.
+
+        Returns an event yielding the syscall's result.
+        """
+        self._enter_kernel()
+        done = self.sim.event()
+
+        def service():
+            try:
+                result = self._dispatch(name, *args)
+            except MachineError as exc:
+                # The error is delivered to the application at its yield
+                # point, not crashed into the kernel.
+                self.syscalls.append(Syscall(name, self.sim.now, "error"))
+                self._enter_application()
+                done.fail(exc)
+                return
+            self.syscalls.append(Syscall(name, self.sim.now))
+            self._enter_application()
+            done.succeed(result)
+
+        self.sim.schedule(SYSCALL_OVERHEAD, service)
+        return done
+
+    def _dispatch(self, name: str, *args):
+        if name == "write_stdout":
+            (line,) = args
+            self.stdout.append(str(line))
+            return len(self.stdout)
+        if name == "nfs_open":
+            (path,) = args
+            return self.host_files.setdefault(path, [])
+        if name == "nfs_write":
+            path, line = args
+            self.host_files.setdefault(path, []).append(str(line))
+            return True
+        if name == "nfs_read":
+            (path,) = args
+            if path not in self.host_files:
+                raise MachineError(f"NFS: no such file {path!r}")
+            return list(self.host_files[path])
+        if name == "time":
+            return self.sim.now
+        if name == "hw_status":
+            return self.hardware_status()
+        raise MachineError(f"unknown system call {name!r}")
+
+    # -- memory protection ------------------------------------------------------
+    def protect(self, buffer_name: str) -> None:
+        """Mark a buffer kernel-only (no address translation involved)."""
+        self._protected.add(buffer_name)
+
+    def check_access(self, buffer_name: str) -> None:
+        """Application-side access check; raises on protected buffers."""
+        if self.thread == ThreadState.APPLICATION and buffer_name in self._protected:
+            raise MachineError(
+                f"memory protection violation: {buffer_name!r} is kernel-only"
+            )
+
+    # -- status ------------------------------------------------------------
+    def hardware_status(self) -> str:
+        """The kernel's end-of-run hardware report (SCU resend counters)."""
+        resends = sum(
+            u.resends for u in self.node.scu.send_units.values()
+        )
+        return f"ok resends={resends}" if resends == 0 else f"resends={resends}"

@@ -1,0 +1,204 @@
+"""Gauge fields: storage, starts, transport, plaquettes, staples.
+
+A :class:`GaugeField` holds one SU(3) matrix per (direction, site):
+``U[mu][x]`` transports colour from ``x`` to ``x + mu``.  All operations are
+batched over sites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.lattice.geometry import LatticeGeometry
+from repro.lattice.su3 import dagger, is_su3, project_su3, random_algebra, random_su3, expm_su3
+from repro.util.errors import ConfigError
+
+
+def cmatvec(u: np.ndarray, psi: np.ndarray) -> np.ndarray:
+    """Apply per-site colour matrices to a field with colour as last axis.
+
+    ``u`` is ``(V, 3, 3)``; ``psi`` is ``(V, ..., 3)`` (any spin axes in
+    between).  Returns ``(V, ..., 3)``.
+    """
+    return np.einsum("xab,x...b->x...a", u, psi)
+
+
+class GaugeField:
+    """SU(3) link variables on a :class:`LatticeGeometry`.
+
+    Parameters
+    ----------
+    geometry:
+        The (4-dimensional for QCD) lattice.
+    links:
+        Optional ``(ndim, V, 3, 3)`` complex array; defaults to the unit
+        (free-field) configuration.
+    """
+
+    def __init__(self, geometry: LatticeGeometry, links: Optional[np.ndarray] = None):
+        self.geometry = geometry
+        expected = (geometry.ndim, geometry.volume, 3, 3)
+        if links is None:
+            links = np.broadcast_to(
+                np.eye(3, dtype=np.complex128), expected
+            ).copy()
+        links = np.asarray(links, dtype=np.complex128)
+        if links.shape != expected:
+            raise ConfigError(
+                f"links shape {links.shape} does not match geometry {expected}"
+            )
+        self.links = links
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def unit(cls, geometry: LatticeGeometry) -> "GaugeField":
+        """Free field: every link is the identity."""
+        return cls(geometry)
+
+    @classmethod
+    def hot(cls, geometry: LatticeGeometry, rng: np.random.Generator) -> "GaugeField":
+        """Disordered start: every link independently Haar-random."""
+        n = geometry.ndim * geometry.volume
+        u = random_su3(rng, n).reshape(geometry.ndim, geometry.volume, 3, 3)
+        return cls(geometry, u)
+
+    @classmethod
+    def weak(
+        cls,
+        geometry: LatticeGeometry,
+        rng: np.random.Generator,
+        eps: float = 0.1,
+    ) -> "GaugeField":
+        """Links near the identity: ``U = exp(eps * random algebra)``.
+
+        Useful for perturbative checks (observables must approach their
+        free-field values as ``eps -> 0``).
+        """
+        n = geometry.ndim * geometry.volume
+        a = random_algebra(rng, n, scale=eps)
+        u = expm_su3(a).reshape(geometry.ndim, geometry.volume, 3, 3)
+        return cls(geometry, u)
+
+    def copy(self) -> "GaugeField":
+        return GaugeField(self.geometry, self.links.copy())
+
+    # -- basic properties -------------------------------------------------------
+    def __getitem__(self, mu: int) -> np.ndarray:
+        """The ``(V, 3, 3)`` link matrices in direction ``mu``."""
+        return self.links[mu]
+
+    @property
+    def nbytes(self) -> int:
+        return self.links.nbytes
+
+    def is_unitary(self, tol: float = 1e-10) -> bool:
+        return is_su3(self.links, tol)
+
+    def reunitarise(self) -> None:
+        """Project every link back onto SU(3) (drift control)."""
+        self.links = project_su3(self.links)
+
+    # -- transport ---------------------------------------------------------
+    def transport_fwd(self, mu: int, field: np.ndarray) -> np.ndarray:
+        """``U_mu(x) field(x + mu)`` — pull the forward neighbour back to x."""
+        fwd = self.geometry.neighbour_fwd(mu)
+        return cmatvec(self.links[mu], field[fwd])
+
+    def transport_bwd(self, mu: int, field: np.ndarray) -> np.ndarray:
+        """``U_mu(x - mu)^dagger field(x - mu)``."""
+        bwd = self.geometry.neighbour_bwd(mu)
+        return cmatvec(dagger(self.links[mu][bwd]), field[bwd])
+
+    # -- observables ---------------------------------------------------------
+    def plaquette_field(self, mu: int, nu: int) -> np.ndarray:
+        """``(V, 3, 3)`` plaquette matrices ``P_{mu nu}(x)``.
+
+        ``P = U_mu(x) U_nu(x+mu) U_mu(x+nu)^+ U_nu(x)^+``.
+        """
+        g = self.geometry
+        fmu, fnu = g.neighbour_fwd(mu), g.neighbour_fwd(nu)
+        u = self.links
+        return (
+            u[mu]
+            @ u[nu][fmu]
+            @ dagger(u[mu][fnu])
+            @ dagger(u[nu])
+        )
+
+    def plaquette(self) -> float:
+        """Average ``Re tr P / 3`` over all sites and ``mu < nu`` planes.
+
+        Equals 1 on the unit configuration; ~0 deep in the disordered phase.
+        This is the standard first observable of any lattice code and the
+        cheapest cross-check between serial and machine-distributed runs.
+        """
+        g = self.geometry
+        total = 0.0
+        nplanes = 0
+        for mu in range(g.ndim):
+            for nu in range(mu + 1, g.ndim):
+                p = self.plaquette_field(mu, nu)
+                total += float(np.einsum("xaa->", p).real)
+                nplanes += 1
+        return total / (3.0 * g.volume * nplanes)
+
+    def staple(self, mu: int) -> np.ndarray:
+        """``(V, 3, 3)`` sum of the 2(d-1) staples around link ``(x, mu)``.
+
+        The Wilson gauge action and its HMC force are
+        ``S = -(beta/3) sum Re tr[U_mu(x) V_mu(x)^+]`` with ``V`` this staple
+        sum (up staple + down staple per transverse direction).
+        """
+        g = self.geometry
+        u = self.links
+        fmu = g.neighbour_fwd(mu)
+        out = np.zeros((g.volume, 3, 3), dtype=np.complex128)
+        for nu in range(g.ndim):
+            if nu == mu:
+                continue
+            fnu = g.neighbour_fwd(nu)
+            bnu = g.neighbour_bwd(nu)
+            # up: U_nu(x+mu) U_mu(x+nu)^+ U_nu(x)^+  (dagger applied at end,
+            # so accumulate V with the convention S = U_nu(x) U_mu(x+nu) U_nu(x+mu)^+ ...)
+            out += u[nu][fmu] @ dagger(u[mu][fnu]) @ dagger(u[nu])
+            # down: U_nu(x+mu-nu)^+ U_mu(x-nu)^+ U_nu(x-nu)
+            out += dagger(u[nu][bnu][fmu]) @ dagger(u[mu][bnu]) @ u[nu][bnu]
+        return out
+
+    def clover_leaves(self, mu: int, nu: int) -> np.ndarray:
+        """``(V, 3, 3)`` sum of the four plaquette leaves in the
+        ``(mu, nu)`` plane around each site — the "clover".
+
+        The clover-improved Wilson operator (paper section 4 benchmarks it at
+        46.5% of peak) builds the field strength from
+        ``F_{mu nu} = (Q_{mu nu} - Q_{mu nu}^+) / 8`` with ``Q`` this sum.
+        """
+        g = self.geometry
+        u = self.links
+        fmu, fnu = g.neighbour_fwd(mu), g.neighbour_fwd(nu)
+        bmu, bnu = g.neighbour_bwd(mu), g.neighbour_bwd(nu)
+        # Leaf 1: x -> +mu -> +nu -> -mu -> -nu
+        q = u[mu] @ u[nu][fmu] @ dagger(u[mu][fnu]) @ dagger(u[nu])
+        # Leaf 2: x -> +nu -> -mu -> -nu -> +mu
+        q = q + u[nu] @ dagger(u[mu][bmu][fnu]) @ dagger(u[nu][bmu]) @ u[mu][bmu]
+        # Leaf 3: x -> -mu -> -nu -> +mu -> +nu
+        q = q + dagger(u[mu][bmu]) @ dagger(u[nu][bmu][bnu]) @ u[mu][bmu][bnu] @ u[nu][bnu]
+        # Leaf 4: x -> -nu -> +mu -> +nu -> -mu
+        q = q + dagger(u[nu][bnu]) @ u[mu][bnu] @ u[nu][bnu][fmu] @ dagger(u[mu])
+        return q
+
+    def field_strength(self, mu: int, nu: int) -> np.ndarray:
+        """Clover-discretised ``F_{mu nu}``: anti-hermitian, traceless part
+        of the leaf sum divided by 8 (lattice units, coupling absorbed)."""
+        q = self.clover_leaves(mu, nu)
+        f = (q - dagger(q)) / 8.0
+        tr = np.einsum("xaa->x", f) / 3.0
+        f[:, 0, 0] -= tr
+        f[:, 1, 1] -= tr
+        f[:, 2, 2] -= tr
+        return f
+
+    def __repr__(self) -> str:
+        return f"GaugeField(shape={self.geometry.shape})"

@@ -1,0 +1,38 @@
+"""The QCDOC machine model.
+
+A functional, timed simulation of the hardware described in paper section 2:
+
+* :mod:`~repro.machine.topology` — the six-dimensional torus and its
+  software partitioning/folding into 1-6 dimensional logical machines;
+* :mod:`~repro.machine.asic` — node parameters (PPC 440 + FPU, EDRAM,
+  DDR, link counts and framing) with the paper's published numbers;
+* :mod:`~repro.machine.memory` — prefetching EDRAM controller and DDR
+  controller timing;
+* :mod:`~repro.machine.packets` / :mod:`~repro.machine.hssl` — frame
+  formats (error-robust headers, parity) and the bit-serial link layer
+  (training, serialisation timing, fault injection);
+* :mod:`~repro.machine.scu` — the Serial Communications Unit: 12 send +
+  12 receive DMA engines, the three-in-the-air ack window, idle receive,
+  supervisor packets, link checksums;
+* :mod:`~repro.machine.interrupts` — partition interrupts flooding the
+  mesh under the slow global clock;
+* :mod:`~repro.machine.globalops` — pass-through global sums and
+  broadcasts (single and doubled mode);
+* :mod:`~repro.machine.node` / :mod:`~repro.machine.machine` — the node
+  (CPU + memory + SCU) and the whole-machine facade.
+"""
+
+from repro.machine.asic import ASICConfig, MachineConfig, PRESETS
+from repro.machine.topology import Partition, TorusTopology, fold_axes, snake_cycle
+from repro.machine.machine import QCDOCMachine
+
+__all__ = [
+    "ASICConfig",
+    "MachineConfig",
+    "PRESETS",
+    "TorusTopology",
+    "Partition",
+    "fold_axes",
+    "snake_cycle",
+    "QCDOCMachine",
+]

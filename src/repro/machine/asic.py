@@ -1,0 +1,194 @@
+"""Published QCDOC ASIC and machine parameters (paper sections 2.1-2.4).
+
+Every number here is taken from the paper:
+
+* PPC 440 core, 32-bit, with a 64-bit IEEE FPU doing one multiply and one
+  add per cycle -> **2 flops/cycle**, 1 Gflops peak at 500 MHz;
+* 32 kB instruction and data caches;
+* 4 MB on-chip EDRAM behind a prefetching controller with **two** streams,
+  1024-bit internal rows, a 128-bit processor connection at full clock
+  speed -> **8 GB/s** at 500 MHz;
+* external DDR SDRAM controller at **2.6 GB/s**, up to **2 GB**/node;
+* 12 nearest neighbours in the 6-torus, concurrent sends and receives ->
+  **24** independent unidirectional bit-serial links at the processor
+  clock; 64-bit payload framed with an 8-bit header (including two parity
+  bits) -> 72 bits/word, 1.3 GB/s aggregate at 500 MHz;
+* memory-to-memory nearest-neighbour latency ~**600 ns**;
+* packaging: 2 nodes/daughterboard (~20 W), 32 daughterboards/motherboard
+  (64 nodes as a 2^6 hypercube), 8 motherboards/crate, 2 crates/rack
+  (1024 nodes, <10 kW, 1 Tflops peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.util.errors import ConfigError
+from repro.util.units import GB, KB, MB, MHZ, NS
+
+
+@dataclass(frozen=True)
+class ASICConfig:
+    """Per-node hardware parameters."""
+
+    clock_hz: float = 500 * MHZ
+    flops_per_cycle: int = 2  # fused multiply + add units
+    icache_bytes: int = int(32 * KB)
+    dcache_bytes: int = int(32 * KB)
+
+    # -- memory system ------------------------------------------------------
+    edram_bytes: int = int(4 * MB)
+    edram_row_bits: int = 1024
+    edram_port_bits: int = 128  # processor connection, full clock speed
+    edram_prefetch_streams: int = 2
+    edram_latency: float = 80 * NS  # first-word access through the controller
+    ddr_bandwidth: float = 2.6 * GB
+    ddr_bytes: int = int(2 * GB)
+    ddr_latency: float = 120 * NS
+
+    # -- serial communications ---------------------------------------------
+    n_link_directions: int = 12  # nearest neighbours in the 6-torus
+    frame_header_bits: int = 8  # includes the two data-parity bits
+    frame_payload_bits: int = 64
+    ack_window_words: int = 3  # "three in the air"
+    idle_hold_words: int = 3  # idle-receive holding registers
+    #: fixed (non-serialisation) components of the first-word latency,
+    #: calibrated so the total nearest-neighbour memory-to-memory latency
+    #: is the paper's 600 ns at 500 MHz: DMA fetch 120 + SCU inject 96 +
+    #: wire 10 + SCU eject 110 + DMA store 120 = 456 ns; + 144 ns to
+    #: serialise one 72-bit frame = 600 ns.
+    dma_fetch_latency: float = 120 * NS
+    scu_inject_latency: float = 96 * NS
+    wire_latency: float = 10 * NS
+    scu_eject_latency: float = 110 * NS
+    dma_store_latency: float = 120 * NS
+    #: pass-through cut-through granularity for global operations: only
+    #: 8 bits are received before forwarding begins (paper section 2.2)
+    passthrough_bits: int = 8
+
+    # -- derived ------------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        return self.clock_hz * self.flops_per_cycle
+
+    @property
+    def cycle_time(self) -> float:
+        return 1.0 / self.clock_hz
+
+    @property
+    def edram_bandwidth(self) -> float:
+        """Port width x clock: 8 GB/s at 500 MHz."""
+        return (self.edram_port_bits / 8.0) * self.clock_hz
+
+    @property
+    def frame_bits(self) -> int:
+        return self.frame_header_bits + self.frame_payload_bits
+
+    @property
+    def word_serialisation_time(self) -> float:
+        """Time to clock one 72-bit frame onto the bit-serial wire."""
+        return self.frame_bits / self.clock_hz
+
+    @property
+    def link_bandwidth(self) -> float:
+        """Payload bytes/s of one unidirectional link."""
+        return (self.frame_payload_bits / 8.0) / self.word_serialisation_time
+
+    @property
+    def total_link_bandwidth(self) -> float:
+        """All 24 concurrent unidirectional links: 1.3 GB/s at 500 MHz."""
+        return 2 * self.n_link_directions * self.link_bandwidth
+
+    @property
+    def neighbour_latency(self) -> float:
+        """First-word memory-to-memory latency: 600 ns at 500 MHz."""
+        return (
+            self.dma_fetch_latency
+            + self.scu_inject_latency
+            + self.word_serialisation_time
+            + self.wire_latency
+            + self.scu_eject_latency
+            + self.dma_store_latency
+        )
+
+    @property
+    def passthrough_latency(self) -> float:
+        """Per-node forwarding latency in global (cut-through) mode."""
+        return self.passthrough_bits / self.clock_hz + self.wire_latency
+
+    def at_clock(self, clock_hz: float) -> "ASICConfig":
+        """The same ASIC run at a different clock (360/420/450 MHz tests)."""
+        if clock_hz <= 0:
+            raise ConfigError(f"bad clock {clock_hz}")
+        return replace(self, clock_hz=clock_hz)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Whole-machine packaging and composition parameters."""
+
+    asic: ASICConfig = field(default_factory=ASICConfig)
+    dims: Tuple[int, ...] = (2, 2, 2, 2, 2, 2)  # one motherboard
+
+    nodes_per_daughterboard: int = 2
+    daughterboards_per_motherboard: int = 32
+    motherboards_per_crate: int = 8
+    crates_per_rack: int = 2
+    #: "about 20 Watts for both nodes, including the DRAMs" (section 2.4);
+    #: the rack-level figure ("less than 10,000 watts" for 512 boards plus
+    #: motherboard overheads) pins the average slightly below 20.
+    daughterboard_power_watts: float = 18.5
+    rack_power_budget_watts: float = 10_000.0
+    rack_footprint_sqft: float = 6.0  # stacked water-cooled racks, ~60 sqft
+    # for 10k+ nodes (paper section 2.4)
+
+    @property
+    def n_nodes(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    @property
+    def nodes_per_motherboard(self) -> int:
+        return self.nodes_per_daughterboard * self.daughterboards_per_motherboard
+
+    @property
+    def nodes_per_rack(self) -> int:
+        return (
+            self.nodes_per_motherboard
+            * self.motherboards_per_crate
+            * self.crates_per_rack
+        )
+
+    @property
+    def peak_flops(self) -> float:
+        return self.n_nodes * self.asic.peak_flops
+
+    def power_watts(self) -> float:
+        """Machine power from the per-daughterboard figure."""
+        return (self.n_nodes / self.nodes_per_daughterboard) * (
+            self.daughterboard_power_watts
+        )
+
+
+#: Named configurations used throughout tests and benchmarks.
+PRESETS: Dict[str, MachineConfig] = {
+    # one motherboard: 64 nodes as a 2^6 hypercube (paper figure 4)
+    "motherboard-64": MachineConfig(dims=(2, 2, 2, 2, 2, 2)),
+    # the running 128-node benchmark machine (section 4) at 450 MHz
+    "benchmark-128": MachineConfig(
+        asic=ASICConfig().at_clock(450 * MHZ), dims=(2, 2, 2, 2, 2, 4)
+    ),
+    # the 512-node machine, validated at 360 MHz (section 4)
+    "columbia-512": MachineConfig(
+        asic=ASICConfig().at_clock(360 * MHZ), dims=(8, 4, 4, 2, 2, 1)
+    ),
+    # one water-cooled rack: 1024 nodes as 8x4x4x2x2x2 (section 4)
+    "rack-1024": MachineConfig(dims=(8, 4, 4, 2, 2, 2)),
+    # the $1.6M 4-rack machine under construction at Columbia
+    "columbia-4096": MachineConfig(dims=(8, 8, 4, 4, 2, 2)),
+    # the three 12,288-node 10+ Tflops machines (RBRC, UKQCD, US lattice)
+    "production-12288": MachineConfig(dims=(8, 8, 8, 6, 2, 2)),
+}

@@ -1,0 +1,152 @@
+"""HSSL: the bit-serial physical link layer.
+
+Paper section 2.2: "The fundamental physical link ... is a bit-serial
+connection between neighboring nodes ... run at the same clock speed as the
+processor.  When powered on and released from reset, these HSSL controllers
+transmit a known byte sequence between the sender and receiver on the link,
+establishing optimal times for sampling the incoming bit stream and
+determining where the byte boundaries are.  Once trained, the HSSL
+controllers exchange so-called idle bytes when data transmission is not
+being done."
+
+A :class:`SerialLink` is **unidirectional**; the mesh instantiates two per
+neighbour pair per axis.  It serialises frames one at a time (it is a single
+wire), delivers them after serialisation + time-of-flight, and can inject
+single-bit faults from a deterministic RNG stream for the resend-protocol
+experiments (E14).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.machine.asic import ASICConfig
+from repro.machine.packets import Frame, PacketType
+from repro.sim.core import Event, Simulator
+from repro.sim.trace import Trace
+from repro.util.errors import ProtocolError
+
+#: bytes in the training sequence (known pattern scanned for byte boundaries)
+TRAINING_BYTES = 256
+
+
+class SerialLink:
+    """One unidirectional bit-serial wire between two SCUs.
+
+    Parameters
+    ----------
+    bit_error_rate:
+        Probability per wire bit of a flip; applied per frame with a
+        deterministic RNG so fault-injection runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        asic: ASICConfig,
+        name: str = "link",
+        trace: Optional[Trace] = None,
+        error_rng: Optional[np.random.Generator] = None,
+        bit_error_rate: float = 0.0,
+    ):
+        self.sim = sim
+        self.asic = asic
+        self.name = name
+        self.trace = trace
+        self.error_rng = error_rng
+        self.bit_error_rate = float(bit_error_rate)
+        self.trained = False
+        self._receiver: Optional[Callable[[Frame], None]] = None
+        self._busy_until = 0.0
+        self.frames_sent = 0
+        self.bits_sent = 0
+        self.faults_injected = 0
+
+    # -- wiring -----------------------------------------------------------
+    def set_receiver(self, callback: Callable[[Frame], None]) -> None:
+        self._receiver = callback
+
+    # -- training -----------------------------------------------------------
+    def train(self) -> Event:
+        """Run the training byte exchange; succeeds when the link is usable."""
+        done = self.sim.event()
+        t = TRAINING_BYTES * 8 / self.asic.clock_hz
+
+        def finish():
+            self.trained = True
+            if self.trace is not None:
+                self.trace.emit("link.trained", link=self.name)
+            done.succeed()
+
+        self.sim.schedule(t, finish)
+        return done
+
+    @property
+    def training_time(self) -> float:
+        return TRAINING_BYTES * 8 / self.asic.clock_hz
+
+    # -- transmission ---------------------------------------------------------
+    def transmit(self, frame: Frame) -> Event:
+        """Serialise a frame onto the wire.
+
+        Returns an event that succeeds when the *sender* has finished
+        clocking the frame out (the wire is then free for the next frame).
+        Delivery to the receiver happens ``wire_latency`` later.
+        """
+        if not self.trained:
+            raise ProtocolError(f"{self.name}: transmit before HSSL training")
+        if self._receiver is None:
+            raise ProtocolError(f"{self.name}: no receiver attached")
+
+        bits = frame.wire_bits(
+            self.asic.frame_header_bits, self.asic.frame_payload_bits
+        )
+        start = max(self.sim.now, self._busy_until)
+        serialised = start + bits / self.asic.clock_hz
+        self._busy_until = serialised
+        self.frames_sent += 1
+        self.bits_sent += bits
+
+        if (
+            self.error_rng is not None
+            and self.bit_error_rate > 0.0
+            and frame.nwords > 0
+            and self.error_rng.random() < self.bit_error_rate * bits
+        ):
+            frame.corrupt_bit = int(self.error_rng.integers(0, bits))
+            self.faults_injected += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "link.fault", link=self.name, bit=frame.corrupt_bit, seq=frame.seq
+                )
+
+        done = self.sim.event()
+        self.sim.schedule(serialised - self.sim.now, done.succeed)
+        self.sim.schedule(
+            serialised - self.sim.now + self.asic.wire_latency,
+            self._deliver,
+            frame,
+        )
+        return done
+
+    def _deliver(self, frame: Frame) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                "link.deliver",
+                link=self.name,
+                ptype=frame.ptype.name,
+                seq=frame.seq,
+                nwords=frame.nwords,
+            )
+        self._receiver(frame)  # type: ignore[misc]
+
+    # -- idle keepalive ---------------------------------------------------------
+    def send_idle(self) -> Event:
+        """Transmit one idle frame (trained-link keepalive)."""
+        return self.transmit(Frame(PacketType.IDLE))
+
+    def __repr__(self) -> str:
+        return f"SerialLink({self.name}, trained={self.trained})"

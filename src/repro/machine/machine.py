@@ -1,0 +1,192 @@
+"""The whole-machine facade.
+
+``QCDOCMachine`` assembles topology, nodes, mesh network, global clock and
+interrupt controllers, and offers the operations the rest of the library
+(and the examples/benchmarks) build on:
+
+* :meth:`bring_up` — concurrent HSSL training of every link;
+* :meth:`partition` — software allocation + folding (paper section 2.2);
+* :meth:`run_partition` — execute one node program per logical rank and
+  drive the event simulation to completion;
+* :meth:`audit_checksums` — the end-of-run link-checksum comparison;
+* :meth:`raise_partition_interrupt` — the machine-wide stop mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.asic import MachineConfig
+from repro.machine.globalops import GlobalOpsEngine
+from repro.machine.interrupts import GlobalClock, InterruptController, safe_period
+from repro.machine.network import MeshNetwork
+from repro.machine.node import Node
+from repro.machine.topology import Partition, TorusTopology
+from repro.sim.core import Event, Process, Simulator
+from repro.sim.trace import Trace
+from repro.util.errors import MachineError
+from repro.util.rng import rng_stream
+
+
+class QCDOCMachine:
+    """A functional QCDOC machine of ``config.n_nodes`` simulated nodes.
+
+    Parameters
+    ----------
+    word_batch:
+        SCU frame batching (1 = word-exact protocol; larger values
+        accelerate big error-free transfers, see :mod:`repro.machine.scu`).
+    bit_error_rate:
+        Per-wire-bit fault probability for resend-protocol experiments.
+    compute_efficiency:
+        Fraction of FPU peak that :meth:`Node.compute` charges — lets a
+        benchmark model the measured sustained fraction without simulating
+        the PPC440 pipeline.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        word_batch: int = 1,
+        bit_error_rate: float = 0.0,
+        compute_efficiency: float = 1.0,
+        seed: int = 0,
+        trace: bool = False,
+    ):
+        self.config = config
+        self.asic = config.asic
+        self.sim = Simulator()
+        self.trace = Trace(self.sim) if trace else None
+        self.topology = TorusTopology(config.dims)
+        self.nodes: Dict[int, Node] = {
+            i: Node(
+                self.sim,
+                self.asic,
+                i,
+                trace=self.trace,
+                word_batch=word_batch,
+                compute_efficiency=compute_efficiency,
+            )
+            for i in range(self.topology.n_nodes)
+        }
+        error_rng = (
+            rng_stream(seed, "link-faults") if bit_error_rate > 0.0 else None
+        )
+        self.network = MeshNetwork(
+            self.sim,
+            self.asic,
+            self.topology,
+            self.nodes,
+            trace=self.trace,
+            error_rng=error_rng,
+            bit_error_rate=bit_error_rate,
+        )
+        diameter = sum(d // 2 for d in config.dims)
+        self.global_clock = GlobalClock(
+            self.sim, safe_period(self.asic, max(diameter, 1))
+        )
+        all_directions = [
+            self.topology.direction(a, s)
+            for a in range(self.topology.ndim)
+            if config.dims[a] > 1
+            for s in (+1, -1)
+        ]
+        self.interrupts: Dict[int, InterruptController] = {
+            i: InterruptController(
+                self.sim,
+                self.nodes[i].scu,
+                self.global_clock,
+                all_directions,
+                trace=self.trace,
+            )
+            for i in self.nodes
+        }
+        self._booted = False
+
+    # -- bring-up -----------------------------------------------------------
+    def bring_up(self) -> None:
+        """Train every HSSL link (run to completion)."""
+        done = self.network.train_all()
+        self.sim.run(until=done)
+        self._booted = True
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_nodes
+
+    @property
+    def peak_flops(self) -> float:
+        return self.config.peak_flops
+
+    # -- partitioning ---------------------------------------------------------
+    def partition(
+        self,
+        groups: Sequence[Sequence[int]],
+        origin: Optional[Sequence[int]] = None,
+        extents: Optional[Sequence[int]] = None,
+        require_periodic: bool = True,
+    ) -> Partition:
+        """Carve a logical machine out of the torus, in software.
+
+        Defaults to the full machine.  ``groups`` lists which physical axes
+        fold into each logical axis — e.g. on a 6-torus,
+        ``[(0,), (1,), (2,), (3, 4, 5)]`` makes a 4-dimensional machine
+        whose last axis serpentines through three physical axes.
+        """
+        if origin is None:
+            origin = (0,) * self.topology.ndim
+        if extents is None:
+            extents = self.topology.dims
+        return Partition(
+            self.topology, origin, extents, groups, require_periodic
+        )
+
+    def global_ops(self, partition: Partition, doubled: bool = True) -> GlobalOpsEngine:
+        """A global-sum/broadcast engine for one partition."""
+        return GlobalOpsEngine(
+            self.sim, self.asic, partition.logical_dims, doubled=doubled
+        )
+
+    # -- program execution ------------------------------------------------------
+    def run_partition(
+        self,
+        partition: Partition,
+        program: Callable[..., object],
+        max_time: float = 100.0,
+        **program_kwargs,
+    ) -> List[object]:
+        """Run ``program(api)`` on every logical rank of a partition.
+
+        ``program`` is a generator function taking a
+        :class:`repro.comms.api.CommsAPI`; the call returns the list of
+        per-rank return values (rank order).  The machine must be brought
+        up first.
+        """
+        from repro.comms.api import CommsAPI  # local import: layering
+
+        if not self._booted:
+            raise MachineError("bring_up() the machine before running programs")
+        engine = self.global_ops(partition)
+        processes: List[Process] = []
+        for rank in range(partition.n_nodes):
+            node = self.nodes[partition.physical_node(rank)]
+            api = CommsAPI(self, partition, engine, rank, node)
+            processes.append(
+                self.sim.process(program(api, **program_kwargs), name=f"rank{rank}")
+            )
+        done = self.sim.all_of(processes)
+        return self.sim.run(until=done, max_time=max_time)
+
+    # -- machine-wide services ---------------------------------------------------
+    def raise_partition_interrupt(self, node_id: int, bits: int) -> None:
+        self.interrupts[node_id].raise_irq(bits)
+
+    def audit_checksums(self) -> List[str]:
+        """End-of-run link checksum comparison (empty list = clean)."""
+        return self.network.audit_checksums()
+
+    def __repr__(self) -> str:
+        dims = "x".join(map(str, self.config.dims))
+        return f"QCDOCMachine({dims} = {self.n_nodes} nodes)"

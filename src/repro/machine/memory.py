@@ -1,0 +1,129 @@
+"""The ASIC memory system: prefetching EDRAM controller + DDR controller.
+
+Paper section 2.1: the PPC 440 data-cache connection goes first to a
+prefetching EDRAM controller and only then to the PLB.  The controller reads
+1024-bit EDRAM rows and feeds the processor 128-bit words at full clock
+speed (8 GB/s at 500 MHz), sustaining that bandwidth for up to **two**
+concurrent sequential streams ("for an operation a(x) x b(x) ... without
+suffering excessive page miss overheads").  More streams than that thrash
+rows and degrade toward the page-miss-dominated rate.  Off-chip DDR delivers
+2.6 GB/s.
+
+This module gives both an analytic timing model (used by
+:mod:`repro.perfmodel`) and event-simulation hooks (used by the SCU DMA
+engines through :class:`MemorySystem`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.machine.asic import ASICConfig
+from repro.sim.channel import Resource
+from repro.sim.core import Simulator
+from repro.util.errors import ConfigError
+
+Region = Literal["edram", "ddr"]
+
+
+@dataclass
+class AccessStats:
+    """Running totals kept by a :class:`MemorySystem`."""
+
+    edram_bytes: int = 0
+    ddr_bytes: int = 0
+    accesses: int = 0
+
+
+class MemoryModel:
+    """Pure timing model of the two memory regions (no simulator needed)."""
+
+    def __init__(self, asic: ASICConfig):
+        self.asic = asic
+
+    def bandwidth(self, region: Region, streams: int = 1) -> float:
+        """Sustained bytes/s for ``streams`` concurrent sequential streams.
+
+        EDRAM holds peak for <= ``edram_prefetch_streams`` streams; beyond
+        that each extra stream forces a row re-open per row's worth of
+        data, modelled as a proportional derating.  DDR is modelled flat
+        (its controller pipelines transactions; the 2.6 GB/s figure is the
+        sustained one the paper quotes).
+        """
+        if streams < 1:
+            raise ConfigError(f"streams must be >= 1, got {streams}")
+        if region == "edram":
+            peak = self.asic.edram_bandwidth
+            extra = max(0, streams - self.asic.edram_prefetch_streams)
+            # each excess stream costs a row-activate per row fetched:
+            # derate by row-transfer/(row-transfer + activate) per excess.
+            if extra == 0:
+                return peak
+            activate_penalty = 1.0 + 0.5 * extra
+            return peak / activate_penalty
+        if region == "ddr":
+            return self.asic.ddr_bandwidth
+        raise ConfigError(f"unknown memory region {region!r}")
+
+    def latency(self, region: Region) -> float:
+        if region == "edram":
+            return self.asic.edram_latency
+        if region == "ddr":
+            return self.asic.ddr_latency
+        raise ConfigError(f"unknown memory region {region!r}")
+
+    def access_time(self, nbytes: int, region: Region, streams: int = 1) -> float:
+        """First-word latency + streaming transfer time."""
+        if nbytes < 0:
+            raise ConfigError("negative byte count")
+        if nbytes == 0:
+            return 0.0
+        return self.latency(region) + nbytes / self.bandwidth(region, streams)
+
+    def residency(self, working_set_bytes: int) -> Region:
+        """Where a working set of the given size lives.
+
+        Paper section 4: "for most of the fermion formulations, a 6^4 local
+        volume still fits in our 4 Megabytes of imbedded memory.  For still
+        larger volumes ... performance figures fall to the range of 30%".
+        """
+        return "edram" if working_set_bytes <= self.asic.edram_bytes else "ddr"
+
+    def spill_fraction(self, working_set_bytes: int) -> float:
+        """Fraction of traffic served from DDR once EDRAM overflows.
+
+        The kernel keeps the hottest data (solver vectors) resident and
+        streams the overflow (typically the gauge field) from DDR.
+        """
+        if working_set_bytes <= self.asic.edram_bytes:
+            return 0.0
+        return 1.0 - self.asic.edram_bytes / working_set_bytes
+
+
+class MemorySystem:
+    """Event-simulation wrapper: a shared port with arbitration.
+
+    The SCU DMA engines and the CPU contend for the memory port (on real
+    silicon, for the PLB and the EDRAM controller).  ``transfer`` is a
+    process-style generator: ``yield from mem.transfer(...)``.
+    """
+
+    def __init__(self, sim: Simulator, asic: ASICConfig, ports: int = 2):
+        self.sim = sim
+        self.model = MemoryModel(asic)
+        self.port = Resource(sim, slots=ports)
+        self.stats = AccessStats()
+
+    def transfer(self, nbytes: int, region: Region = "edram", streams: int = 1):
+        """Occupy a memory port for the duration of an access (generator)."""
+        yield self.port.acquire()
+        try:
+            yield self.sim.timeout(self.model.access_time(nbytes, region, streams))
+            self.stats.accesses += 1
+            if region == "edram":
+                self.stats.edram_bytes += nbytes
+            else:
+                self.stats.ddr_bytes += nbytes
+        finally:
+            self.port.release()

@@ -1,0 +1,102 @@
+"""Wiring the torus: one SerialLink per (node, direction), fault injection,
+and the end-of-run checksum audit.
+
+"Only a two-dimensional slice of the SCU network can be easily
+represented" (paper figure 2) — here the full six-dimensional wiring is a
+dictionary keyed by ``(node, direction)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.asic import ASICConfig
+from repro.machine.hssl import SerialLink
+from repro.machine.node import Node
+from repro.machine.packets import Frame
+from repro.machine.topology import TorusTopology
+from repro.sim.core import Event, Simulator
+from repro.sim.trace import Trace
+
+
+class MeshNetwork:
+    """All physical links of the machine, attached to the nodes' SCUs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        asic: ASICConfig,
+        topology: TorusTopology,
+        nodes: Dict[int, Node],
+        trace: Optional[Trace] = None,
+        error_rng: Optional[np.random.Generator] = None,
+        bit_error_rate: float = 0.0,
+    ):
+        self.sim = sim
+        self.asic = asic
+        self.topology = topology
+        self.nodes = nodes
+        self.links: Dict[Tuple[int, int], SerialLink] = {}
+        for src, direction, dst in topology.links():
+            link = SerialLink(
+                sim,
+                asic,
+                name=f"n{src}.d{direction}->n{dst}",
+                trace=trace,
+                error_rng=error_rng,
+                bit_error_rate=bit_error_rate,
+            )
+            arrival = topology.opposite(direction)
+            link.set_receiver(self._make_receiver(dst, arrival))
+            nodes[src].scu.attach_link(direction, link)
+            self.links[(src, direction)] = link
+
+    def _make_receiver(self, dst: int, arrival_direction: int):
+        scu = self.nodes[dst].scu
+
+        def deliver(frame: Frame) -> None:
+            scu.on_frame(arrival_direction, frame)
+
+        return deliver
+
+    # -- bring-up ------------------------------------------------------------
+    def train_all(self) -> Event:
+        """Train every HSSL link; the returned event completes when all are
+        usable (they train concurrently, as after power-on)."""
+        events = [link.train() for link in self.links.values()]
+        return self.sim.all_of(events)
+
+    @property
+    def n_links(self) -> int:
+        return len(self.links)
+
+    # -- fault statistics ------------------------------------------------------
+    def total_faults_injected(self) -> int:
+        return sum(link.faults_injected for link in self.links.values())
+
+    def total_frames_sent(self) -> int:
+        return sum(link.frames_sent for link in self.links.values())
+
+    # -- the end-of-run confirmation (paper section 2.2) -------------------------
+    def audit_checksums(self) -> List[str]:
+        """Compare each link's send-side and receive-side checksums.
+
+        Returns a list of human-readable mismatch descriptions (empty on a
+        clean run).  "At the conclusion of a calculation, these checksums
+        can be compared.  This offers a final confirmation that no erroneous
+        data was exchanged."
+        """
+        mismatches = []
+        for (src, direction), _link in self.links.items():
+            dst = self.topology.neighbour_by_direction(src, direction)
+            arrival = self.topology.opposite(direction)
+            send_cs = self.nodes[src].scu.send_units[direction].checksum
+            recv_cs = self.nodes[dst].scu.recv_units[arrival].checksum
+            if not send_cs.matches(recv_cs):
+                mismatches.append(
+                    f"link n{src}.d{direction}->n{dst}: sent {send_cs!r} "
+                    f"!= received {recv_cs!r}"
+                )
+        return mismatches

@@ -1,0 +1,187 @@
+"""One QCDOC processing node: CPU + memory + SCU.
+
+A node is "a single custom ASIC ... plus DDR SDRAM" (abstract).  Here it
+bundles:
+
+* :class:`NodeMemory` — named buffers with a 64-bit-word view (the SCU DMA
+  engines address memory in 64-bit words) and EDRAM/DDR placement
+  accounting;
+* a CPU represented by whatever node *program* (generator) the kernel
+  runs, with :meth:`Node.compute` charging floating-point time at the
+  ASIC's peak rate scaled by an efficiency;
+* the node's :class:`~repro.machine.scu.SCU`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.asic import ASICConfig
+from repro.machine.memory import MemoryModel
+from repro.machine.scu import SCU
+from repro.sim.core import Event, Process, Simulator
+from repro.sim.trace import Trace
+from repro.util.errors import ConfigError, MachineError
+
+#: dtypes the word view supports (8-byte items, or complex = 2 x 8 bytes)
+_WORD_DTYPES = (np.float64, np.uint64, np.int64, np.complex128)
+
+
+class NodeMemory:
+    """Named buffers with SCU-addressable 64-bit word views."""
+
+    def __init__(self, asic: ASICConfig):
+        self.asic = asic
+        self.model = MemoryModel(asic)
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._regions: Dict[str, str] = {}
+
+    def alloc(
+        self, name: str, array: np.ndarray, region: Optional[str] = None
+    ) -> np.ndarray:
+        """Register (a copy of) an array as a named buffer.
+
+        ``region`` defaults to automatic placement: EDRAM while it fits,
+        DDR otherwise (the run kernel's policy).
+        """
+        if name in self._buffers:
+            raise MachineError(f"buffer {name!r} already allocated")
+        arr = np.ascontiguousarray(array)
+        if arr.dtype not in _WORD_DTYPES:
+            raise ConfigError(
+                f"buffer dtype {arr.dtype} is not 64-bit-word addressable"
+            )
+        if region is None:
+            region = (
+                "edram"
+                if self.edram_used + arr.nbytes <= self.asic.edram_bytes
+                else "ddr"
+            )
+        if region == "ddr" and self.ddr_used + arr.nbytes > self.asic.ddr_bytes:
+            raise MachineError("node DDR exhausted")
+        self._buffers[name] = arr
+        self._regions[name] = region
+        return arr
+
+    def zeros(
+        self, name: str, shape: Tuple[int, ...], dtype=np.complex128, region=None
+    ) -> np.ndarray:
+        return self.alloc(name, np.zeros(shape, dtype=dtype), region)
+
+    def free(self, name: str) -> None:
+        self._buffers.pop(name)
+        self._regions.pop(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise MachineError(f"no buffer named {name!r}") from None
+
+    def region(self, name: str) -> str:
+        return self._regions[name]
+
+    @property
+    def edram_used(self) -> int:
+        return sum(
+            b.nbytes for n, b in self._buffers.items() if self._regions[n] == "edram"
+        )
+
+    @property
+    def ddr_used(self) -> int:
+        return sum(
+            b.nbytes for n, b in self._buffers.items() if self._regions[n] == "ddr"
+        )
+
+    # -- the SCU's word-granular window -------------------------------------
+    def words(self, name: str) -> np.ndarray:
+        """The buffer as a flat uint64 word array (a view, zero copy)."""
+        buf = self.get(name)
+        if buf.dtype == np.complex128:
+            return buf.reshape(-1).view(np.float64).view(np.uint64)
+        return buf.reshape(-1).view(np.uint64)
+
+    def read_words(self, name: str, indices: np.ndarray) -> np.ndarray:
+        return self.words(name)[indices]
+
+    def write_words(self, name: str, indices: np.ndarray, values: np.ndarray) -> None:
+        self.words(name)[indices] = values
+
+    def word_count(self, name: str) -> int:
+        return self.words(name).size
+
+
+class Node:
+    """A processing node of the machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        asic: ASICConfig,
+        node_id: int,
+        trace: Optional[Trace] = None,
+        word_batch: int = 1,
+        compute_efficiency: float = 1.0,
+    ):
+        self.sim = sim
+        self.asic = asic
+        self.node_id = node_id
+        self.memory = NodeMemory(asic)
+        self.scu = SCU(
+            sim,
+            asic,
+            node_id,
+            memory_read=self.memory.read_words,
+            memory_write=self.memory.write_words,
+            trace=trace,
+            word_batch=word_batch,
+        )
+        self.compute_efficiency = compute_efficiency
+        self.flops_charged = 0.0
+        self.compute_time = 0.0
+        self.supervisor_events: list = []
+        self.scu.on_supervisor = self._on_supervisor
+        self._supervisor_waiters: list = []
+
+    # -- CPU time accounting -----------------------------------------------
+    def compute(self, flops: float) -> Event:
+        """Charge floating-point work at ``efficiency x peak`` rate.
+
+        Returns a timeout event the node program yields on; this is how
+        numpy-computed physics (instantaneous in wall-clock terms) is
+        given its simulated duration.
+        """
+        if flops < 0:
+            raise ConfigError("negative flop count")
+        duration = flops / (self.asic.peak_flops * self.compute_efficiency)
+        self.flops_charged += flops
+        self.compute_time += duration
+        return self.sim.timeout(duration)
+
+    @property
+    def sustained_flops(self) -> float:
+        """Average rate over elapsed simulation time (post-run query)."""
+        if self.sim.now == 0:
+            return 0.0
+        return self.flops_charged / self.sim.now
+
+    # -- supervisor interrupts ------------------------------------------------
+    def _on_supervisor(self, direction: int, word: int) -> None:
+        self.supervisor_events.append((self.sim.now, direction, word))
+        waiters, self._supervisor_waiters = self._supervisor_waiters, []
+        for ev in waiters:
+            ev.succeed((direction, word))
+
+    def wait_supervisor(self) -> Event:
+        """Event that fires on the next incoming supervisor packet."""
+        ev = self.sim.event()
+        self._supervisor_waiters.append(ev)
+        return ev
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id})"

@@ -1,0 +1,474 @@
+"""The Serial Communications Unit (SCU).
+
+Paper section 2.2.  Per node, the SCU manages 24 independent unidirectional
+connections (12 send + 12 receive), each with:
+
+* a **DMA engine** with block-strided access to local memory (zero copy:
+  "data is not copied to a different memory location before it is sent");
+* the **"three in the air"** protocol: up to three 64-bit words may be
+  outstanding before an acknowledgement arrives, amortising the round trip
+  while bounding receiver buffering;
+* **idle receive**: if data arrives before the receiving node has posted a
+  descriptor, the first three words are held in SCU registers *without*
+  acknowledgement, blocking the sender — so sends and receives need no
+  temporal ordering ("self-synchronizing on the individual link level");
+* **automatic resend** on any single-bit error (detected by the header
+  code / parity bits of :mod:`repro.machine.packets`), go-back-N within
+  the window;
+* **supervisor packets**: a single 64-bit word written into a register of
+  the neighbour's SCU, raising a CPU interrupt there;
+* per-end **checksums** compared at the end of a calculation.
+
+Simulation granularity: protocol-exact behaviour is per 64-bit word.  For
+large error-free transfers the unit can batch ``word_batch`` words per
+frame; the handshake then operates at batch granularity with the window
+scaled to one batch — semantics identical for error-free runs (used by the
+distributed-physics layer for speed; protocol tests run with
+``word_batch=1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.asic import ASICConfig
+from repro.machine.hssl import SerialLink
+from repro.machine.packets import Frame, LinkChecksum, PacketType, decode_header, encode_header
+from repro.sim.core import Event, Simulator
+from repro.sim.trace import Trace
+from repro.util.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class DmaDescriptor:
+    """Block-strided access pattern into a named local-memory buffer.
+
+    Words ``offset + b*stride + i`` for ``b in range(nblocks)``,
+    ``i in range(block_len)`` — the SCU hardware's native addressing, which
+    is exactly what lattice face extraction needs (contiguous runs of sites
+    separated by a fixed pitch).
+    """
+
+    buffer: str
+    block_len: int
+    nblocks: int = 1
+    stride: int = 0
+    offset: int = 0
+
+    def __post_init__(self):
+        if self.block_len < 1 or self.nblocks < 1 or self.offset < 0:
+            raise ProtocolError(f"bad DMA descriptor {self}")
+        if self.nblocks > 1 and self.stride < self.block_len:
+            raise ProtocolError(
+                f"overlapping DMA blocks: stride {self.stride} < block {self.block_len}"
+            )
+
+    @property
+    def total_words(self) -> int:
+        return self.block_len * self.nblocks
+
+    def indices(self) -> np.ndarray:
+        base = np.arange(self.block_len)
+        starts = self.offset + self.stride * np.arange(self.nblocks)
+        return (starts[:, None] + base[None, :]).reshape(-1)
+
+
+class _ControlPort:
+    """How send/recv units emit link-level control frames (ACK/RESEND).
+
+    Control frames travel on the reverse wire of the pair — i.e. this
+    node's *outgoing* link toward the same neighbour — sharing it with any
+    data flowing that way (the `SerialLink` busy-time serialises them).
+    """
+
+    def __init__(self, link_getter: Callable[[], Optional[SerialLink]]):
+        self._get = link_getter
+
+    def send(self, ptype: PacketType, seq: int) -> None:
+        link = self._get()
+        if link is None:
+            raise ProtocolError("control port has no reverse link attached")
+        link.transmit(Frame(ptype, seq=seq))
+
+
+class SendUnit:
+    """One direction's transmit DMA engine."""
+
+    def __init__(self, sim: Simulator, asic: ASICConfig, scu: "SCU", direction: int):
+        self.sim = sim
+        self.asic = asic
+        self.scu = scu
+        self.direction = direction
+        self.checksum = LinkChecksum()
+        self.word_batch = 1
+        self.active = False
+        self.words: Optional[np.ndarray] = None
+        self.base = 0  # oldest unacknowledged word
+        self.next = 0  # next word to transmit
+        self.done: Optional[Event] = None
+        self._wake: Optional[Event] = None
+        self.resends = 0
+
+    @property
+    def link(self) -> SerialLink:
+        link = self.scu.out_links.get(self.direction)
+        if link is None:
+            raise ProtocolError(
+                f"node {self.scu.node_id}: no link in direction {self.direction}"
+            )
+        return link
+
+    @property
+    def window(self) -> int:
+        return max(self.asic.ack_window_words, self.word_batch)
+
+    def start(self, words: np.ndarray, region: str = "edram") -> Event:
+        """Begin a DMA transfer of ``words`` (uint64) to the neighbour."""
+        if self.active:
+            raise ProtocolError(
+                f"send unit {self.direction} already has an active transfer"
+            )
+        self.active = True
+        self.words = np.ascontiguousarray(words, dtype=np.uint64)
+        self.base = 0
+        self.next = 0
+        self.resends = 0
+        self.done = self.sim.event()
+        self._region = region
+        self.sim.process(self._run(), name=f"send[{self.scu.node_id}:{self.direction}]")
+        return self.done
+
+    def _run(self):
+        # First-word path: DMA fetch from local memory + SCU injection.
+        yield self.sim.timeout(
+            self.asic.dma_fetch_latency + self.asic.scu_inject_latency
+        )
+        n = len(self.words)
+        sent_for_checksum = 0
+        while self.base < n:
+            in_flight = self.next - self.base
+            if self.next < n and in_flight < self.window:
+                batch = min(self.word_batch, n - self.next, self.window - in_flight)
+                chunk = self.words[self.next : self.next + batch]
+                frame = Frame(PacketType.NORMAL, chunk, seq=self.next)
+                self.next += batch
+                if self.next > sent_for_checksum:
+                    self.checksum.update(
+                        self.words[sent_for_checksum : self.next]
+                    )
+                    sent_for_checksum = self.next
+                yield self.link.transmit(frame)
+            else:
+                self._wake = self.sim.event()
+                yield self._wake
+        yield self.link.transmit(Frame(PacketType.EOT, seq=n))
+        self.active = False
+        self.done.succeed(n)
+
+    # -- control-frame handlers (called by the SCU dispatcher) -------------
+    def on_ack(self, seq: int) -> None:
+        if seq > self.base:
+            self.base = seq
+            self._wakeup()
+
+    def on_resend(self, seq: int) -> None:
+        """Receiver saw a corrupt word at ``seq``: go back and retransmit."""
+        if seq < self.next:
+            self.next = max(seq, self.base)
+            self.resends += 1
+            self._wakeup()
+
+    def _wakeup(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            wake, self._wake = self._wake, None
+            wake.succeed()
+
+
+class RecvUnit:
+    """One direction's receive DMA engine, with idle-receive holding."""
+
+    def __init__(self, sim: Simulator, asic: ASICConfig, scu: "SCU", direction: int):
+        self.sim = sim
+        self.asic = asic
+        self.scu = scu
+        self.direction = direction
+        self.checksum = LinkChecksum()
+        self.control = _ControlPort(lambda: scu.out_links.get(direction))
+        self.expected = 0  # next word sequence number we will accept
+        self.held: List[np.ndarray] = []  # idle-receive holding registers
+        self.held_words = 0
+        self.descriptor: Optional[DmaDescriptor] = None
+        self.total = 0
+        self.stored = 0
+        self.write_cursor = 0
+        self.done: Optional[Event] = None
+        self.word_batch = 1
+
+    def post(self, descriptor: DmaDescriptor) -> Event:
+        """Give the unit a destination; drains any idle-held words."""
+        if self.descriptor is not None or self.done is not None:
+            raise ProtocolError(
+                f"recv unit {self.direction} already has an active descriptor"
+            )
+        self.descriptor = descriptor
+        self._buffer_name = descriptor.buffer
+        self._indices = descriptor.indices()
+        self.total = descriptor.total_words
+        self.stored = 0
+        self.write_cursor = 0
+        self.done = self.sim.event()
+        if self.held:
+            held, self.held = self.held, []
+            self.held_words = 0
+            for chunk in held:
+                self._accept(chunk)
+        return self.done
+
+    def on_data(self, frame: Frame) -> None:
+        if frame.is_corrupt():
+            # Hardware detects the flip via header code or parity and
+            # requests a resend of the failed word ("automatic resend").
+            # No dedup: a duplicate RESEND only rewinds the sender within
+            # its (3-word) window, and suppression could deadlock when the
+            # same word is corrupted twice in a row.
+            self.control.send(PacketType.RESEND, frame.seq)
+            return
+        if frame.seq != self.expected:
+            if frame.seq > self.expected:
+                # Gap: an earlier word was rejected; re-request it.
+                self.control.send(PacketType.RESEND, self.expected)
+            else:
+                # Duplicate: re-ack so the sender's window advances.
+                self.control.send(PacketType.ACK, self.expected)
+            return
+        self.expected += frame.nwords
+        self.checksum.update(frame.words)
+        if self.descriptor is None:
+            # Idle receive: hold without acknowledging; the sender's
+            # window (3 words) stalls it until a descriptor is posted.
+            hold_cap = max(self.asic.idle_hold_words, self.word_batch)
+            if self.held_words + frame.nwords > hold_cap:
+                raise ProtocolError(
+                    f"idle-receive overflow on direction {self.direction}: "
+                    f"{self.held_words + frame.nwords} > {hold_cap} words; "
+                    "the sender violated the ack window"
+                )
+            self.held.append(frame.words)
+            self.held_words += frame.nwords
+        else:
+            self._accept(frame.words)
+
+    def on_eot(self, seq: int) -> None:
+        if self.descriptor is not None and self.stored != self.total and seq != self.total:
+            raise ProtocolError(
+                f"EOT at {seq} but descriptor expects {self.total} words"
+            )
+
+    def _accept(self, words: np.ndarray) -> None:
+        idx = self._indices[self.write_cursor : self.write_cursor + len(words)]
+        if len(idx) < len(words):
+            raise ProtocolError(
+                f"recv overrun: {len(words)} words but descriptor has "
+                f"{self.total - self.write_cursor} slots left"
+            )
+        self.scu.memory_write(self._buffer_name, idx, words)
+        self.write_cursor += len(words)
+        # Acknowledge acceptance (returns window credit to the sender).
+        self.control.send(PacketType.ACK, self.expected)
+        if self.write_cursor >= self.total:
+            # Wire-protocol side of this transfer is finished: rearm the
+            # sequence space so a back-to-back next transfer idle-receives
+            # correctly while the last words drain through the store pipe.
+            self.descriptor = None
+            self.expected = 0
+        # Eject + DMA store pipeline latency before the data is usable.
+        self.sim.schedule(
+            self.asic.scu_eject_latency + self.asic.dma_store_latency,
+            self._mark_stored,
+            len(words),
+        )
+
+    def _mark_stored(self, nwords: int) -> None:
+        self.stored += nwords
+        if self.stored >= self.total and self.done is not None:
+            done, self.done = self.done, None
+            done.succeed(self.total)
+
+
+class SCU:
+    """A node's full Serial Communications Unit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        asic: ASICConfig,
+        node_id: int,
+        memory_read: Callable[[str, np.ndarray], np.ndarray],
+        memory_write: Callable[[str, np.ndarray, np.ndarray], None],
+        trace: Optional[Trace] = None,
+        word_batch: int = 1,
+    ):
+        self.sim = sim
+        self.asic = asic
+        self.node_id = node_id
+        self.memory_read = memory_read
+        self.memory_write = memory_write
+        self.trace = trace
+        self.out_links: Dict[int, SerialLink] = {}
+        self.send_units: Dict[int, SendUnit] = {}
+        self.recv_units: Dict[int, RecvUnit] = {}
+        self.word_batch = max(1, int(word_batch))
+        self.supervisor_reg: Dict[int, int] = {}
+        self.on_supervisor: Optional[Callable[[int, int], None]] = None
+        self.on_partition_irq: Optional[Callable[[int, int], None]] = None
+        #: global-operation pass-through routing:
+        #: in_direction -> (out_directions, store_callback or None)
+        self._global_routes: Dict[int, Tuple[Tuple[int, ...], Optional[Callable]]] = {}
+        #: stored ("persistent") descriptors: (kind, direction) -> payload
+        self._stored: Dict[Tuple[str, int], object] = {}
+
+    # -- wiring ---------------------------------------------------------------
+    def attach_link(self, direction: int, link: SerialLink) -> None:
+        self.out_links[direction] = link
+        if direction not in self.send_units:
+            self.send_units[direction] = SendUnit(self.sim, self.asic, self, direction)
+            self.send_units[direction].word_batch = self.word_batch
+        if direction not in self.recv_units:
+            self.recv_units[direction] = RecvUnit(self.sim, self.asic, self, direction)
+            self.recv_units[direction].word_batch = self.word_batch
+
+    def on_frame(self, direction: int, frame: Frame) -> None:
+        """Dispatch a frame arriving from the neighbour in ``direction``."""
+        route = self._global_routes.get(direction)
+        if route is not None and frame.ptype == PacketType.NORMAL:
+            self._passthrough(direction, frame, route)
+            return
+        if frame.ptype == PacketType.NORMAL:
+            self._recv(direction).on_data(frame)
+        elif frame.ptype == PacketType.EOT:
+            self._recv(direction).on_eot(frame.seq)
+        elif frame.ptype == PacketType.ACK:
+            self._send(direction).on_ack(frame.seq)
+        elif frame.ptype == PacketType.RESEND:
+            self._send(direction).on_resend(frame.seq)
+        elif frame.ptype == PacketType.SUPERVISOR:
+            self._on_supervisor(direction, frame)
+        elif frame.ptype == PacketType.PARTITION_IRQ:
+            if self.on_partition_irq is not None:
+                self.on_partition_irq(direction, int(frame.words[0]) & 0xFF)
+        elif frame.ptype == PacketType.IDLE:
+            pass
+        else:
+            raise ProtocolError(f"unhandled frame type {frame.ptype}")
+
+    def _send(self, direction: int) -> SendUnit:
+        unit = self.send_units.get(direction)
+        if unit is None:
+            raise ProtocolError(f"no send unit for direction {direction}")
+        return unit
+
+    def _recv(self, direction: int) -> RecvUnit:
+        unit = self.recv_units.get(direction)
+        if unit is None:
+            raise ProtocolError(f"no recv unit for direction {direction}")
+        return unit
+
+    # -- data transfers -----------------------------------------------------
+    def send(self, direction: int, descriptor: DmaDescriptor) -> Event:
+        """Start a zero-copy DMA send of the described local memory."""
+        words = self.memory_read(descriptor.buffer, descriptor.indices())
+        return self._send(direction).start(words)
+
+    def recv(self, direction: int, descriptor: DmaDescriptor) -> Event:
+        """Post a receive destination (may be before or after the send)."""
+        return self._recv(direction).post(descriptor)
+
+    # -- persistent descriptors (paper section 3.3) ---------------------------
+    def store_descriptor(self, kind: str, direction: int, descriptor: DmaDescriptor) -> None:
+        """Store a DMA instruction in the SCU for repeated reuse."""
+        if kind not in ("send", "recv"):
+            raise ProtocolError(f"descriptor kind must be send/recv, got {kind!r}")
+        self._stored[(kind, direction)] = descriptor
+
+    def start_stored(self) -> Dict[Tuple[str, int], Event]:
+        """One write starts every stored transfer ("start up to 24
+        communications" with a single register write)."""
+        events = {}
+        for (kind, direction), desc in self._stored.items():
+            if kind == "send":
+                events[(kind, direction)] = self.send(direction, desc)
+            else:
+                events[(kind, direction)] = self.recv(direction, desc)
+        return events
+
+    # -- supervisor packets ---------------------------------------------------
+    def send_supervisor(self, direction: int, word: int) -> Event:
+        """Send one 64-bit word into the neighbour's SCU register + IRQ."""
+        frame = Frame(
+            PacketType.SUPERVISOR,
+            np.array([word], dtype=np.uint64),
+            seq=-1,
+        )
+        link = self.out_links.get(direction)
+        if link is None:
+            raise ProtocolError(f"no link in direction {direction}")
+        return link.transmit(frame)
+
+    def _on_supervisor(self, direction: int, frame: Frame) -> None:
+        word = int(frame.words[0])
+        self.supervisor_reg[direction] = word
+        if self.trace is not None:
+            self.trace.emit(
+                "scu.supervisor", node=self.node_id, direction=direction, word=word
+            )
+        if self.on_supervisor is not None:
+            self.on_supervisor(direction, word)
+
+    # -- partition interrupts --------------------------------------------------
+    def broadcast_partition_irq(self, bits: int, directions) -> None:
+        frame_word = np.array([bits & 0xFF], dtype=np.uint64)
+        for d in directions:
+            link = self.out_links.get(d)
+            if link is not None:
+                link.transmit(Frame(PacketType.PARTITION_IRQ, frame_word.copy()))
+
+    # -- global (pass-through) mode ----------------------------------------------
+    def set_global_route(
+        self,
+        in_direction: int,
+        out_directions: Tuple[int, ...],
+        store: Optional[Callable[[np.ndarray], None]] = None,
+    ) -> None:
+        """Route words arriving on one link out of others, cut-through.
+
+        Only ``passthrough_bits`` (8) are received before forwarding starts,
+        "markedly reducing the latency" of global operations.
+        """
+        self._global_routes[in_direction] = (tuple(out_directions), store)
+
+    def clear_global_routes(self) -> None:
+        self._global_routes.clear()
+
+    def _passthrough(self, direction: int, frame: Frame, route) -> None:
+        out_dirs, store = route
+        delay = self.asic.passthrough_latency
+
+        def forward():
+            for d in out_dirs:
+                link = self.out_links.get(d)
+                if link is not None:
+                    link.transmit(Frame(PacketType.NORMAL, frame.words.copy(), seq=frame.seq))
+            if store is not None:
+                store(frame.words)
+
+        self.sim.schedule(delay, forward)
+
+    # -- audit ------------------------------------------------------------------
+    def checksum_pair(self, direction: int) -> Tuple[LinkChecksum, LinkChecksum]:
+        return (
+            self.send_units[direction].checksum,
+            self.recv_units[direction].checksum,
+        )

@@ -1,0 +1,372 @@
+"""The six-dimensional torus and its software partitioning.
+
+Paper section 2.2: "While QCD has four- and five-dimensional formulations,
+we chose to make the mesh network six dimensional, so we can make
+lower-dimensional partitions of the machine in software, without moving
+cables."  This module implements exactly that: a physical 6-torus of nodes,
+sub-box allocation, and *axis folding* — embedding a lower-dimensional
+logical torus into a group of physical axes with a serpentine (boustrophedon)
+walk so that **every logical nearest-neighbour pair is a physical
+nearest-neighbour pair**.  That adjacency-preservation is the property the
+whole machine concept rests on, and it is asserted by tests and audited by
+:meth:`Partition.adjacency_audit`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.lattice.geometry import LatticeGeometry
+from repro.util.errors import ConfigError
+
+#: number of mesh dimensions in the physical machine
+MACHINE_NDIM = 6
+
+
+class TorusTopology:
+    """A periodic mesh of nodes (six-dimensional for real QCDOC hardware).
+
+    Thin wrapper over :class:`LatticeGeometry` — the machine mesh *is* a
+    lattice of nodes — adding link enumeration: direction ``d`` has index
+    ``2*axis + (0 if forward else 1)``, 12 directions for a 6-torus.
+    """
+
+    def __init__(self, dims: Sequence[int]):
+        dims = tuple(int(d) for d in dims)
+        if any(d < 1 for d in dims):
+            raise ConfigError(f"bad machine dims {dims}")
+        self.dims = dims
+        self.ndim = len(dims)
+        self.geometry = LatticeGeometry(dims)
+        self.n_nodes = self.geometry.volume
+        #: 2 links out + 2 in per axis
+        self.n_directions = 2 * self.ndim
+
+    def direction(self, axis: int, sign: int) -> int:
+        """Direction code for ``(axis, +-1)``."""
+        if not 0 <= axis < self.ndim:
+            raise ConfigError(f"axis {axis} out of range")
+        return 2 * axis + (0 if sign > 0 else 1)
+
+    def direction_axis_sign(self, direction: int) -> Tuple[int, int]:
+        return direction // 2, (+1 if direction % 2 == 0 else -1)
+
+    def opposite(self, direction: int) -> int:
+        """The direction a packet arrives on at the receiving node."""
+        return direction ^ 1
+
+    def neighbour(self, node: int, axis: int, sign: int) -> int:
+        table = (
+            self.geometry.neighbour_fwd(axis)
+            if sign > 0
+            else self.geometry.neighbour_bwd(axis)
+        )
+        return int(table[node])
+
+    def neighbour_by_direction(self, node: int, direction: int) -> int:
+        axis, sign = self.direction_axis_sign(direction)
+        return self.neighbour(node, axis, sign)
+
+    def coord(self, node: int) -> Tuple[int, ...]:
+        return self.geometry.coord(node)
+
+    def node(self, coord: Sequence[int]) -> int:
+        return self.geometry.index(coord)
+
+    def links(self) -> List[Tuple[int, int, int]]:
+        """All unidirectional links as ``(src_node, direction, dst_node)``.
+
+        A size-1 axis has no links (a node is not wired to itself).
+        """
+        out = []
+        for node in range(self.n_nodes):
+            for axis in range(self.ndim):
+                if self.dims[axis] == 1:
+                    continue
+                for sign in (+1, -1):
+                    out.append(
+                        (node, self.direction(axis, sign), self.neighbour(node, axis, sign))
+                    )
+        return out
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Minimal torus (Lee) distance between two nodes."""
+        ca, cb = np.asarray(self.coord(a)), np.asarray(self.coord(b))
+        delta = np.abs(ca - cb)
+        wrap = np.asarray(self.dims) - delta
+        return int(np.minimum(delta, wrap).sum())
+
+    def __repr__(self) -> str:
+        return f"TorusTopology({'x'.join(map(str, self.dims))}, {self.n_nodes} nodes)"
+
+
+def snake_cycle(shape: Sequence[int]) -> np.ndarray:
+    """A Hamiltonian serpentine walk through a multi-axis box.
+
+    Returns ``(prod(shape), len(shape))`` coordinates such that consecutive
+    entries differ by exactly one step in one axis.  If the *first* axis has
+    even extent (or the walk is one-dimensional) the walk closes into a
+    Hamiltonian **cycle** on the torus — the last entry is one periodic hop
+    from the first — so a folded axis keeps torus wraparound.
+
+    QCDOC machine dimensions are powers of two, so the even-extent condition
+    always holds in practice; :func:`fold_axes` checks it when the logical
+    axis must be periodic.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 0:
+        raise ConfigError("cannot snake an empty shape")
+    if len(shape) == 1:
+        return np.arange(shape[0], dtype=np.int64)[:, None]
+    tail = snake_cycle(shape[1:])
+    n_tail = tail.shape[0]
+    rows = []
+    for i in range(shape[0]):
+        order = tail if i % 2 == 0 else tail[::-1]
+        block = np.empty((n_tail, len(shape)), dtype=np.int64)
+        block[:, 0] = i
+        block[:, 1:] = order
+        rows.append(block)
+    return np.concatenate(rows, axis=0)
+
+
+def snake_is_cyclic(shape: Sequence[int]) -> bool:
+    """True when :func:`snake_cycle` closes into a torus cycle."""
+    shape = tuple(shape)
+    return len(shape) == 1 or shape[0] % 2 == 0 or np.prod(shape[1:]) == 1
+
+
+def fold_axes(
+    dims: Sequence[int],
+    groups: Sequence[Sequence[int]],
+    require_periodic: bool = True,
+) -> "AxisFolding":
+    """Fold the physical axes listed in each group into one logical axis.
+
+    ``groups`` partitions a subset of ``range(len(dims))``; each group
+    becomes one logical axis of extent ``prod(dims[g] for g in group)``.
+    Axes not mentioned must have extent 1 (fully collapsed by allocation).
+    """
+    dims = tuple(int(d) for d in dims)
+    used = [a for g in groups for a in g]
+    if len(used) != len(set(used)):
+        raise ConfigError(f"axis appears in two groups: {groups}")
+    for a in used:
+        if not 0 <= a < len(dims):
+            raise ConfigError(f"group axis {a} out of range for dims {dims}")
+    for a in range(len(dims)):
+        if a not in used and dims[a] != 1:
+            raise ConfigError(
+                f"physical axis {a} (extent {dims[a]}) is neither folded nor trivial"
+            )
+    return AxisFolding(dims, [tuple(g) for g in groups], require_periodic)
+
+
+class AxisFolding:
+    """Mapping logical torus coordinates -> physical mesh coordinates."""
+
+    def __init__(
+        self,
+        dims: Tuple[int, ...],
+        groups: List[Tuple[int, ...]],
+        require_periodic: bool,
+    ):
+        self.dims = dims
+        self.groups = groups
+        self.logical_dims = tuple(
+            int(np.prod([dims[a] for a in g])) for g in groups
+        )
+        self._walks: List[np.ndarray] = []
+        self.periodic: List[bool] = []
+        for g, extent in zip(groups, self.logical_dims):
+            gshape = tuple(dims[a] for a in g)
+            cyclic = snake_is_cyclic(gshape)
+            if require_periodic and not cyclic:
+                raise ConfigError(
+                    f"group {g} with shape {gshape} cannot close a torus cycle "
+                    "(leading extent must be even); pass require_periodic=False "
+                    "for an open (mesh) logical axis"
+                )
+            self._walks.append(snake_cycle(gshape))
+            self.periodic.append(cyclic)
+
+    @property
+    def logical_ndim(self) -> int:
+        return len(self.groups)
+
+    def to_physical(self, logical: Sequence[int]) -> Tuple[int, ...]:
+        """Physical mesh coordinate of a logical torus coordinate."""
+        if len(logical) != self.logical_ndim:
+            raise ConfigError(
+                f"logical coord {logical} has wrong dimension {self.logical_ndim}"
+            )
+        phys = [0] * len(self.dims)
+        for g, walk, extent, coord in zip(
+            self.groups, self._walks, self.logical_dims, logical
+        ):
+            step = walk[int(coord) % extent]
+            for axis, value in zip(g, step):
+                phys[axis] = int(value)
+        return tuple(phys)
+
+    def table(self) -> np.ndarray:
+        """``(n_logical_nodes, physical_ndim)`` coordinate table in logical
+        lexicographic order (last logical axis fastest)."""
+        logical_geom = LatticeGeometry(self.logical_dims)
+        out = np.empty((logical_geom.volume, len(self.dims)), dtype=np.int64)
+        for i in range(logical_geom.volume):
+            out[i] = self.to_physical(logical_geom.coord(i))
+        return out
+
+
+class Partition:
+    """A logical machine carved out of the physical torus in software.
+
+    Combines a sub-box allocation (origin + extents within the physical
+    mesh) with an :class:`AxisFolding` of the box's axes down to the
+    requested logical dimensionality.  This is what the qdaemon hands a
+    user job (paper section 3.1: "a user requests that the qdaemon remap
+    their partition to a dimensionality between one and six").
+    """
+
+    def __init__(
+        self,
+        topology: TorusTopology,
+        origin: Sequence[int],
+        extents: Sequence[int],
+        groups: Sequence[Sequence[int]],
+        require_periodic: bool = True,
+    ):
+        origin = tuple(int(o) for o in origin)
+        extents = tuple(int(e) for e in extents)
+        if len(origin) != topology.ndim or len(extents) != topology.ndim:
+            raise ConfigError("origin/extents must match machine dimensionality")
+        for o, e, d in zip(origin, extents, topology.dims):
+            if e < 1 or o < 0 or o + e > d:
+                raise ConfigError(
+                    f"allocation origin={origin} extents={extents} exceeds dims "
+                    f"{topology.dims}"
+                )
+        # A truncated axis (0 < extent < full) loses its wrap cable, so a
+        # periodic logical axis cannot fold it unless the fold is cyclic
+        # within the box... it cannot be: the wrap link is absent.  Treat
+        # truncated axes as non-periodic contributors.
+        self.topology = topology
+        self.origin = origin
+        self.extents = extents
+        self.full_axis = tuple(
+            e == d for e, d in zip(extents, topology.dims)
+        )
+        for g in groups:
+            if require_periodic:
+                for a in g:
+                    if not self.full_axis[a] and extents[a] > 1:
+                        raise ConfigError(
+                            f"axis {a} is truncated ({extents[a]} of "
+                            f"{topology.dims[a]}): no wrap cable, so a periodic "
+                            "logical axis cannot use it; allocate the full axis "
+                            "or pass require_periodic=False"
+                        )
+        self.folding = fold_axes(extents, groups, require_periodic)
+        self.logical_dims = self.folding.logical_dims
+        self.logical_geometry = LatticeGeometry(self.logical_dims)
+        self.n_nodes = self.logical_geometry.volume
+
+        offsets = self.folding.table() + np.asarray(origin)
+        self._phys_node = np.array(
+            [topology.node(c) for c in offsets], dtype=np.int64
+        )
+
+    def physical_node(self, rank: int) -> int:
+        """Physical node id of logical rank (lexicographic logical order)."""
+        return int(self._phys_node[rank])
+
+    def rank_of_physical(self, node: int) -> int:
+        where = np.nonzero(self._phys_node == node)[0]
+        if len(where) == 0:
+            raise ConfigError(f"physical node {node} not in partition")
+        return int(where[0])
+
+    def logical_coord(self, rank: int) -> Tuple[int, ...]:
+        return self.logical_geometry.coord(rank)
+
+    def logical_neighbour(self, rank: int, axis: int, sign: int) -> int:
+        table = (
+            self.logical_geometry.neighbour_fwd(axis)
+            if sign > 0
+            else self.logical_geometry.neighbour_bwd(axis)
+        )
+        return int(table[rank])
+
+    def _canonical_step(self, node_a: int, node_b: int) -> int:
+        """The canonical physical direction of the one-hop step a -> b.
+
+        On extent-2 axes both cables connect the same node pair, so sender
+        and receiver must agree on *which* one a given logical hop uses;
+        the canonical choice is the forward cable (delta == +1 mod d).
+        """
+        ca, cb = self.topology.coord(node_a), self.topology.coord(node_b)
+        diffs = []
+        for ax, (x, y, d) in enumerate(zip(ca, cb, self.topology.dims)):
+            if x == y:
+                continue
+            delta = (y - x) % d
+            if delta == 1:
+                diffs.append((ax, +1))
+            elif delta == d - 1:
+                diffs.append((ax, -1))
+            else:
+                raise ConfigError(
+                    f"nodes {node_a} and {node_b} are "
+                    f"{self.topology.hop_distance(node_a, node_b)} physical hops apart"
+                )
+        if len(diffs) != 1:
+            raise ConfigError(
+                f"nodes {node_a} and {node_b} differ in {len(diffs)} physical axes"
+            )
+        ax, s = diffs[0]
+        return self.topology.direction(ax, s)
+
+    def physical_direction(self, rank: int, axis: int, sign: int) -> int:
+        """The physical link direction serving one logical hop of this rank.
+
+        For ``sign=+1``: the direction this rank *sends on* to reach its
+        forward neighbour.  For ``sign=-1``: the direction the backward
+        neighbour's traffic *arrives on* (i.e. the port to post receives
+        on, and the wire carrying our acks back).  The two are opposite
+        ends of the same cable, so sender and receiver always agree —
+        including on extent-2 axes where both cables join the same pair.
+
+        Raises :class:`ConfigError` if the pair is not physically adjacent
+        (which the folding guarantees against for periodic-valid folds).
+        """
+        me = self.physical_node(rank)
+        if sign > 0:
+            fwd = self.physical_node(self.logical_neighbour(rank, axis, +1))
+            return self._canonical_step(me, fwd)
+        bwd = self.physical_node(self.logical_neighbour(rank, axis, -1))
+        return self.topology.opposite(self._canonical_step(bwd, me))
+
+    def adjacency_audit(self) -> int:
+        """Verify every logical nearest-neighbour pair is one physical hop.
+
+        Returns the number of pairs checked.  This is the machine-level
+        guarantee behind "partitions without moving cables".
+        """
+        checked = 0
+        for rank in range(self.n_nodes):
+            for axis in range(len(self.logical_dims)):
+                if self.logical_dims[axis] == 1:
+                    continue
+                for sign in (+1, -1):
+                    self.physical_direction(rank, axis, sign)
+                    checked += 1
+        return checked
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(logical {'x'.join(map(str, self.logical_dims))} "
+            f"of {self.topology!r})"
+        )

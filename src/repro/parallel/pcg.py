@@ -1,0 +1,313 @@
+"""Distributed conjugate gradients on the simulated machine.
+
+This is the paper's benchmark workload end to end: CG on the Dirac normal
+equations, with every inner product flowing through the SCU global-sum tree
+and every hopping term through SCU DMA halo exchanges.  The loop's
+arithmetic mirrors :func:`repro.solvers.cg.cg` step for step, so iteration
+counts and residual histories are directly comparable with the serial
+solver; because the global sum accumulates in canonical rank order, the
+residual history — and therefore the entire execution — is **bitwise
+reproducible** run over run (the paper's section-4 verification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.fermions.clover import CloverDirac
+from repro.lattice.gauge import GaugeField
+from repro.machine.machine import QCDOCMachine
+from repro.machine.topology import Partition
+from repro.parallel.decomp import PhysicsMapping
+from repro.parallel.pdirac import DistributedWilsonContext
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class DistributedSolveResult:
+    """Gathered outcome of a machine-distributed CGNE solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residuals: List[float]
+    #: simulated wall-clock of the solve (seconds of machine time)
+    machine_time: float
+    #: total flops charged across nodes
+    flops: float
+    #: link checksum audit result (must be [])
+    checksum_mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.flops / self.machine_time if self.machine_time > 0 else 0.0
+
+
+def machine_cgne(api, ctx, b, tol, maxiter):
+    """CGNE over any distributed operator context (generator).
+
+    ``ctx`` must provide generator methods ``apply``, ``apply_dagger`` and
+    ``normal`` (e.g. :class:`DistributedWilsonContext` or
+    :class:`repro.parallel.pstaggered.DistributedStaggeredContext`).
+    Yields machine events; returns ``(x, converged, iterations, residuals)``.
+    """
+
+    def dot(u, v):
+        # local partial, then the SCU global sum (canonical rank order)
+        return np.array([np.vdot(u, v)])
+
+    # rhs of the normal equations: D^+ b
+    rhs = yield from ctx.apply_dagger(b)
+
+    x = np.zeros_like(rhs)
+    resid = rhs.copy()
+    p = resid.copy()
+    rr = (yield api.global_sum(dot(resid, resid)))[0].real
+    bb = (yield api.global_sum(dot(rhs, rhs)))[0].real
+    if bb == 0.0:
+        return x, True, 0, [0.0]
+    target = tol * tol * bb
+    residuals = [float(np.sqrt(rr / bb))]
+    converged = rr <= target
+    it = 0
+    while not converged and it < maxiter:
+        ap = yield from ctx.normal(p)
+        p_ap = (yield api.global_sum(dot(p, ap)))[0].real
+        alpha = rr / p_ap
+        x += alpha * p
+        resid -= alpha * ap
+        rr_new = (yield api.global_sum(dot(resid, resid)))[0].real
+        beta = rr_new / rr
+        p = resid + beta * p
+        rr = rr_new
+        it += 1
+        residuals.append(float(np.sqrt(rr / bb)))
+        converged = rr <= target
+    return x, bool(converged), it, residuals
+
+
+def _cg_program(api, mapping, local_links, local_b, mass, r, clover_locals, tol, maxiter):
+    """The per-rank node program: Wilson/clover CGNE with machine collectives."""
+    rank = api.rank
+    ctx = DistributedWilsonContext(
+        api,
+        mapping.local_shape,
+        local_links[rank],
+        mass=mass,
+        r=r,
+        clover_tensor=None if clover_locals is None else clover_locals[rank],
+    )
+    result = yield from machine_cgne(api, ctx, local_b[rank], tol, maxiter)
+    return result
+
+
+def solve_on_machine(
+    machine: QCDOCMachine,
+    partition: Partition,
+    gauge: GaugeField,
+    b: np.ndarray,
+    mass: float,
+    r: float = 1.0,
+    c_sw: Optional[float] = None,
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+    max_time: float = 10_000.0,
+) -> DistributedSolveResult:
+    """Solve ``D x = b`` (Wilson, or clover when ``c_sw`` given) on the
+    simulated machine via CG on the normal equations.
+
+    The lattice is tiled over ``partition``; returns the gathered global
+    solution plus machine-level accounting (simulated time, flops,
+    checksum audit).
+    """
+    mapping = PhysicsMapping(gauge.geometry, partition)
+    if b.shape != (gauge.geometry.volume, 4, 3):
+        raise ConfigError(f"bad source shape {b.shape}")
+    local_links = mapping.scatter_gauge(gauge)
+    local_b = mapping.scatter_field(b)
+    clover_locals = None
+    if c_sw is not None:
+        serial = CloverDirac(gauge, mass=mass, c_sw=c_sw, r=r)
+        clover_locals = mapping.scatter_field(serial.clover_tensor)
+
+    flops_before = sum(n.flops_charged for n in machine.nodes.values())
+    t0 = machine.sim.now
+    results = machine.run_partition(
+        partition,
+        _cg_program,
+        max_time=max_time,
+        mapping=mapping,
+        local_links=local_links,
+        local_b=local_b,
+        mass=mass,
+        r=r,
+        clover_locals=clover_locals,
+        tol=tol,
+        maxiter=maxiter,
+    )
+    machine_time = machine.sim.now - t0
+    flops = sum(n.flops_charged for n in machine.nodes.values()) - flops_before
+
+    return _gather_results(machine, mapping, results, machine_time, flops)
+
+
+def _gather_results(machine, mapping, results, machine_time, flops):
+    x_locals = np.stack([res[0] for res in results])
+    x = mapping.gather_field(x_locals)
+    # Control flow is driven by globally-summed residuals, so every rank
+    # must agree exactly on iterations and convergence.
+    iterations = {res[2] for res in results}
+    if len(iterations) != 1:
+        raise ConfigError(f"ranks disagree on iteration count: {iterations}")
+    return DistributedSolveResult(
+        x=x,
+        converged=all(res[1] for res in results),
+        iterations=results[0][2],
+        residuals=results[0][3],
+        machine_time=machine_time,
+        flops=flops,
+        checksum_mismatches=machine.audit_checksums(),
+    )
+
+
+def _dwf_program(api, mapping, local_links, local_b, Ls, M5, mf, tol, maxiter):
+    """Per-rank node program: domain-wall CGNE (5D fields, 4D halos)."""
+    from repro.parallel.pdwf import DistributedDWFContext
+
+    ctx = DistributedDWFContext(
+        api, mapping.local_shape, local_links[api.rank], Ls=Ls, M5=M5, mf=mf
+    )
+    result = yield from machine_cgne(api, ctx, local_b[api.rank], tol, maxiter)
+    return result
+
+
+def solve_dwf_on_machine(
+    machine: QCDOCMachine,
+    partition: Partition,
+    gauge: GaugeField,
+    b: np.ndarray,
+    Ls: int,
+    M5: float = 1.8,
+    mf: float = 0.1,
+    tol: float = 1e-8,
+    maxiter: int = 4000,
+    max_time: float = 10_000.0,
+) -> DistributedSolveResult:
+    """Solve the domain-wall system ``D x = b`` on the simulated machine.
+
+    ``b`` has shape ``(Ls, V, 4, 3)``; the fifth dimension stays node-local
+    while space-time tiles over the partition.
+    """
+    mapping = PhysicsMapping(gauge.geometry, partition)
+    if b.shape != (Ls, gauge.geometry.volume, 4, 3):
+        raise ConfigError(f"bad domain-wall source shape {b.shape}")
+    local_links = mapping.scatter_gauge(gauge)
+    # scatter each s slice over the tiles: (Ls, V, ...) -> (ranks, Ls, v, ...)
+    local_b = np.stack(
+        [mapping.scatter_field(b[s]) for s in range(Ls)], axis=1
+    )
+
+    flops_before = sum(n.flops_charged for n in machine.nodes.values())
+    t0 = machine.sim.now
+    results = machine.run_partition(
+        partition,
+        _dwf_program,
+        max_time=max_time,
+        mapping=mapping,
+        local_links=local_links,
+        local_b=local_b,
+        Ls=Ls,
+        M5=M5,
+        mf=mf,
+        tol=tol,
+        maxiter=maxiter,
+    )
+    machine_time = machine.sim.now - t0
+    flops = sum(n.flops_charged for n in machine.nodes.values()) - flops_before
+
+    # gather: per-rank (Ls, v, ...) -> global (Ls, V, ...)
+    x_locals = np.stack([res[0] for res in results])  # (ranks, Ls, v, 4, 3)
+    x = np.stack(
+        [mapping.gather_field(x_locals[:, s]) for s in range(Ls)]
+    )
+    iterations = {res[2] for res in results}
+    if len(iterations) != 1:
+        raise ConfigError(f"ranks disagree on iteration count: {iterations}")
+    return DistributedSolveResult(
+        x=x,
+        converged=all(res[1] for res in results),
+        iterations=results[0][2],
+        residuals=results[0][3],
+        machine_time=machine_time,
+        flops=flops,
+        checksum_mismatches=machine.audit_checksums(),
+    )
+
+
+def _staggered_program(api, mapping, local_fat, local_long, local_b, mass, tol, maxiter):
+    """Per-rank node program: ASQTAD CGNE (1-hop and 3-hop halos)."""
+    from repro.parallel.pstaggered import DistributedStaggeredContext
+
+    ctx = DistributedStaggeredContext(
+        api,
+        mapping.local_shape,
+        local_fat[api.rank],
+        local_long[api.rank],
+        mass=mass,
+    )
+    result = yield from machine_cgne(api, ctx, local_b[api.rank], tol, maxiter)
+    return result
+
+
+def solve_staggered_on_machine(
+    machine: QCDOCMachine,
+    partition: Partition,
+    gauge: GaugeField,
+    b: np.ndarray,
+    mass: float,
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+    max_time: float = 10_000.0,
+) -> DistributedSolveResult:
+    """Solve the ASQTAD system ``D x = b`` on the simulated machine.
+
+    The fat and Naik links are smeared from the global gauge field before
+    scattering (smearing needs neighbour links); the solve itself runs
+    distributed, exchanging both depth-1 and depth-3 halos per hop.
+    """
+    from repro.fermions.staggered import fat_links, long_links
+
+    mapping = PhysicsMapping(gauge.geometry, partition)
+    if b.shape != (gauge.geometry.volume, 3):
+        raise ConfigError(f"bad staggered source shape {b.shape}")
+    fat = fat_links(gauge)
+    long = long_links(gauge)
+    ndim = gauge.geometry.ndim
+    v = mapping.tiling.local_volume
+    local_fat = np.empty((mapping.n_ranks, ndim, v, 3, 3), dtype=np.complex128)
+    local_long = np.empty_like(local_fat)
+    for mu in range(ndim):
+        local_fat[:, mu] = mapping.tiling.scatter(fat[mu])
+        local_long[:, mu] = mapping.tiling.scatter(long[mu])
+    local_b = mapping.scatter_field(b)
+
+    flops_before = sum(n.flops_charged for n in machine.nodes.values())
+    t0 = machine.sim.now
+    results = machine.run_partition(
+        partition,
+        _staggered_program,
+        max_time=max_time,
+        mapping=mapping,
+        local_fat=local_fat,
+        local_long=local_long,
+        local_b=local_b,
+        mass=mass,
+        tol=tol,
+        maxiter=maxiter,
+    )
+    machine_time = machine.sim.now - t0
+    flops = sum(n.flops_charged for n in machine.nodes.values()) - flops_before
+    return _gather_results(machine, mapping, results, machine_time, flops)

@@ -1,0 +1,51 @@
+"""The analytic performance, cost and packaging model.
+
+The functional simulator (:mod:`repro.machine`) runs tens of nodes; the
+paper's evaluation quotes numbers at 128-12,288 nodes.  This package closes
+the gap with a calibrated analytic model built from
+
+* the **published hardware parameters** (:class:`repro.machine.asic.ASICConfig`),
+* the **exact per-site flop/word/comm counts** of each Dirac operator
+  (:mod:`repro.fermions.flops`), and
+* **two calibration constants** (an achieved cycles-per-memory-word and a
+  fixed per-site kernel overhead), solved once from the paper's Wilson 40%
+  and clover 46.5% CG efficiencies and then held fixed for every other
+  prediction (ASQTAD, single precision, DDR spill, local-volume sweeps,
+  hard scaling).
+
+It also carries the dollar cost model (paper section 4's bill of
+materials), the power/packaging roll-up, and the QCDSP / Ethernet-cluster
+baseline machines the paper compares against.
+"""
+
+from repro.perfmodel.dirac_perf import Calibration, DiracPerfModel, calibrate
+from repro.perfmodel.collectives import global_sum_time
+from repro.perfmodel.latency import ClusterNetwork, message_time_table
+from repro.perfmodel.scaling import HardScalingModel, ScalingPoint
+from repro.perfmodel.cost import (
+    QCDOC_4096_BOM,
+    BillOfMaterials,
+    CostLine,
+    price_performance,
+)
+from repro.perfmodel.power import PackagingModel
+from repro.perfmodel.baselines import CLUSTER_2004, QCDSP, BaselineMachine
+
+__all__ = [
+    "Calibration",
+    "DiracPerfModel",
+    "calibrate",
+    "global_sum_time",
+    "ClusterNetwork",
+    "message_time_table",
+    "HardScalingModel",
+    "ScalingPoint",
+    "BillOfMaterials",
+    "CostLine",
+    "QCDOC_4096_BOM",
+    "price_performance",
+    "PackagingModel",
+    "BaselineMachine",
+    "QCDSP",
+    "CLUSTER_2004",
+]

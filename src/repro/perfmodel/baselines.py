@@ -1,0 +1,57 @@
+"""Baseline machines the paper positions QCDOC against.
+
+* **QCDSP** (paper section 1): the predecessor — 4-dimensional mesh of
+  DSPs, 1 Teraflops peak from ~20,000 x 50 Mflops nodes, Gordon Bell 1998
+  price/performance winner at **$10 per sustained Megaflops**.
+* **Commodity cluster** (paper sections 1-2): fast nodes on a commodity
+  network; "one cannot achieve the required low-latency communications
+  with commodity hardware", so hard scaling stalls when per-node work
+  shrinks.  Parameters are 2004-era: ~GHz-class node with GigE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.latency import ClusterNetwork
+from repro.util.units import US
+
+
+@dataclass(frozen=True)
+class BaselineMachine:
+    """Coarse per-node model of a comparison machine."""
+
+    name: str
+    node_peak_flops: float
+    #: sustained fraction of peak on the Dirac kernel when compute-bound
+    compute_efficiency: float
+    network: ClusterNetwork
+    dollars_per_node: float
+
+    def node_sustained(self) -> float:
+        return self.node_peak_flops * self.compute_efficiency
+
+
+#: QCDSP node: 50 Mflops DSP; its custom 4D mesh had serial links too, so
+#: give it QCDOC-class startup latency but a 4x narrower network and the
+#: measured ~$10/sustained-Mflops economics (20k nodes, $5M-class machine).
+QCDSP = BaselineMachine(
+    name="QCDSP",
+    node_peak_flops=50e6,
+    compute_efficiency=0.20,  # ~0.2 x 50 MF x 20k nodes = 0.2 TF sustained
+    network=ClusterNetwork(
+        name="qcdsp-4d-mesh", startup_latency=1.2 * US, bandwidth=12.5e6, concurrent_links=8
+    ),
+    dollars_per_node=100.0,  # $10/MF x 10 MF sustained per node
+)
+
+#: A 2004 commodity cluster node: ~3 GHz P4-class CPU with SSE2 (2 flops
+#: per cycle usable on this kernel), GigE NIC, ~$2000 per node with switch
+#: amortisation.
+CLUSTER_2004 = BaselineMachine(
+    name="cluster-2004",
+    node_peak_flops=6e9,
+    compute_efficiency=0.18,  # memory-bound Dirac kernel on DDR-era PCs
+    network=ClusterNetwork(),
+    dollars_per_node=2000.0,
+)

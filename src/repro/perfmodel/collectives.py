@@ -1,0 +1,64 @@
+"""Analytic global-operation costs (experiment E5).
+
+Wraps the hop formulas of :mod:`repro.machine.globalops` with the
+cut-through timing model, for machine sizes the functional simulator cannot
+reach (the paper's 8,192-node ``32^3 x 64`` target machine, the 12,288-node
+production machines).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.machine.asic import ASICConfig
+from repro.machine.globalops import broadcast_hops, sum_hops
+
+
+def global_sum_time(
+    machine_dims: Sequence[int],
+    nwords: int = 1,
+    doubled: bool = True,
+    asic: Optional[ASICConfig] = None,
+) -> float:
+    """Seconds for a dimension-sequenced global sum.
+
+    Per axis: one word serialisation to enter the ring, one 8-bit
+    pass-through per hop, plus pipelined streaming of the remaining words.
+    """
+    asic = asic if asic is not None else ASICConfig()
+    t = 0.0
+    t_word = asic.word_serialisation_time
+    for d in machine_dims:
+        if d <= 1:
+            continue
+        hops = (d // 2) if doubled else (d - 1)
+        t += t_word + hops * asic.passthrough_latency + (nwords - 1) * t_word
+    return t
+
+
+def broadcast_time(
+    machine_dims: Sequence[int],
+    nwords: int = 1,
+    doubled: bool = True,
+    asic: Optional[ASICConfig] = None,
+) -> float:
+    """Seconds for a root broadcast (same wavefront structure as the sum)."""
+    return global_sum_time(machine_dims, nwords, doubled, asic)
+
+
+def ethernet_allreduce_time(
+    n_nodes: int,
+    nwords: int = 1,
+    latency: float = 7.5e-6,
+    bandwidth: float = 100e6 / 8,
+) -> float:
+    """Baseline: a binary-tree allreduce over commodity Ethernet.
+
+    ``2 * log2(N)`` stages (reduce + broadcast), each paying the kernel/NIC
+    latency the paper cites as "5-10 us just to begin a transfer".
+    """
+    import math
+
+    stages = 2 * max(1, math.ceil(math.log2(max(2, n_nodes))))
+    per_stage = latency + (nwords * 8) / bandwidth
+    return stages * per_stage

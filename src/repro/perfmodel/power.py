@@ -1,0 +1,70 @@
+"""Power, packaging and floor-space roll-up (experiment E9).
+
+Paper section 2.4: a 2-node daughterboard draws ~20 W including DRAM; 32
+daughterboards per motherboard; 8 motherboards per crate; 2 crates per
+water-cooled rack (1024 nodes, 1.0 Tflops peak, under 10 kW); racks stack
+two high so "10,000 nodes [...] have a footprint of about 60 square feet".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.machine.asic import MachineConfig
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class PackagingModel:
+    """Counts, watts and floor space for an ``n_nodes`` machine."""
+
+    config: MachineConfig = field(default_factory=MachineConfig)
+    #: overhead for DC-DC conversion + hubs + clock distribution per
+    #: motherboard, on top of the daughterboard figure
+    motherboard_overhead_watts: float = 25.0
+    #: floor footprint of one stack of two racks (the stacking that gives
+    #: 10,000 nodes ~ 60 sq ft)
+    stack_footprint_sqft: float = 12.0
+
+    def breakdown(self, n_nodes: int) -> Dict[str, int]:
+        if n_nodes < 1:
+            raise ConfigError("need at least one node")
+        c = self.config
+        dboards = math.ceil(n_nodes / c.nodes_per_daughterboard)
+        mboards = math.ceil(dboards / c.daughterboards_per_motherboard)
+        crates = math.ceil(mboards / c.motherboards_per_crate)
+        racks = math.ceil(crates / c.crates_per_rack)
+        stacks = math.ceil(racks / 2)
+        return {
+            "nodes": n_nodes,
+            "daughterboards": dboards,
+            "motherboards": mboards,
+            "crates": crates,
+            "racks": racks,
+            "stacks": stacks,
+        }
+
+    def power_watts(self, n_nodes: int) -> float:
+        b = self.breakdown(n_nodes)
+        return (
+            b["daughterboards"] * self.config.daughterboard_power_watts
+            + b["motherboards"] * self.motherboard_overhead_watts
+        )
+
+    def rack_power_watts(self) -> float:
+        """One fully-populated 1024-node rack (paper: 'less than 10,000
+        watts')."""
+        return self.power_watts(self.config.nodes_per_rack)
+
+    def footprint_sqft(self, n_nodes: int) -> float:
+        return self.breakdown(n_nodes)["stacks"] * self.stack_footprint_sqft
+
+    def rack_peak_flops(self) -> float:
+        """1.0 Tflops peak per rack at 500 MHz."""
+        return self.config.nodes_per_rack * self.config.asic.peak_flops
+
+    def megaflops_per_watt(self, n_nodes: int, efficiency: float = 0.45) -> float:
+        sustained = n_nodes * self.config.asic.peak_flops * efficiency / 1e6
+        return sustained / self.power_watts(n_nodes)

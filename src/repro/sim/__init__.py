@@ -1,0 +1,30 @@
+"""A small discrete-event simulation kernel.
+
+The QCDOC machine model (:mod:`repro.machine`) is a timed, functional
+simulation: SCU DMA engines, serial links, Ethernet hubs and node programs
+are all *processes* — Python generators that yield events to this kernel.
+The kernel is deliberately SimPy-shaped (events, generator processes,
+timeouts, shared stores) but written from scratch so the whole stack is
+self-contained and deterministic.
+
+Determinism contract: given the same initial processes and the same RNG
+streams, event ordering is a pure function of (time, schedule order); ties
+are broken by a monotone sequence number, never by hash order or id().
+"""
+
+from repro.sim.core import AllOf, AnyOf, Event, Interrupt, Process, Simulator, Timeout
+from repro.sim.channel import Channel, Resource
+from repro.sim.trace import Trace
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "Channel",
+    "Resource",
+    "Trace",
+]

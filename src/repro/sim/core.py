@@ -1,0 +1,312 @@
+"""Event heap, events, and generator-based processes.
+
+Usage sketch::
+
+    sim = Simulator()
+
+    def pinger(sim, link):
+        yield sim.timeout(600e-9)
+        link.fire("ping")
+
+    sim.process(pinger(sim, link))
+    sim.run()
+
+A process is a generator that yields :class:`Event` objects; it is resumed
+with the event's value once the event triggers (or the event's exception is
+thrown into it).  A :class:`Process` is itself an event that succeeds with
+the generator's return value, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.util.errors import SimulationError
+
+#: Type of the generators that implement processes.
+ProcessGen = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence with a value or an exception.
+
+    Events start *pending*; exactly one of :meth:`succeed` or :meth:`fail`
+    may be called, after which waiting callbacks run at the current
+    simulation time (scheduled, not inline, to keep ordering deterministic).
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value")
+
+    PENDING, SUCCEEDED, FAILED = 0, 1, 2
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._state = Event.PENDING
+        self._value: Any = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != Event.PENDING
+
+    @property
+    def ok(self) -> bool:
+        return self._state == Event.SUCCEEDED
+
+    @property
+    def value(self) -> Any:
+        if self._state == Event.PENDING:
+            raise SimulationError("event value read before trigger")
+        if self._state == Event.FAILED:
+            raise self._value
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._value if self._state == Event.FAILED else None
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(Event.SUCCEEDED, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._trigger(Event.FAILED, exc)
+        return self
+
+    def _trigger(self, state: int, value: Any) -> None:
+        if self._state != Event.PENDING:
+            raise SimulationError("event triggered twice")
+        self._state = state
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:  # type: ignore[union-attr]
+            self.sim.schedule(0.0, cb, self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(event)`` once the event triggers (immediately-scheduled
+        if it already has)."""
+        if self.callbacks is None:
+            self.sim.schedule(0.0, cb, self)
+        else:
+            self.callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` seconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        sim.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Models an asynchronous hardware interrupt (e.g. a supervisor packet
+    arriving at a neighbour's CPU, paper section 2.2 item 2).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Runs a generator, resuming it each time its yielded event triggers."""
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time, after already-queued events.
+        sim.schedule(0.0, self._resume, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self.sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    # -- internals ----------------------------------------------------------
+    def _resume(self, trigger: Optional[Event]) -> None:
+        if self.triggered:
+            return
+        if trigger is not None and not trigger.ok:
+            self._advance(lambda: self.gen.throw(trigger.exception))
+        else:
+            value = None if trigger is None else trigger._value
+            self._advance(lambda: self.gen.send(value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self._advance(lambda: self.gen.throw(exc))
+
+    def _advance(self, step: Callable[[], Any]) -> None:
+        try:
+            target = step()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.gen.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_target)
+
+    def _on_target(self, event: Event) -> None:
+        # Stale callback after an interrupt redirected the process.
+        if self._waiting_on is not event:
+            return
+        self._waiting_on = None
+        self._resume(event)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Succeeds with the first triggering child (fails if that child failed)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed(event)
+        else:
+            self.fail(event.exception)  # type: ignore[arg-type]
+
+
+class AllOf(_Condition):
+    """Succeeds with the list of child values once every child succeeded."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)  # type: ignore[arg-type]
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed([ev._value for ev in self.events])
+
+
+class Simulator:
+    """Deterministic event loop over a (time, seq) heap."""
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._now = 0.0
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` ``delay`` seconds from now (FIFO within a tick)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        self._seq += 1
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- running ------------------------------------------------------------
+    def step(self) -> None:
+        """Execute the single next scheduled callback."""
+        time, _seq, fn, args = heapq.heappop(self._heap)
+        self._now = time
+        fn(*args)
+
+    def peek(self) -> float:
+        """Time of the next scheduled callback (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(
+        self, until: Optional[Event] = None, max_time: float = float("inf")
+    ) -> Any:
+        """Run until ``until`` triggers, the heap drains, or ``max_time``.
+
+        Returns ``until.value`` when an event is given.  Raises
+        :class:`SimulationError` if the heap drains with ``until`` pending
+        (deadlock) or the time horizon is exceeded.
+        """
+        if until is not None and until.triggered:
+            return until.value
+        while self._heap:
+            if self._heap[0][0] > max_time:
+                raise SimulationError(
+                    f"simulation exceeded time horizon {max_time} s at t={self._now}"
+                )
+            self.step()
+            if until is not None and until.triggered:
+                return until.value
+        if until is not None:
+            raise SimulationError(
+                f"deadlock: event heap drained at t={self._now} with target pending"
+            )
+        return None

@@ -1,0 +1,51 @@
+"""Event tracing for protocol tests and debugging.
+
+Machine components emit ``trace.emit(tag, **fields)``; tests assert on the
+recorded sequence (e.g. "a parity error is followed by exactly one resend of
+the same word").  Tracing is off unless a Trace is attached, so the hot path
+costs one attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    tag: str
+    fields: Dict[str, Any]
+
+
+class Trace:
+    """An append-only record of tagged simulation occurrences."""
+
+    def __init__(self, sim=None):
+        self.sim = sim
+        self.records: List[TraceRecord] = []
+
+    def emit(self, tag: str, **fields: Any) -> None:
+        t = self.sim.now if self.sim is not None else 0.0
+        self.records.append(TraceRecord(t, tag, fields))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def tagged(self, tag: str) -> List[TraceRecord]:
+        """All records with the given tag, in time order."""
+        return [r for r in self.records if r.tag == tag]
+
+    def count(self, tag: str) -> int:
+        return sum(1 for r in self.records if r.tag == tag)
+
+    def last(self, tag: str) -> Optional[TraceRecord]:
+        for r in reversed(self.records):
+            if r.tag == tag:
+                return r
+        return None
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,24 @@
+"""Krylov solvers.
+
+"Standard Krylov space solvers work well to produce the solution and
+dominate the calculational time for QCD simulations" (paper section 1);
+QCDOC's benchmarks (section 4) are conjugate-gradient solves of the Dirac
+normal equations.  These implementations take the inner product as a
+parameter so the distributed versions can route it through the simulated
+machine's SCU global-sum hardware.
+"""
+
+from repro.solvers.cg import SolveResult, cg, cgne
+from repro.solvers.bicgstab import bicgstab
+from repro.solvers.mr import minres_iteration
+from repro.solvers.multishift import MultiShiftResult, multishift_cg
+
+__all__ = [
+    "SolveResult",
+    "cg",
+    "cgne",
+    "bicgstab",
+    "minres_iteration",
+    "multishift_cg",
+    "MultiShiftResult",
+]

@@ -1,0 +1,55 @@
+"""Shared utilities: units, deterministic RNG streams, errors, tables.
+
+These helpers are deliberately dependency-free (numpy only) and are used by
+every other subpackage.  Nothing here is QCDOC-specific.
+"""
+
+from repro.util.errors import (
+    ConfigError,
+    MachineError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.util.rng import rng_stream, spawn_rngs
+from repro.util.tables import Table, fmt_si
+from repro.util.units import (
+    GB,
+    GHZ,
+    HZ,
+    KB,
+    MB,
+    MHZ,
+    MS,
+    NS,
+    SEC,
+    US,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+)
+
+__all__ = [
+    "ConfigError",
+    "MachineError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "rng_stream",
+    "spawn_rngs",
+    "Table",
+    "fmt_si",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "KB",
+    "MB",
+    "GB",
+    "HZ",
+    "MHZ",
+    "GHZ",
+    "fmt_time",
+    "fmt_bytes",
+    "fmt_rate",
+]

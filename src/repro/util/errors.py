@@ -1,0 +1,23 @@
+"""Exception hierarchy for the qcdoc-repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """An object was constructed with inconsistent or out-of-range parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly (e.g. bad yield)."""
+
+
+class MachineError(ReproError):
+    """A machine-level operation failed (bad partition, unbooted node, ...)."""
+
+
+class ProtocolError(ReproError):
+    """A link/packet protocol invariant was violated (corrupt header, ...)."""

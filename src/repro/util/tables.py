@@ -1,0 +1,62 @@
+"""Tiny ASCII table renderer used by benches and examples.
+
+The benchmark harness prints paper-style rows (efficiencies, dollar costs,
+latencies); this keeps that output aligned and greppable without pulling in
+any formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def fmt_si(value: float, digits: int = 3) -> str:
+    """Format a number with an SI suffix (1.23 k, 4.56 M, ...)."""
+    a = abs(value)
+    for thresh, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if a >= thresh:
+            return f"{value / thresh:.{digits}g} {suffix}"
+    return f"{value:.{digits}g}"
+
+
+class Table:
+    """Accumulate rows, then render with padded columns.
+
+    >>> t = Table(["operator", "efficiency"])
+    >>> t.add_row(["wilson", "40.0%"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[Any]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "  ".join("-" * w for w in widths)
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.headers))
+        out.append(sep)
+        out.extend(line(r) for r in self.rows)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

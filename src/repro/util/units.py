@@ -1,0 +1,54 @@
+"""Physical units and formatting helpers.
+
+Simulation time is kept in **seconds** (floats); these constants make call
+sites read like the paper ("600 * NS", "8 * GB / SEC").  Byte quantities use
+binary-free decimal multipliers to match the paper's GB/s figures (the paper's
+"8 GBytes/second" is 8e9, i.e. 128 bits x 500 MHz).
+"""
+
+from __future__ import annotations
+
+# --- time ----------------------------------------------------------------
+SEC = 1.0
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+# --- data ----------------------------------------------------------------
+KB = 1e3
+MB = 1e6
+GB = 1e9
+
+# --- frequency -----------------------------------------------------------
+HZ = 1.0
+MHZ = 1e6
+GHZ = 1e9
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with an auto-selected unit, e.g. ``600.0 ns``."""
+    a = abs(seconds)
+    if a >= 1.0:
+        return f"{seconds:.3g} s"
+    if a >= MS:
+        return f"{seconds / MS:.3g} ms"
+    if a >= US:
+        return f"{seconds / US:.3g} us"
+    return f"{seconds / NS:.3g} ns"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Render a byte count with an auto-selected unit, e.g. ``4 MB``."""
+    a = abs(nbytes)
+    if a >= GB:
+        return f"{nbytes / GB:.3g} GB"
+    if a >= MB:
+        return f"{nbytes / MB:.3g} MB"
+    if a >= KB:
+        return f"{nbytes / KB:.3g} kB"
+    return f"{nbytes:.0f} B"
+
+
+def fmt_rate(bytes_per_sec: float) -> str:
+    """Render a bandwidth, e.g. ``1.3 GB/s``."""
+    return fmt_bytes(bytes_per_sec) + "/s"

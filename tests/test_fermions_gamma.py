@@ -1,0 +1,103 @@
+"""Gamma-matrix algebra in the DeGrand-Rossi basis."""
+
+import numpy as np
+import pytest
+
+from repro.fermions.gamma import (
+    GAMMA,
+    GAMMA5,
+    P_MINUS,
+    P_PLUS,
+    apply_spin_matrix,
+    gamma5_sandwich,
+    sigma_munu,
+    spin_project,
+)
+
+
+class TestCliffordAlgebra:
+    def test_anticommutators(self):
+        for mu in range(4):
+            for nu in range(4):
+                anti = GAMMA[mu] @ GAMMA[nu] + GAMMA[nu] @ GAMMA[mu]
+                assert np.allclose(anti, 2 * (mu == nu) * np.eye(4)), (mu, nu)
+
+    def test_hermitian(self):
+        for mu in range(4):
+            assert np.allclose(GAMMA[mu], GAMMA[mu].conj().T)
+
+    def test_gamma5_squares_to_one(self):
+        assert np.allclose(GAMMA5 @ GAMMA5, np.eye(4))
+
+    def test_gamma5_anticommutes_with_all(self):
+        for mu in range(4):
+            assert np.allclose(GAMMA5 @ GAMMA[mu] + GAMMA[mu] @ GAMMA5, 0)
+
+    def test_gamma5_is_product(self):
+        assert np.allclose(GAMMA5, GAMMA[0] @ GAMMA[1] @ GAMMA[2] @ GAMMA[3])
+
+    def test_gamma5_diagonal_chiral_basis(self):
+        # DeGrand-Rossi is a chiral basis: gamma5 diagonal with +-1 pairs.
+        assert np.allclose(GAMMA5, np.diag(np.diag(GAMMA5)))
+        assert sorted(np.diag(GAMMA5).real) == [-1, -1, 1, 1]
+
+    def test_read_only(self):
+        with pytest.raises(ValueError):
+            GAMMA[0, 0, 0] = 1
+
+
+class TestProjectors:
+    def test_chiral_projectors_project(self):
+        assert np.allclose(P_PLUS @ P_PLUS, P_PLUS)
+        assert np.allclose(P_MINUS @ P_MINUS, P_MINUS)
+        assert np.allclose(P_PLUS @ P_MINUS, 0)
+        assert np.allclose(P_PLUS + P_MINUS, np.eye(4))
+
+    def test_spin_project_rank_two(self):
+        # (1 -+ gamma_mu) has rank 2 — the half-spinor compression that
+        # halves QCDOC's wire traffic.
+        for mu in range(4):
+            for sign in (+1, -1):
+                m = np.eye(4) - sign * GAMMA[mu]
+                assert np.linalg.matrix_rank(m) == 2
+
+    def test_spin_project_field(self):
+        rng = np.random.default_rng(3)
+        psi = rng.standard_normal((10, 4, 3)) + 1j * rng.standard_normal((10, 4, 3))
+        out = spin_project(1, +1, psi)
+        ref = np.einsum("st,xtc->xsc", np.eye(4) - GAMMA[1], psi)
+        assert np.allclose(out, ref)
+
+
+class TestSigma:
+    def test_sigma_hermitian(self):
+        for mu in range(4):
+            for nu in range(4):
+                if mu != nu:
+                    s = sigma_munu(mu, nu)
+                    assert np.allclose(s, s.conj().T)
+
+    def test_sigma_antisymmetric(self):
+        assert np.allclose(sigma_munu(0, 1), -sigma_munu(1, 0))
+
+    def test_sigma_diagonal_vanishes(self):
+        assert np.allclose(sigma_munu(2, 2), 0)
+
+    def test_sigma_squares_to_identity(self):
+        # sigma_{mu nu}^2 = 1 for mu != nu in Euclidean space.
+        s = sigma_munu(0, 3)
+        assert np.allclose(s @ s, np.eye(4))
+
+
+class TestFieldHelpers:
+    def test_gamma5_sandwich_is_involution(self):
+        rng = np.random.default_rng(4)
+        psi = rng.standard_normal((7, 4, 3)) + 1j * rng.standard_normal((7, 4, 3))
+        assert np.allclose(gamma5_sandwich(gamma5_sandwich(psi)), psi)
+
+    def test_apply_spin_matrix_broadcasts_over_extra_axes(self):
+        rng = np.random.default_rng(5)
+        psi = rng.standard_normal((2, 7, 4, 3)) + 0j  # e.g. (Ls, V, spin, colour)
+        out = apply_spin_matrix(GAMMA5, psi)
+        assert out.shape == psi.shape
+        assert np.allclose(out[1], apply_spin_matrix(GAMMA5, psi[1]))

@@ -1,0 +1,174 @@
+"""Staggered operators: phases, fat links, Naik term, improved dispersion."""
+
+import numpy as np
+import pytest
+
+from repro.fermions import AsqtadDirac, NaiveStaggeredDirac, fat_links, long_links
+from repro.fermions.staggered import ASQTAD_COEFFS, link_path, staggered_phases
+from repro.lattice import GaugeField, LatticeGeometry
+from repro.util import rng_stream
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def geom():
+    return LatticeGeometry((4, 4, 4, 4))
+
+
+@pytest.fixture
+def rng():
+    return rng_stream(31, "staggered-tests")
+
+
+def random_vec(rng, geom):
+    shape = (geom.volume, 3)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+class TestPhases:
+    def test_values_pm_one(self, geom):
+        eta = staggered_phases(geom)
+        assert set(np.unique(eta)) == {-1.0, 1.0}
+
+    def test_first_direction_trivial(self, geom):
+        eta = staggered_phases(geom)
+        assert np.all(eta[0] == 1.0)
+
+    def test_phase_formula(self, geom):
+        eta = staggered_phases(geom)
+        c = geom.coords
+        assert np.allclose(eta[2], (-1.0) ** (c[:, 0] + c[:, 1]))
+        assert np.allclose(eta[3], (-1.0) ** (c[:, 0] + c[:, 1] + c[:, 2]))
+
+
+class TestLinkPath:
+    def test_single_step_is_link(self, geom, rng):
+        u = GaugeField.hot(geom, rng)
+        assert np.allclose(link_path(u, (1,)), u.links[0])
+
+    def test_forward_backward_cancels(self, geom, rng):
+        u = GaugeField.hot(geom, rng)
+        p = link_path(u, (2, -2))
+        assert np.allclose(p, np.eye(3), atol=1e-12)
+
+    def test_plaquette_path(self, geom, rng):
+        u = GaugeField.hot(geom, rng)
+        p = link_path(u, (1, 2, -1, -2))
+        assert np.allclose(p, u.plaquette_field(0, 1), atol=1e-12)
+
+    def test_bad_step_rejected(self, geom, rng):
+        u = GaugeField.unit(geom)
+        with pytest.raises(ConfigError):
+            link_path(u, (0,))
+        with pytest.raises(ConfigError):
+            link_path(u, (5,))
+        with pytest.raises(ConfigError):
+            link_path(u, ())
+
+
+class TestFatLinks:
+    def test_unit_gauge_gives_nine_eighths(self, geom):
+        # 5/8 + 6/16 + 24/64 + 48/384 - 6/16 = 9/8: the Naik-canonical sum.
+        fat = fat_links(GaugeField.unit(geom))
+        assert np.allclose(fat, (9.0 / 8.0) * np.eye(3), atol=1e-12)
+
+    def test_long_links_are_three_hop_products(self, geom, rng):
+        u = GaugeField.hot(geom, rng)
+        w = long_links(u)
+        g = geom
+        f1 = g.neighbour_fwd(1)
+        f2 = f1[f1]
+        manual = u.links[1] @ u.links[1][f1] @ u.links[1][f2]
+        assert np.allclose(w[1], manual, atol=1e-12)
+
+    def test_fat_links_not_unitary_on_rough_field(self, geom, rng):
+        from repro.lattice.su3 import unitarity_defect
+
+        fat = fat_links(GaugeField.hot(geom, rng))
+        assert unitarity_defect(fat) > 0.01
+
+    def test_path_family_counts(self):
+        from repro.fermions.staggered import _staple_paths
+
+        fams = _staple_paths(0, 4)
+        assert len(fams["staple3"]) == 6
+        assert len(fams["staple5"]) == 24
+        assert len(fams["staple7"]) == 48
+        assert len(fams["lepage"]) == 6
+
+
+class TestNaiveStaggered:
+    def test_hopping_antihermitian(self, geom, rng):
+        u = GaugeField.hot(geom, rng)
+        d = NaiveStaggeredDirac(u, mass=0.0)
+        a, b = random_vec(rng, geom), random_vec(rng, geom)
+        lhs = np.vdot(a, d.hopping(b))
+        rhs = -np.vdot(d.hopping(a), b)
+        assert lhs == pytest.approx(rhs, rel=1e-11)
+
+    def test_normal_operator_parity_block_diagonal(self, geom, rng):
+        u = GaugeField.hot(geom, rng)
+        d = NaiveStaggeredDirac(u, mass=0.1)
+        chi = np.zeros((geom.volume, 3), dtype=complex)
+        chi[geom.even_sites] = 1.0
+        out = d.normal(chi)
+        assert np.allclose(out[geom.odd_sites], 0, atol=1e-12)
+
+    def test_free_dispersion(self, geom):
+        # On unit gauge the eigenvalue on a momentum state along t is
+        # m + i eta-weighted sin(p): check |D chi|^2 = m^2 + sin^2 p.
+        d = NaiveStaggeredDirac(GaugeField.unit(geom), mass=0.5)
+        k = (0, 0, 0, 1)
+        p = 2 * np.pi / 4
+        phase = np.exp(1j * geom.coords @ (2 * np.pi * np.asarray(k) / 4))
+        chi = phase[:, None] * np.ones((geom.volume, 3))
+        out = d.apply(chi)
+        ratio = np.linalg.norm(out) ** 2 / np.linalg.norm(chi) ** 2
+        assert ratio == pytest.approx(0.25 + np.sin(p) ** 2, rel=1e-10)
+
+
+class TestAsqtad:
+    def test_hopping_antihermitian(self, geom, rng):
+        u = GaugeField.hot(geom, rng)
+        d = AsqtadDirac(u, mass=0.0)
+        a, b = random_vec(rng, geom), random_vec(rng, geom)
+        assert np.vdot(a, d.hopping(b)) == pytest.approx(
+            -np.vdot(d.hopping(a), b), rel=1e-10
+        )
+
+    def test_improved_dispersion_beats_naive(self):
+        # (9/8) sin p - (1/24) sin 3p = p + O(p^5): at p = 2 pi / 16 the
+        # ASQTAD effective momentum must be far closer to p than sin p is.
+        geom = LatticeGeometry((16, 2, 2, 2))
+        d = AsqtadDirac(GaugeField.unit(geom), mass=0.0)
+        p = 2 * np.pi / 16
+        phase = np.exp(1j * geom.coords[:, 0] * p)
+        chi = phase[:, None] * np.ones((geom.volume, 3))
+        out = d.apply(chi)
+        # apply = (1/2) eta hopping; on this state out = i sin_eff(p) chi
+        sin_eff = np.abs(np.vdot(chi, out) / np.vdot(chi, chi))
+        expected = (9 / 8) * np.sin(p) - (1 / 24) * np.sin(3 * p)
+        assert sin_eff == pytest.approx(expected, rel=1e-10)
+        assert abs(sin_eff - p) < abs(np.sin(p) - p) / 10
+
+    def test_reduces_to_rescaled_one_link_on_unit_gauge(self, geom, rng):
+        # On U=1 fat links are 9/8 and long links 1, so ASQTAD acts like
+        # the naive operator with (9/8) sinp - (1/24) sin3p kinematics;
+        # cross-check on a random vector against a manual construction.
+        d = AsqtadDirac(GaugeField.unit(geom), mass=0.3)
+        naive = NaiveStaggeredDirac(GaugeField.unit(geom), mass=0.3)
+        chi = random_vec(rng, geom)
+        g = geom
+        manual = 0.3 * chi
+        for mu in range(4):
+            eta = d.phases[mu][:, None]
+            one = chi[g.hop(mu, +1)] - chi[g.hop(mu, -1)]
+            three = chi[g.hop(mu, +3)] - chi[g.hop(mu, -3)]
+            manual += 0.5 * eta * ((9 / 8) * one + (-1 / 24) * three)
+        assert np.allclose(d.apply(chi), manual, atol=1e-12)
+        # and differs from the naive operator
+        assert not np.allclose(d.apply(chi), naive.apply(chi))
+
+    def test_coefficients_exposed(self):
+        assert ASQTAD_COEFFS["naik"] == pytest.approx(-1 / 24)
+        assert ASQTAD_COEFFS["one_link"] == pytest.approx(5 / 8)

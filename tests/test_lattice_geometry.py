@@ -1,0 +1,164 @@
+"""Lattice geometry: indexing, neighbours, parity, tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import LatticeGeometry
+from repro.util.errors import ConfigError
+
+small_shapes = st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=5)
+
+
+class TestIndexing:
+    def test_volume(self):
+        g = LatticeGeometry((4, 4, 4, 8))
+        assert g.volume == 512
+        assert g.ndim == 4
+
+    def test_index_coord_roundtrip(self):
+        g = LatticeGeometry((3, 4, 5))
+        for i in range(g.volume):
+            assert g.index(g.coord(i)) == i
+
+    def test_last_axis_fastest(self):
+        g = LatticeGeometry((2, 3))
+        assert g.index((0, 0)) == 0
+        assert g.index((0, 1)) == 1
+        assert g.index((1, 0)) == 3
+
+    def test_index_wraps_periodically(self):
+        g = LatticeGeometry((4, 4))
+        assert g.index((5, -1)) == g.index((1, 3))
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            LatticeGeometry(())
+        with pytest.raises(ConfigError):
+            LatticeGeometry((4, 0))
+        with pytest.raises(ConfigError):
+            LatticeGeometry((4, 4)).index((1, 2, 3))
+
+    @given(small_shapes)
+    @settings(max_examples=30, deadline=None)
+    def test_coords_table_consistent(self, shape):
+        g = LatticeGeometry(shape)
+        i = g.volume // 2
+        assert g.index(g.coords[i]) == i
+
+
+class TestNeighbours:
+    def test_fwd_moves_plus_one(self):
+        g = LatticeGeometry((4, 4, 4, 4))
+        for mu in range(4):
+            for i in (0, 37, g.volume - 1):
+                c = list(g.coord(i))
+                c[mu] += 1
+                assert g.neighbour_fwd(mu)[i] == g.index(c)
+
+    def test_bwd_inverts_fwd(self):
+        g = LatticeGeometry((3, 5, 2))
+        for mu in range(3):
+            fwd, bwd = g.neighbour_fwd(mu), g.neighbour_bwd(mu)
+            assert np.array_equal(bwd[fwd], np.arange(g.volume))
+            assert np.array_equal(fwd[bwd], np.arange(g.volume))
+
+    def test_hop_composes(self):
+        g = LatticeGeometry((8, 4))
+        f = g.neighbour_fwd(0)
+        assert np.array_equal(g.hop(0, 3), f[f[f]])
+        assert np.array_equal(g.hop(0, -2), g.neighbour_bwd(0)[g.neighbour_bwd(0)])
+        assert np.array_equal(g.hop(1, 0), np.arange(g.volume))
+
+    def test_hop_wraps_around_torus(self):
+        g = LatticeGeometry((4,))
+        assert np.array_equal(g.hop(0, 4), np.arange(4))
+
+    @given(small_shapes, st.integers(min_value=-4, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_hop_matches_coordinate_arithmetic(self, shape, steps):
+        g = LatticeGeometry(shape)
+        mu = len(shape) - 1
+        table = g.hop(mu, steps)
+        i = g.volume - 1
+        c = list(g.coord(i))
+        c[mu] += steps
+        assert table[i] == g.index(c)
+
+
+class TestParity:
+    def test_even_odd_partition(self):
+        g = LatticeGeometry((4, 4, 4, 4))
+        assert len(g.even_sites) + len(g.odd_sites) == g.volume
+        assert len(g.even_sites) == g.volume // 2
+
+    def test_neighbours_flip_parity(self):
+        g = LatticeGeometry((4, 6))
+        for mu in range(2):
+            assert np.all(g.parity[g.neighbour_fwd(mu)] != g.parity)
+
+    def test_origin_is_even(self):
+        g = LatticeGeometry((2, 2))
+        assert g.parity[g.index((0, 0))] == 0
+
+
+class TestTiling:
+    def test_scatter_gather_roundtrip(self):
+        g = LatticeGeometry((4, 4, 4, 4))
+        t = g.tile((2, 2, 1, 2))
+        field = np.arange(g.volume, dtype=float).reshape(g.volume)
+        assert np.array_equal(t.gather(t.scatter(field)), field)
+
+    def test_tile_counts_and_local_shape(self):
+        g = LatticeGeometry((8, 4, 4, 4))
+        t = g.tile((4, 2, 2, 2))
+        assert t.ntiles == 32
+        assert t.local_shape == (2, 2, 2, 2)
+        assert t.local_volume == 16
+
+    def test_tile_owns_contiguous_block(self):
+        g = LatticeGeometry((4, 4))
+        t = g.tile((2, 2))
+        # Site (0,0) and (1,1) belong to tile 0; (2,2) to tile 3.
+        assert t.tile_of[g.index((0, 0))] == 0
+        assert t.tile_of[g.index((1, 1))] == 0
+        assert t.tile_of[g.index((2, 2))] == 3
+
+    def test_local_index_matches_local_geometry(self):
+        g = LatticeGeometry((4, 4))
+        t = g.tile((2, 2))
+        i = g.index((3, 2))  # tile (1,1), local (1,0)
+        assert t.tile_of[i] == t.tile_index((1, 1))
+        assert t.local_of[i] == t.local_geometry.index((1, 0))
+
+    def test_global_of_inverts_ownership(self):
+        g = LatticeGeometry((4, 6))
+        t = g.tile((2, 3))
+        for tile in range(t.ntiles):
+            for j in [0, t.local_volume - 1]:
+                i = t.global_of[tile][j]
+                assert t.tile_of[i] == tile
+                assert t.local_of[i] == j
+
+    def test_neighbour_tile_wraps(self):
+        g = LatticeGeometry((4, 4))
+        t = g.tile((2, 2))
+        tile = t.tile_index((1, 0))
+        assert t.neighbour_tile(tile, 0, +1) == t.tile_index((0, 0))
+        assert t.neighbour_tile(tile, 1, -1) == t.tile_index((1, 1))
+
+    def test_indivisible_grid_rejected(self):
+        g = LatticeGeometry((4, 4))
+        with pytest.raises(ConfigError):
+            g.tile((3, 2))
+        with pytest.raises(ConfigError):
+            g.tile((2,))
+
+    def test_paper_target_volume(self):
+        # Paper section 4: 4^4 local volume on an 8192-node machine gives a
+        # 32^3 x 64 lattice.
+        g = LatticeGeometry((32, 32, 32, 64))
+        t = g.tile((8, 8, 8, 16))
+        assert t.ntiles == 8192
+        assert t.local_shape == (4, 4, 4, 4)

@@ -1,0 +1,143 @@
+"""SU(3) algebra: Haar sampling, exponentials, projection, Gell-Mann basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lattice import su3
+from repro.lattice.su3 import (
+    algebra_coefficients,
+    dagger,
+    determinant_defect,
+    expm_su3,
+    gell_mann,
+    is_su3,
+    project_su3,
+    random_algebra,
+    random_su3,
+    unitarity_defect,
+)
+from repro.util import rng_stream
+
+
+@pytest.fixture
+def rng():
+    return rng_stream(123, "su3-tests")
+
+
+class TestGellMann:
+    def test_traceless(self):
+        gm = gell_mann()
+        assert np.allclose(np.trace(gm, axis1=-2, axis2=-1), 0)
+
+    def test_hermitian(self):
+        gm = gell_mann()
+        assert np.allclose(gm, dagger(gm))
+
+    def test_normalisation(self):
+        # tr(lambda_a lambda_b) = 2 delta_ab
+        gm = gell_mann()
+        gram = np.einsum("aij,bji->ab", gm, gm)
+        assert np.allclose(gram, 2 * np.eye(8), atol=1e-12)
+
+    def test_read_only(self):
+        with pytest.raises(ValueError):
+            gell_mann()[0, 0, 0] = 1
+
+
+class TestRandomSU3:
+    def test_batch_is_unitary_with_unit_det(self, rng):
+        u = random_su3(rng, 50)
+        assert u.shape == (50, 3, 3)
+        assert is_su3(u, tol=1e-10)
+
+    def test_haar_mean_trace_vanishes(self, rng):
+        # E[tr U] = 0 under Haar; check to statistical accuracy.
+        u = random_su3(rng, 4000)
+        mean = np.einsum("nii->n", u).mean()
+        assert abs(mean) < 0.1
+
+    def test_deterministic_given_stream(self):
+        a = random_su3(rng_stream(5, "s"), 4)
+        b = random_su3(rng_stream(5, "s"), 4)
+        assert a.tobytes() == b.tobytes()
+
+
+class TestAlgebraAndExp:
+    def test_random_algebra_is_traceless_antihermitian(self, rng):
+        a = random_algebra(rng, 20)
+        assert np.allclose(np.trace(a, axis1=-2, axis2=-1), 0, atol=1e-12)
+        assert np.allclose(a, -dagger(a))
+
+    def test_exp_of_algebra_is_su3(self, rng):
+        u = expm_su3(random_algebra(rng, 20))
+        assert is_su3(u, tol=1e-10)
+
+    def test_exp_of_zero_is_identity(self):
+        z = np.zeros((1, 3, 3), dtype=complex)
+        assert np.allclose(expm_su3(z), np.eye(3))
+
+    def test_exp_matches_scipy(self, rng):
+        from scipy.linalg import expm
+
+        a = random_algebra(rng, 5)
+        ours = expm_su3(a)
+        for k in range(5):
+            assert np.allclose(ours[k], expm(a[k]), atol=1e-12)
+
+    def test_small_step_linearisation(self, rng):
+        a = random_algebra(rng, 3, scale=1e-6)
+        assert np.allclose(expm_su3(a), np.eye(3) + a, atol=1e-10)
+
+    def test_coefficients_roundtrip(self, rng):
+        c = rng.standard_normal((10, 8))
+        a = 1j * np.einsum("na,aij->nij", c, gell_mann() / 2.0)
+        assert np.allclose(algebra_coefficients(a), c, atol=1e-12)
+
+
+class TestProjection:
+    def test_projection_restores_su3(self, rng):
+        u = random_su3(rng, 10)
+        noisy = u + 1e-3 * (
+            rng.standard_normal(u.shape) + 1j * rng.standard_normal(u.shape)
+        )
+        assert not is_su3(noisy, tol=1e-6)
+        fixed = project_su3(noisy)
+        assert is_su3(fixed, tol=1e-10)
+        # Projection of a small perturbation stays close to the original.
+        assert np.max(np.abs(fixed - u)) < 5e-3
+
+    def test_projection_idempotent_on_su3(self, rng):
+        u = random_su3(rng, 5)
+        assert np.allclose(project_su3(u), u, atol=1e-12)
+
+    def test_defect_measures(self, rng):
+        u = random_su3(rng, 5)
+        assert unitarity_defect(u) < 1e-12
+        assert determinant_defect(u) < 1e-12
+        assert unitarity_defect(2 * u) > 1.0
+
+
+class TestHypothesisInvariants:
+    @given(st.integers(min_value=0, max_value=2**32), st.floats(0.01, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_group_closure(self, seed, scale):
+        rng = rng_stream(seed, "closure")
+        u = expm_su3(random_algebra(rng, 2, scale=scale))
+        prod = u[0] @ u[1]
+        assert is_su3(prod[np.newaxis], tol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_inverse_is_dagger(self, seed):
+        u = random_su3(rng_stream(seed, "inv"), 1)
+        assert np.allclose(u @ dagger(u), np.eye(3), atol=1e-10)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=10, deadline=None)
+    def test_su3_distance_triangle(self, seed):
+        rng = rng_stream(seed, "tri")
+        a, b, c = random_su3(rng, 3)
+        d = su3.su3_distance
+        assert d(a[None], c[None]) <= d(a[None], b[None]) + d(b[None], c[None]) + 1e-12

@@ -1,0 +1,104 @@
+"""ASIC/machine configuration: every published number must come out."""
+
+import pytest
+
+from repro.machine.asic import ASICConfig, MachineConfig, PRESETS
+from repro.util.units import GB, MHZ, NS, US
+from repro.util.errors import ConfigError
+
+
+class TestASICNumbers:
+    """Paper sections 2.1-2.2."""
+
+    @pytest.fixture
+    def asic(self):
+        return ASICConfig()
+
+    def test_peak_1_gflops_at_500mhz(self, asic):
+        assert asic.peak_flops == pytest.approx(1e9)
+
+    def test_edram_bandwidth_8_gbps(self, asic):
+        # "128 bit words at the full speed of the processor ...
+        #  a maximum bandwidth of 8 GBytes/second"
+        assert asic.edram_bandwidth == pytest.approx(8 * GB)
+
+    def test_ddr_bandwidth_2_6_gbps(self, asic):
+        assert asic.ddr_bandwidth == pytest.approx(2.6 * GB)
+
+    def test_total_link_bandwidth_1_3_gbps(self, asic):
+        # 24 concurrent unidirectional bit-serial links
+        assert asic.total_link_bandwidth == pytest.approx(1.333 * GB, rel=0.03)
+
+    def test_neighbour_latency_600ns(self, asic):
+        assert asic.neighbour_latency == pytest.approx(600 * NS)
+
+    def test_24_word_transfer_time(self, asic):
+        # "for transfers as small as 24, 64 bit words ... the latency of
+        # 600 ns for the first word is still small compared to the 3.3 us
+        # time for the remaining 23 words"
+        remaining = 23 * asic.word_serialisation_time
+        assert remaining == pytest.approx(3.3 * US, rel=0.01)
+
+    def test_ethernet_latency_comparison(self, asic):
+        # "to be compared to times of 5-10 us just to begin a transfer
+        # when using standard networks like Ethernet"
+        assert asic.neighbour_latency < (5 * US) / 8
+
+    def test_frame_format(self, asic):
+        assert asic.frame_bits == 72  # 8-bit header + 64-bit payload
+        assert asic.ack_window_words == 3
+        assert asic.idle_hold_words == 3
+
+    def test_clock_scaling(self, asic):
+        slow = asic.at_clock(360 * MHZ)
+        assert slow.peak_flops == pytest.approx(0.72e9)
+        # latency components that are wire/DMA constants don't scale, the
+        # serialisation does:
+        assert slow.word_serialisation_time == pytest.approx(72 / (360 * MHZ))
+        with pytest.raises(ConfigError):
+            asic.at_clock(0)
+
+
+class TestMachineConfigs:
+    """Paper sections 2.4 and 4."""
+
+    def test_presets_node_counts(self):
+        expected = {
+            "motherboard-64": 64,
+            "benchmark-128": 128,
+            "columbia-512": 512,
+            "rack-1024": 1024,
+            "columbia-4096": 4096,
+            "production-12288": 12288,
+        }
+        for name, n in expected.items():
+            assert PRESETS[name].n_nodes == n, name
+
+    def test_rack_packaging(self):
+        cfg = PRESETS["rack-1024"]
+        # 2 nodes/daughterboard x 32/motherboard x 8/crate x 2 crates
+        assert cfg.nodes_per_motherboard == 64
+        assert cfg.nodes_per_rack == 1024
+
+    def test_rack_is_1_teraflops_under_10kw(self):
+        cfg = PRESETS["rack-1024"]
+        assert cfg.peak_flops == pytest.approx(1.024e12, rel=0.03)
+        # "about 20 Watts" per 2-node daughterboard, rack under 10 kW
+        assert cfg.power_watts() == pytest.approx(9_472, rel=0.01)
+        assert cfg.power_watts() < cfg.rack_power_budget_watts
+
+    def test_production_machine_10_teraflops(self):
+        cfg = PRESETS["production-12288"]
+        assert cfg.peak_flops > 10e12  # "10+ Teraflops"
+        assert cfg.peak_flops == pytest.approx(12.288e12)
+
+    def test_benchmark_machine_runs_at_450mhz(self):
+        cfg = PRESETS["benchmark-128"]
+        assert cfg.asic.clock_hz == pytest.approx(450 * MHZ)
+        assert cfg.asic.peak_flops == pytest.approx(0.9e9)
+
+    def test_512_machine_dims_match_paper(self):
+        # "a machine of size 8x4x4x2x2x2" is the 1024 rack; the 512-node
+        # Columbia machine drops one factor of 2.
+        assert PRESETS["columbia-512"].dims == (8, 4, 4, 2, 2, 1)
+        assert PRESETS["rack-1024"].dims == (8, 4, 4, 2, 2, 2)

@@ -1,0 +1,131 @@
+"""Global sums/broadcasts: hop formulas, determinism, timing."""
+
+import numpy as np
+import pytest
+
+from repro.machine.asic import ASICConfig
+from repro.machine.globalops import GlobalOpsEngine, broadcast_hops, sum_hops
+from repro.sim.core import Simulator
+from repro.util.errors import MachineError
+
+
+class TestHopFormulas:
+    def test_paper_formula_single_mode(self):
+        # "a global sum by having data hop between Nx+Ny+Nz+Nt-4 nodes"
+        dims = (8, 8, 8, 16)
+        assert sum_hops(dims) == 8 + 8 + 8 + 16 - 4
+
+    def test_paper_formula_doubled_mode(self):
+        # "the sum can be reduced to requiring Nx/2+Ny/2+Nz/2+Nt/2 hops"
+        dims = (8, 8, 8, 16)
+        assert sum_hops(dims, doubled=True) == 4 + 4 + 4 + 8
+
+    def test_trivial_axes_cost_nothing(self):
+        assert sum_hops((4, 1, 1)) == 3
+        assert broadcast_hops((1, 1)) == 0
+
+
+def engine(dims=(2, 2), doubled=True):
+    sim = Simulator()
+    return sim, GlobalOpsEngine(sim, ASICConfig(), dims, doubled=doubled)
+
+
+class TestGlobalSum:
+    def test_sums_scalars(self):
+        sim, eng = engine((2, 2))
+        events = [eng.contribute_sum(r, np.array([float(r)])) for r in range(4)]
+        sim.run(until=sim.all_of(events))
+        for ev in events:
+            assert ev.value[0] == 0.0 + 1 + 2 + 3
+
+    def test_sums_vectors(self):
+        sim, eng = engine((4, 1))
+        events = [
+            eng.contribute_sum(r, np.full(5, r + 1, dtype=float)) for r in range(4)
+        ]
+        sim.run(until=sim.all_of(events))
+        assert np.array_equal(events[2].value, np.full(5, 10.0))
+
+    def test_all_ranks_get_bitwise_identical_results(self):
+        # The canonical accumulation order makes results identical on every
+        # node — the foundation of the paper's bit-exact re-runs.
+        sim, eng = engine((2, 2, 2))
+        rng = np.random.default_rng(9)
+        vals = rng.standard_normal((8, 16))
+        events = [eng.contribute_sum(r, vals[r]) for r in range(8)]
+        sim.run(until=sim.all_of(events))
+        ref = events[0].value.tobytes()
+        assert all(ev.value.tobytes() == ref for ev in events)
+
+    def test_contribution_order_does_not_change_result(self):
+        def run(order):
+            sim, eng = engine((2, 2))
+            vals = [np.array([10.0 ** (r - 2)]) for r in range(4)]
+            events = {}
+            for r in order:
+                events[r] = eng.contribute_sum(r, vals[r])
+            sim.run(until=sim.all_of(list(events.values())))
+            return events[0].value.tobytes()
+
+        assert run([0, 1, 2, 3]) == run([3, 1, 0, 2])
+
+    def test_double_contribution_rejected(self):
+        _sim, eng = engine((2, 1))
+        eng.contribute_sum(0, np.ones(1))
+        with pytest.raises(MachineError, match="twice"):
+            eng.contribute_sum(0, np.ones(1))
+
+    def test_shape_mismatch_rejected(self):
+        _sim, eng = engine((2, 1))
+        eng.contribute_sum(0, np.ones(3))
+        with pytest.raises(MachineError, match="shape"):
+            eng.contribute_sum(1, np.ones(4))
+
+    def test_consecutive_rounds(self):
+        sim, eng = engine((2, 1))
+        for round_ in range(3):
+            evs = [eng.contribute_sum(r, np.array([1.0])) for r in range(2)]
+            sim.run(until=sim.all_of(evs))
+            assert evs[0].value[0] == 2.0
+        assert len(eng.history) == 3
+
+    def test_complex_payloads(self):
+        sim, eng = engine((2, 1))
+        evs = [
+            eng.contribute_sum(0, np.array([1 + 2j])),
+            eng.contribute_sum(1, np.array([3 - 1j])),
+        ]
+        sim.run(until=sim.all_of(evs))
+        assert evs[0].value[0] == 4 + 1j
+
+
+class TestTiming:
+    def test_doubled_mode_is_faster(self):
+        _s1, single = engine((8, 8, 8, 16), doubled=False)
+        _s2, doubled = engine((8, 8, 8, 16), doubled=True)
+        assert doubled.reduction_time(1) < single.reduction_time(1)
+
+    def test_time_scales_with_hops(self):
+        _s, eng = engine((16, 1), doubled=False)
+        _s2, eng2 = engine((4, 1), doubled=False)
+        t_long = eng.reduction_time(1)
+        t_short = eng2.reduction_time(1)
+        asic = ASICConfig()
+        assert t_long - t_short == pytest.approx(12 * asic.passthrough_latency)
+
+    def test_cut_through_beats_store_and_forward(self):
+        # Pass-through forwards after 8 bits; store-and-forward would pay a
+        # full word serialisation per hop.
+        asic = ASICConfig()
+        _s, eng = engine((16, 16, 16, 3), doubled=False)
+        hops = sum_hops((16, 16, 16, 3))
+        store_forward = hops * asic.word_serialisation_time
+        assert eng.reduction_time(1) < store_forward
+
+    def test_duration_recorded_in_history(self):
+        sim, eng = engine((4, 1))
+        t0 = sim.now
+        evs = [eng.contribute_sum(r, np.ones(2)) for r in range(4)]
+        sim.run(until=sim.all_of(evs))
+        assert sim.now - t0 == pytest.approx(eng.history[0].duration)
+        assert eng.history[0].hops == sum_hops((4, 1), doubled=True)

@@ -1,0 +1,103 @@
+"""Partition interrupts: flooding, synchronised sampling, deduplication."""
+
+import pytest
+
+from repro.machine.asic import ASICConfig, MachineConfig
+from repro.machine.interrupts import GlobalClock, safe_period
+from repro.machine.machine import QCDOCMachine
+from repro.sim.core import Simulator
+from repro.util.errors import ConfigError
+
+
+def machine(dims=(2, 2, 2, 1, 1, 1)):
+    m = QCDOCMachine(MachineConfig(dims=dims))
+    m.bring_up()
+    return m
+
+
+class TestGlobalClock:
+    def test_sample_boundaries(self):
+        sim = Simulator()
+        clk = GlobalClock(sim, period=1.0)
+        assert clk.next_sample_time() == 1.0
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert clk.next_sample_time() == 3.0
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigError):
+            GlobalClock(Simulator(), period=0.0)
+
+    def test_safe_period_scales_with_diameter(self):
+        asic = ASICConfig()
+        assert safe_period(asic, 20) > safe_period(asic, 5)
+
+
+class TestFlooding:
+    def test_interrupt_reaches_every_node(self):
+        m = machine()
+        m.raise_partition_interrupt(0, 0b1)
+        m.sim.run()
+        for node_id, ctrl in m.interrupts.items():
+            assert ctrl.presented_bits & 0b1, f"node {node_id} missed the IRQ"
+
+    def test_all_nodes_sample_at_same_instant(self):
+        # The point of the transmit-window design: a 12,288-node machine
+        # observes one interrupt state, coherently.
+        m = machine()
+        seen = {}
+        for node_id, ctrl in m.interrupts.items():
+            ctrl.on_present = (
+                lambda bits, nid=node_id: seen.__setitem__(nid, m.sim.now)
+            )
+        m.raise_partition_interrupt(3, 0b10)
+        m.sim.run()
+        times = set(seen.values())
+        assert len(seen) == m.n_nodes
+        assert len(times) == 1  # identical sample instant everywhere
+
+    def test_forwarding_terminates(self):
+        # Dedup by seen-bits: the flood must not circulate forever on the
+        # torus.  (sim.run() returning at all proves termination; check the
+        # trace is bounded by one forward per node.)
+        m = QCDOCMachine(MachineConfig(dims=(2, 2, 1, 1, 1, 1)), trace=True)
+        m.bring_up()
+        m.raise_partition_interrupt(0, 0b100)
+        m.sim.run()
+        forwards = m.trace.count("irq.forward")
+        assert forwards == m.n_nodes  # each node forwards the new bit once
+
+    def test_distinct_bits_accumulate(self):
+        m = machine()
+        m.raise_partition_interrupt(0, 0b01)
+        m.sim.run()
+        m.raise_partition_interrupt(5, 0b10)
+        m.sim.run()
+        for ctrl in m.interrupts.values():
+            assert ctrl.presented_bits == 0b11
+
+    def test_duplicate_raise_is_absorbed(self):
+        m = machine()
+        m.raise_partition_interrupt(0, 0b1)
+        m.sim.run()
+        before = {i: c.presented_bits for i, c in m.interrupts.items()}
+        m.raise_partition_interrupt(1, 0b1)  # same bit from elsewhere
+        m.sim.run()
+        after = {i: c.presented_bits for i, c in m.interrupts.items()}
+        assert before == after
+
+    def test_clear_allows_reraise(self):
+        m = machine()
+        m.raise_partition_interrupt(0, 0b1)
+        m.sim.run()
+        for ctrl in m.interrupts.values():
+            ctrl.clear()
+        m.raise_partition_interrupt(2, 0b1)
+        m.sim.run()
+        for ctrl in m.interrupts.values():
+            assert ctrl.presented_bits == 0b1
+
+    def test_empty_raise_rejected(self):
+        m = machine()
+        with pytest.raises(ConfigError):
+            m.raise_partition_interrupt(0, 0)

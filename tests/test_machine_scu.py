@@ -1,0 +1,276 @@
+"""SCU protocol: DMA transfers, latency, windows, idle receive, resends,
+supervisor packets, persistent descriptors, checksums."""
+
+import numpy as np
+import pytest
+
+from repro.machine.asic import ASICConfig, MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.machine.scu import DmaDescriptor
+from repro.util.errors import ProtocolError
+from repro.util.units import NS, US
+
+
+def two_node_machine(**kwargs):
+    m = QCDOCMachine(MachineConfig(dims=(2, 1, 1, 1, 1, 1)), **kwargs)
+    m.bring_up()
+    return m
+
+
+def send_words(m, n, src=0, dst=1, payload=None, post_recv_first=True):
+    """Helper: transfer n words from node src to node dst on axis 0 (+)."""
+    data = (
+        np.arange(1, n + 1, dtype=np.uint64) if payload is None else payload
+    )
+    m.nodes[src].memory.alloc("tx", data.astype(np.uint64))
+    m.nodes[dst].memory.alloc("rx", np.zeros(n, dtype=np.uint64))
+    direction = m.topology.direction(0, +1)
+    arrival = m.topology.opposite(direction)
+    recv_done = send_done = None
+    if post_recv_first:
+        recv_done = m.nodes[dst].scu.recv(arrival, DmaDescriptor("rx", block_len=n))
+        send_done = m.nodes[src].scu.send(direction, DmaDescriptor("tx", block_len=n))
+    else:
+        send_done = m.nodes[src].scu.send(direction, DmaDescriptor("tx", block_len=n))
+        recv_done = m.nodes[dst].scu.recv(arrival, DmaDescriptor("rx", block_len=n))
+    return data, send_done, recv_done
+
+
+class TestDmaDescriptor:
+    def test_contiguous_indices(self):
+        d = DmaDescriptor("b", block_len=4, offset=10)
+        assert np.array_equal(d.indices(), [10, 11, 12, 13])
+        assert d.total_words == 4
+
+    def test_block_strided_indices(self):
+        d = DmaDescriptor("b", block_len=2, nblocks=3, stride=5, offset=1)
+        assert np.array_equal(d.indices(), [1, 2, 6, 7, 11, 12])
+
+    def test_bad_descriptors_rejected(self):
+        with pytest.raises(ProtocolError):
+            DmaDescriptor("b", block_len=0)
+        with pytest.raises(ProtocolError):
+            DmaDescriptor("b", block_len=4, nblocks=2, stride=2)
+
+
+class TestBasicTransfer:
+    def test_data_arrives_intact(self):
+        m = two_node_machine()
+        data, send_done, recv_done = send_words(m, 24)
+        m.sim.run(until=m.sim.all_of([send_done, recv_done]))
+        assert np.array_equal(m.nodes[1].memory.get("rx"), data)
+
+    def test_first_word_latency_is_600ns(self):
+        m = two_node_machine()
+        t0 = m.sim.now
+        _data, _send, recv_done = send_words(m, 1)
+        m.sim.run(until=recv_done)
+        assert m.sim.now - t0 == pytest.approx(600 * NS, rel=1e-9)
+
+    def test_24_word_transfer_matches_paper_arithmetic(self):
+        # 600 ns first word + 23 x 144 ns streaming = 3.912 us ~ "600 ns
+        # + 3.3 us for the remaining 23 words".
+        m = two_node_machine()
+        t0 = m.sim.now
+        _data, _send, recv_done = send_words(m, 24)
+        m.sim.run(until=recv_done)
+        asic = m.asic
+        expected = asic.neighbour_latency + 23 * asic.word_serialisation_time
+        assert m.sim.now - t0 == pytest.approx(expected, rel=1e-9)
+
+    def test_sustained_link_bandwidth(self):
+        # A long transfer approaches 64 payload bits / 72 wire bits of the
+        # 500 Mbit/s wire = 55.6 MB/s.
+        m = two_node_machine()
+        n = 2000
+        t0 = m.sim.now
+        _data, _send, recv_done = send_words(m, n)
+        m.sim.run(until=recv_done)
+        rate = 8.0 * n / (m.sim.now - t0)
+        assert rate == pytest.approx(m.asic.link_bandwidth, rel=0.02)
+
+    def test_block_strided_gather_scatter(self):
+        m = two_node_machine()
+        src = np.arange(100, dtype=np.uint64)
+        m.nodes[0].memory.alloc("tx", src)
+        m.nodes[1].memory.alloc("rx", np.zeros(100, dtype=np.uint64))
+        d_out = m.topology.direction(0, +1)
+        d_in = m.topology.opposite(d_out)
+        # send every 10th pair, place them at the start of rx
+        send_desc = DmaDescriptor("tx", block_len=2, nblocks=5, stride=10)
+        recv_desc = DmaDescriptor("rx", block_len=10)
+        recv_done = m.nodes[1].scu.recv(d_in, recv_desc)
+        m.nodes[0].scu.send(d_out, send_desc)
+        m.sim.run(until=recv_done)
+        expected = src[send_desc.indices()]
+        assert np.array_equal(m.nodes[1].memory.get("rx")[:10], expected)
+
+
+class TestIdleReceive:
+    def test_send_before_recv_blocks_then_completes(self):
+        # "there need be no temporal ordering between software issuing a
+        # send on one node and a receive on another"
+        m = two_node_machine()
+        n = 10
+        data = np.arange(1, n + 1, dtype=np.uint64)
+        m.nodes[0].memory.alloc("tx", data)
+        m.nodes[1].memory.alloc("rx", np.zeros(n, dtype=np.uint64))
+        d_out = m.topology.direction(0, +1)
+        d_in = m.topology.opposite(d_out)
+        send_done = m.nodes[0].scu.send(d_out, DmaDescriptor("tx", block_len=n))
+
+        # run 20 us: sender must be stalled after 3 unacked words
+        m.sim.run(max_time=m.sim.now + 20 * US)
+        sender = m.nodes[0].scu.send_units[d_out]
+        assert not send_done.triggered
+        assert sender.next == 3  # exactly the three-in-the-air window
+        held = m.nodes[1].scu.recv_units[d_in].held_words
+        assert held == 3  # held in SCU registers, unacknowledged
+
+        recv_done = m.nodes[1].scu.recv(d_in, DmaDescriptor("rx", block_len=n))
+        m.sim.run(until=m.sim.all_of([send_done, recv_done]))
+        assert np.array_equal(m.nodes[1].memory.get("rx"), data)
+
+    def test_window_never_exceeds_three_unacked(self):
+        m = two_node_machine(trace=True)
+        _data, send_done, recv_done = send_words(m, 50)
+        sender = m.nodes[0].scu.send_units[m.topology.direction(0, +1)]
+        max_in_flight = 0
+        while not (send_done.triggered and recv_done.triggered):
+            m.sim.step()
+            max_in_flight = max(max_in_flight, sender.next - sender.base)
+        assert max_in_flight <= 3
+
+
+class TestFaultInjectionAndResend:
+    def test_resends_recover_corrupted_words(self):
+        m = two_node_machine(bit_error_rate=2e-3, seed=7, trace=True)
+        n = 60
+        data, send_done, recv_done = send_words(m, n)
+        m.sim.run(until=m.sim.all_of([send_done, recv_done]), max_time=1.0)
+        assert np.array_equal(m.nodes[1].memory.get("rx"), data)
+        assert m.network.total_faults_injected() > 0
+        sender = m.nodes[0].scu.send_units[m.topology.direction(0, +1)]
+        assert sender.resends >= 1
+
+    def test_checksums_match_despite_resends(self):
+        m = two_node_machine(bit_error_rate=2e-3, seed=11)
+        _data, send_done, recv_done = send_words(m, 60)
+        m.sim.run(until=m.sim.all_of([send_done, recv_done]), max_time=1.0)
+        assert m.audit_checksums() == []
+
+    def test_fault_injection_is_deterministic(self):
+        def run(seed):
+            m = two_node_machine(bit_error_rate=2e-3, seed=seed)
+            _d, s, r = send_words(m, 60)
+            m.sim.run(until=m.sim.all_of([s, r]), max_time=1.0)
+            return (
+                m.network.total_faults_injected(),
+                m.sim.now,
+                m.nodes[1].memory.get("rx").tobytes(),
+            )
+
+        assert run(3) == run(3)
+        assert run(3)[0] != run(4)[0] or run(3)[1] != run(4)[1]
+
+    def test_undetected_corruption_caught_by_audit(self):
+        # Manually corrupt a word bit-exactly in the receive buffer after
+        # checksumming on one side only: the end-of-run audit must flag it.
+        m = two_node_machine()
+        _data, send_done, recv_done = send_words(m, 5)
+        m.sim.run(until=m.sim.all_of([send_done, recv_done]))
+        d_in = m.topology.opposite(m.topology.direction(0, +1))
+        m.nodes[1].scu.recv_units[d_in].checksum.update(
+            np.array([0xBAD], dtype=np.uint64)
+        )
+        audit = m.audit_checksums()
+        assert len(audit) == 1 and "n0.d0->n1" in audit[0]
+
+
+class TestSupervisorPackets:
+    def test_supervisor_raises_neighbour_interrupt(self):
+        m = two_node_machine()
+        d_out = m.topology.direction(0, +1)
+        d_in = m.topology.opposite(d_out)
+        m.nodes[0].scu.send_supervisor(d_out, 0xCAFE)
+        waiter = m.nodes[1].wait_supervisor()
+        m.sim.run(until=waiter)
+        direction, word = waiter.value
+        assert word == 0xCAFE
+        assert direction == d_in
+        assert m.nodes[1].scu.supervisor_reg[d_in] == 0xCAFE
+
+    def test_supervisor_interleaves_with_data(self):
+        # Supervisor packets share the wire; they must not corrupt an
+        # in-flight DMA stream.
+        m = two_node_machine()
+        data, send_done, recv_done = send_words(m, 30)
+        waiter = m.nodes[1].wait_supervisor()
+        m.sim.schedule(1 * US, lambda: m.nodes[0].scu.send_supervisor(
+            m.topology.direction(0, +1), 42
+        ))
+        m.sim.run(until=m.sim.all_of([send_done, recv_done, waiter]))
+        assert np.array_equal(m.nodes[1].memory.get("rx"), data)
+        assert waiter.value[1] == 42
+
+
+class TestPersistentDescriptors:
+    def test_single_start_runs_stored_transfers(self):
+        # Paper section 3.3: "only a single write (start transfer) is
+        # needed to start up to 24 communications".
+        m = two_node_machine()
+        n = 8
+        data = np.arange(1, n + 1, dtype=np.uint64)
+        m.nodes[0].memory.alloc("tx", data)
+        m.nodes[1].memory.alloc("rx", np.zeros(n, dtype=np.uint64))
+        d_out = m.topology.direction(0, +1)
+        d_in = m.topology.opposite(d_out)
+        m.nodes[0].scu.store_descriptor("send", d_out, DmaDescriptor("tx", block_len=n))
+        m.nodes[1].scu.store_descriptor("recv", d_in, DmaDescriptor("rx", block_len=n))
+        ev_rx = m.nodes[1].scu.start_stored()
+        ev_tx = m.nodes[0].scu.start_stored()
+        m.sim.run(until=m.sim.all_of(list(ev_rx.values()) + list(ev_tx.values())))
+        assert np.array_equal(m.nodes[1].memory.get("rx"), data)
+
+    def test_stored_descriptor_reusable_across_rounds(self):
+        m = two_node_machine()
+        n = 4
+        tx = m.nodes[0].memory.alloc("tx", np.zeros(n, dtype=np.uint64))
+        m.nodes[1].memory.alloc("rx", np.zeros(n, dtype=np.uint64))
+        d_out = m.topology.direction(0, +1)
+        d_in = m.topology.opposite(d_out)
+        m.nodes[0].scu.store_descriptor("send", d_out, DmaDescriptor("tx", block_len=n))
+        m.nodes[1].scu.store_descriptor("recv", d_in, DmaDescriptor("rx", block_len=n))
+        for round_ in range(3):
+            tx[:] = np.arange(n, dtype=np.uint64) + 100 * round_
+            evs = list(m.nodes[1].scu.start_stored().values()) + list(
+                m.nodes[0].scu.start_stored().values()
+            )
+            m.sim.run(until=m.sim.all_of(evs))
+            assert np.array_equal(m.nodes[1].memory.get("rx"), tx)
+
+
+class TestBatchedMode:
+    def test_batched_transfer_same_data_same_bandwidth(self):
+        # word_batch > 1 is a simulation accelerator: same payload, same
+        # asymptotic timing.
+        times = {}
+        for batch in (1, 16):
+            m = QCDOCMachine(
+                MachineConfig(dims=(2, 1, 1, 1, 1, 1)), word_batch=batch
+            )
+            m.bring_up()
+            t0 = m.sim.now
+            data, send_done, recv_done = send_words(m, 480)
+            m.sim.run(until=m.sim.all_of([send_done, recv_done]))
+            times[batch] = m.sim.now - t0
+            assert np.array_equal(m.nodes[1].memory.get("rx"), data)
+        assert times[16] == pytest.approx(times[1], rel=0.05)
+
+    def test_double_start_rejected(self):
+        m = two_node_machine()
+        m.nodes[0].memory.alloc("tx", np.zeros(500, dtype=np.uint64))
+        d_out = m.topology.direction(0, +1)
+        m.nodes[0].scu.send(d_out, DmaDescriptor("tx", block_len=500))
+        with pytest.raises(ProtocolError, match="active"):
+            m.nodes[0].scu.send(d_out, DmaDescriptor("tx", block_len=500))

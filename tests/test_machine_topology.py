@@ -1,0 +1,190 @@
+"""6D torus topology, serpentine folding, software partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.machine.topology import (
+    Partition,
+    TorusTopology,
+    fold_axes,
+    snake_cycle,
+    snake_is_cyclic,
+)
+from repro.util.errors import ConfigError
+
+
+class TestTorusTopology:
+    def test_node_counts(self):
+        t = TorusTopology((8, 4, 4, 2, 2, 2))
+        assert t.n_nodes == 1024  # the paper's single-rack machine
+        assert t.ndim == 6
+        assert t.n_directions == 12  # "12 nearest neighbors"
+
+    def test_direction_codes_roundtrip(self):
+        t = TorusTopology((2, 2, 2))
+        for axis in range(3):
+            for sign in (+1, -1):
+                d = t.direction(axis, sign)
+                assert t.direction_axis_sign(d) == (axis, sign)
+                assert t.opposite(d) == t.direction(axis, -sign)
+
+    def test_neighbour_wraps(self):
+        t = TorusTopology((4, 2))
+        edge = t.node((3, 1))
+        assert t.neighbour(edge, 0, +1) == t.node((0, 1))
+        assert t.neighbour(edge, 1, +1) == t.node((3, 0))
+
+    def test_link_count(self):
+        # 2 unidirectional links per axis per node, skipping extent-1 axes.
+        t = TorusTopology((4, 4, 1))
+        assert len(t.links()) == t.n_nodes * 4
+
+    def test_hop_distance(self):
+        t = TorusTopology((8, 8))
+        assert t.hop_distance(t.node((0, 0)), t.node((7, 0))) == 1  # wrap
+        assert t.hop_distance(t.node((0, 0)), t.node((4, 4))) == 8
+        assert t.hop_distance(3, 3) == 0
+
+
+class TestSnakeCycle:
+    @pytest.mark.parametrize("shape", [(2,), (4, 4), (2, 3), (4, 2, 2), (2, 2, 2, 2)])
+    def test_visits_every_cell_once(self, shape):
+        walk = snake_cycle(shape)
+        assert walk.shape == (int(np.prod(shape)), len(shape))
+        assert len({tuple(c) for c in walk}) == len(walk)
+
+    @pytest.mark.parametrize("shape", [(4, 4), (2, 3), (4, 2, 2), (8, 4, 2), (2, 2, 2)])
+    def test_consecutive_cells_adjacent(self, shape):
+        walk = snake_cycle(shape)
+        diffs = np.abs(np.diff(walk, axis=0))
+        assert np.all(diffs.sum(axis=1) == 1)
+
+    @pytest.mark.parametrize("shape", [(4, 4), (2, 3), (6, 5), (2, 2, 2)])
+    def test_even_leading_axis_closes_cycle(self, shape):
+        assert snake_is_cyclic(shape)
+        walk = snake_cycle(shape)
+        first, last = walk[0], walk[-1]
+        # one periodic hop apart
+        delta = np.abs(first - last)
+        wrap = np.minimum(delta, np.array(shape) - delta)
+        assert wrap.sum() == 1
+
+    def test_odd_leading_axis_not_cyclic(self):
+        assert not snake_is_cyclic((3, 4))
+        assert snake_is_cyclic((3,))  # single axis uses the torus wrap
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            snake_cycle(())
+
+
+class TestFoldAxes:
+    def test_logical_dims(self):
+        f = fold_axes((4, 4, 2, 2, 1, 1), [(0,), (1,), (2, 3)])
+        assert f.logical_dims == (4, 4, 4)
+
+    def test_unfolded_nontrivial_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            fold_axes((4, 4), [(0,)])
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            fold_axes((4, 4), [(0, 1), (1,)])
+
+    def test_folded_coordinates_cover_box(self):
+        f = fold_axes((2, 2, 4, 1, 1, 1), [(0, 1, 2)])
+        coords = {f.to_physical((i,)) for i in range(16)}
+        assert len(coords) == 16
+
+    def test_odd_group_leading_axis_needs_open_mode(self):
+        with pytest.raises(ConfigError):
+            fold_axes((3, 2), [(0, 1)])
+        f = fold_axes((3, 2), [(0, 1)], require_periodic=False)
+        assert f.logical_dims == (6,)
+
+
+class TestPartition:
+    @pytest.fixture
+    def rack(self):
+        return TorusTopology((8, 4, 4, 2, 2, 2))  # 1024 nodes
+
+    def test_full_machine_4d_partition_adjacency(self, rack):
+        # The paper's QCD mapping: 6D -> 4D by folding the three size-2
+        # axes onto the size-4 axes... here (3,4) and (5,) variants.
+        p = Partition(
+            rack,
+            origin=(0,) * 6,
+            extents=rack.dims,
+            groups=[(0,), (1,), (2, 3), (4, 5)],
+        )
+        assert p.logical_dims == (8, 4, 8, 4)
+        assert p.n_nodes == 1024
+        # every logical neighbour pair is one physical hop:
+        assert p.adjacency_audit() == 1024 * 4 * 2
+
+    def test_fold_to_one_dimension(self, rack):
+        p = Partition(
+            rack,
+            origin=(0,) * 6,
+            extents=rack.dims,
+            groups=[(0, 1, 2, 3, 4, 5)],
+        )
+        assert p.logical_dims == (1024,)
+        assert p.adjacency_audit() == 1024 * 2
+
+    def test_subbox_allocation(self, rack):
+        p = Partition(
+            rack,
+            origin=(0, 0, 0, 0, 0, 0),
+            extents=(8, 4, 1, 1, 1, 1),
+            groups=[(0,), (1,)],
+        )
+        assert p.n_nodes == 32
+        physical = {p.physical_node(r) for r in range(32)}
+        assert len(physical) == 32
+
+    def test_two_disjoint_partitions(self, rack):
+        # qdaemon-style: two users, two sub-boxes, no node overlap.
+        p1 = Partition(rack, (0, 0, 0, 0, 0, 0), (8, 4, 1, 1, 1, 1), [(0,), (1,)])
+        p2 = Partition(
+            rack, (0, 0, 1, 0, 0, 0), (8, 4, 1, 1, 1, 1), [(0,), (1,)]
+        )
+        n1 = {p1.physical_node(r) for r in range(p1.n_nodes)}
+        n2 = {p2.physical_node(r) for r in range(p2.n_nodes)}
+        assert not n1 & n2
+
+    def test_truncated_axis_cannot_be_periodic(self, rack):
+        with pytest.raises(ConfigError, match="wrap cable"):
+            Partition(rack, (0,) * 6, (4, 4, 1, 1, 1, 1), [(0,), (1,)])
+
+    def test_truncated_axis_allowed_open(self, rack):
+        p = Partition(
+            rack,
+            (0,) * 6,
+            (4, 4, 1, 1, 1, 1),
+            [(0,), (1,)],
+            require_periodic=False,
+        )
+        assert p.logical_dims == (4, 4)
+
+    def test_out_of_range_allocation_rejected(self, rack):
+        with pytest.raises(ConfigError):
+            Partition(rack, (6, 0, 0, 0, 0, 0), (4, 4, 1, 1, 1, 1), [(0,), (1,)])
+
+    def test_rank_physical_roundtrip(self, rack):
+        p = Partition(rack, (0,) * 6, rack.dims, [(0,), (1,), (2, 3), (4, 5)])
+        for rank in (0, 17, 500, 1023):
+            assert p.rank_of_physical(p.physical_node(rank)) == rank
+
+    def test_motherboard_hypercube_partitions(self):
+        # One motherboard is 64 nodes as a 2^6 hypercube (paper figure 4);
+        # fold it into the 4D machine used for single-board physics runs.
+        t = TorusTopology((2, 2, 2, 2, 2, 2))
+        p = Partition(t, (0,) * 6, t.dims, [(0,), (1,), (2,), (3, 4, 5)])
+        assert p.logical_dims == (2, 2, 2, 8)
+        p.adjacency_audit()
+
+    def test_physical_direction_is_valid_link(self, rack):
+        p = Partition(rack, (0,) * 6, rack.dims, [(0,), (1,), (2, 3), (4, 5)])
+        d = p.physical_direction(0, 2, +1)
+        assert 0 <= d < rack.n_directions

@@ -1,0 +1,158 @@
+"""Multi-shift CG and dynamical (pseudofermion) HMC."""
+
+import numpy as np
+import pytest
+
+from repro.fermions import WilsonDirac
+from repro.hmc.pseudofermion import TwoFlavorWilsonHMC
+from repro.lattice import GaugeField, LatticeGeometry
+from repro.lattice.su3 import dagger, is_su3, random_algebra
+from repro.solvers.multishift import multishift_cg
+from repro.util import rng_stream
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def rng():
+    return rng_stream(101, "ms-dyn-tests")
+
+
+def hpd(rng, n):
+    a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    return a @ a.conj().T + n * np.eye(n)
+
+
+class TestMultiShiftCG:
+    def test_every_shift_solved(self, rng):
+        a = hpd(rng, 40)
+        b = rng.standard_normal(40) + 1j * rng.standard_normal(40)
+        shifts = [0.0, 0.1, 1.0, 10.0]
+        res = multishift_cg(lambda v: a @ v, b, shifts, tol=1e-10)
+        assert res.converged
+        for s in shifts:
+            x = res[s]
+            resid = np.linalg.norm((a + s * np.eye(40)) @ x - b) / np.linalg.norm(b)
+            assert resid < 1e-8, f"shift {s}: residual {resid}"
+
+    def test_matches_individual_cg_iteration_economy(self, rng):
+        # one Krylov space: operator applications equal a single base solve
+        from repro.solvers import cg
+
+        a = hpd(rng, 30)
+        b = rng.standard_normal(30) + 0j
+        calls = {"n": 0}
+
+        def counting_apply(v):
+            calls["n"] += 1
+            return a @ v
+
+        res_ms = multishift_cg(counting_apply, b, [0.0, 0.5, 2.0], tol=1e-10)
+        ms_calls = calls["n"]
+        calls["n"] = 0
+        cg(counting_apply, b, tol=1e-10)
+        base_calls = calls["n"]
+        assert res_ms.converged
+        assert ms_calls <= base_calls + 2  # 3 systems for the price of 1
+
+    def test_on_wilson_normal_operator(self, rng):
+        # mass sweep from one solve: (D+D + sigma) ~ heavier quark masses
+        geom = LatticeGeometry((4, 4, 4, 4))
+        d = WilsonDirac(GaugeField.weak(geom, rng, eps=0.3), mass=0.2)
+        b = rng.standard_normal((geom.volume, 4, 3)) + 0j
+        shifts = [0.0, 0.25, 1.0]
+        res = multishift_cg(d.normal, b, shifts, tol=1e-9, maxiter=4000)
+        assert res.converged
+        for s in shifts:
+            lhs = d.normal(res[s]) + s * res[s]
+            assert np.linalg.norm(lhs - b) / np.linalg.norm(b) < 1e-7
+
+    def test_larger_shift_smaller_solution(self, rng):
+        a = hpd(rng, 20)
+        b = rng.standard_normal(20) + 0j
+        res = multishift_cg(lambda v: a @ v, b, [0.0, 50.0], tol=1e-10)
+        assert np.linalg.norm(res[50.0]) < np.linalg.norm(res[0.0])
+
+    def test_bad_inputs(self, rng):
+        with pytest.raises(ConfigError):
+            multishift_cg(lambda v: v, np.ones(3, dtype=complex), [])
+        with pytest.raises(ConfigError):
+            multishift_cg(lambda v: v, np.ones(3, dtype=complex), [-1.0])
+
+    def test_zero_rhs(self):
+        res = multishift_cg(lambda v: v, np.zeros(4, dtype=complex), [0.0, 1.0])
+        assert res.converged and np.allclose(res[1.0], 0)
+
+
+class TestDynamicalHMC:
+    @pytest.fixture
+    def small(self, rng):
+        geom = LatticeGeometry((2, 2, 2, 4))
+        gauge = GaugeField.weak(geom, rng, eps=0.2)
+        return TwoFlavorWilsonHMC(
+            gauge, beta=5.6, mass=0.5, seed=7, n_steps=6, dt=0.05
+        )
+
+    def test_fermion_force_matches_numerical_gradient(self, small, rng):
+        hmc = small
+        _p, _eta, phi = hmc.draw_fields()
+        force = hmc.fermion_force(hmc.gauge, phi)
+        q = random_algebra(rng, 1)[0]
+        mu, site = 1, 3
+        numerical = hmc.pseudofermion_gradient_check(
+            hmc.gauge, phi, mu, site, q, eps=1e-5
+        )
+        analytic = 2.0 * float(np.einsum("ab,ba->", q, force[mu, site]).real)
+        assert numerical == pytest.approx(analytic, rel=1e-4)
+
+    def test_fermion_force_is_algebra_valued(self, small):
+        _p, _eta, phi = small.draw_fields()
+        f = small.fermion_force(small.gauge, phi)
+        assert np.allclose(f, -dagger(f), atol=1e-12)
+        assert np.allclose(np.einsum("dxaa->dx", f), 0, atol=1e-12)
+
+    def test_initial_pseudofermion_action_is_eta_norm(self, small):
+        _p, eta, phi = small.draw_fields()
+        s_pf = small.pseudofermion_action(small.gauge, phi)
+        assert s_pf == pytest.approx(float(np.vdot(eta, eta).real), rel=1e-8)
+
+    def test_trajectory_conserves_energy_reasonably(self, small):
+        result = small.trajectory()
+        assert abs(result.delta_h) < 0.5
+        assert is_su3(small.gauge.links, tol=1e-8)
+
+    def test_dh_scales_with_step_size(self, rng):
+        def dh(dt, n_steps):
+            geom = LatticeGeometry((2, 2, 2, 4))
+            gauge = GaugeField.weak(
+                geom, rng_stream(3, "dyn-scaling"), eps=0.2
+            )
+            hmc = TwoFlavorWilsonHMC(
+                gauge, beta=5.6, mass=0.5, seed=4, n_steps=n_steps, dt=dt
+            )
+            return abs(hmc.trajectory().delta_h)
+
+        coarse, fine = dh(0.1, 3), dh(0.05, 6)
+        # Omelyan is 2nd order: expect ~4x; allow slop on one sample
+        assert fine < coarse
+
+    def test_acceptance_and_evolution(self, rng):
+        geom = LatticeGeometry((2, 2, 2, 4))
+        hmc = TwoFlavorWilsonHMC(
+            GaugeField.unit(geom), beta=5.6, mass=0.5, seed=11, n_steps=8, dt=0.04
+        )
+        results = hmc.run(4)
+        assert hmc.acceptance_rate >= 0.5
+        # the field moved and the solver really ran inside the force
+        assert hmc.history[-1].plaquette < 1.0
+        assert len(hmc.cg_iterations) > 8
+
+    def test_bitwise_reproducible(self):
+        def evolve():
+            geom = LatticeGeometry((2, 2, 2, 4))
+            hmc = TwoFlavorWilsonHMC(
+                GaugeField.unit(geom), beta=5.6, mass=0.5, seed=42, n_steps=4, dt=0.05
+            )
+            hmc.run(2)
+            return hmc.fingerprint()
+
+        assert evolve() == evolve()

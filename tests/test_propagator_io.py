@@ -1,0 +1,167 @@
+"""Quark propagators, pion correlators, and gauge-configuration I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.fermions import WilsonDirac
+from repro.fermions.propagator import (
+    effective_mass,
+    free_pion_prediction,
+    pion_correlator,
+    point_propagator,
+    point_source,
+)
+from repro.lattice import GaugeField, LatticeGeometry
+from repro.lattice.io import gauge_from_bytes, gauge_to_bytes, load_gauge, save_gauge
+from repro.util import rng_stream
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def rng():
+    return rng_stream(81, "prop-io-tests")
+
+
+class TestPointSource:
+    def test_single_entry(self):
+        g = LatticeGeometry((2, 2, 2, 4))
+        b = point_source(g, spin=2, colour=1, site=5)
+        assert b[5, 2, 1] == 1.0
+        assert np.count_nonzero(b) == 1
+
+    def test_bad_indices(self):
+        g = LatticeGeometry((2, 2, 2, 2))
+        with pytest.raises(ConfigError):
+            point_source(g, 4, 0)
+        with pytest.raises(ConfigError):
+            point_source(g, 0, 3)
+
+
+class TestFreePion:
+    @pytest.fixture(scope="class")
+    def free_correlator(self):
+        # Free field: small spatial volume, longer time direction.
+        geom = LatticeGeometry((2, 2, 2, 8))
+        d = WilsonDirac(GaugeField.unit(geom), mass=0.5)
+        iters = []
+        prop = point_propagator(
+            d, tol=1e-10, callback=lambda c, i: iters.append(i)
+        )
+        return geom, prop, iters
+
+    def test_twelve_columns_solved(self, free_correlator):
+        _geom, prop, iters = free_correlator
+        assert len(iters) == 12
+        assert prop.shape[1:] == (4, 3, 4, 3)
+
+    def test_correlator_positive_and_symmetric(self, free_correlator):
+        geom, prop, _ = free_correlator
+        corr = pion_correlator(prop, geom)
+        assert np.all(corr > 0)
+        # periodic lattice: C(t) = C(T - t)
+        assert np.allclose(corr[1:], corr[1:][::-1], rtol=1e-8)
+
+    def test_cosh_shape(self, free_correlator):
+        geom, prop, _ = free_correlator
+        corr = pion_correlator(prop, geom)
+        # monotone decay to the midpoint
+        mid = len(corr) // 2
+        assert np.all(np.diff(corr[: mid + 1]) < 0)
+        # effective mass positive and flattening toward the midpoint
+        meff = effective_mass(corr)
+        assert np.all(meff[:mid] > 0)
+        assert abs(meff[mid - 1] - meff[mid - 2]) < abs(meff[1] - meff[0]) + 1e-9
+
+    def test_matches_cosh_near_midpoint(self, free_correlator):
+        # Early times mix excited states; near the midpoint the ground
+        # state dominates and the periodic cosh form must hold: extract m
+        # from C(mid-1)/C(mid) = cosh(m) and *predict* C(mid-2)/C(mid)
+        # = cosh(2m).
+        geom, prop, _ = free_correlator
+        corr = pion_correlator(prop, geom)
+        mid = len(corr) // 2
+        m = np.arccosh(corr[mid - 1] / corr[mid])
+        assert m > 0
+        predicted = np.cosh(2 * m)
+        actual = corr[mid - 2] / corr[mid]
+        assert actual == pytest.approx(predicted, rel=0.05)
+
+    def test_interacting_correlator_positive(self, rng):
+        geom = LatticeGeometry((2, 2, 2, 4))
+        d = WilsonDirac(GaugeField.weak(geom, rng, eps=0.3), mass=0.5)
+        prop = point_propagator(d, tol=1e-8)
+        corr = pion_correlator(prop, geom)
+        assert np.all(corr > 0)
+
+    def test_effective_mass_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            effective_mass(np.array([1.0, -0.5]))
+
+
+class TestGaugeIO:
+    def test_roundtrip_bit_exact(self, rng):
+        geom = LatticeGeometry((4, 4, 2, 2))
+        u = GaugeField.hot(geom, rng)
+        data = gauge_to_bytes(u)
+        v = gauge_from_bytes(data)
+        assert v.geometry.shape == u.geometry.shape
+        assert np.array_equal(v.links, u.links)  # bit exact
+
+    def test_header_records_observables(self, rng):
+        geom = LatticeGeometry((2, 2, 2, 2))
+        u = GaugeField.weak(geom, rng, eps=0.2)
+        buf = io.BytesIO()
+        header = save_gauge(u, buf)
+        assert header["shape"] == [2, 2, 2, 2]
+        assert header["plaquette"] == pytest.approx(u.plaquette())
+
+    def test_corrupt_payload_rejected(self, rng):
+        geom = LatticeGeometry((2, 2, 2, 2))
+        u = GaugeField.hot(geom, rng)
+        data = bytearray(gauge_to_bytes(u))
+        data[-5] ^= 0x01  # flip one payload bit
+        with pytest.raises(ConfigError, match="checksum"):
+            gauge_from_bytes(data)
+
+    def test_corrupt_payload_accepted_without_verify(self, rng):
+        geom = LatticeGeometry((2, 2, 2, 2))
+        u = GaugeField.hot(geom, rng)
+        data = bytearray(gauge_to_bytes(u))
+        data[-5] ^= 0x01
+        v = gauge_from_bytes(data, verify=False)
+        assert not np.array_equal(v.links, u.links)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ConfigError, match="magic"):
+            gauge_from_bytes(b"NOTAGAUGEFILE")
+
+    def test_truncated_file_rejected(self, rng):
+        geom = LatticeGeometry((2, 2, 2, 2))
+        u = GaugeField.hot(geom, rng)
+        data = gauge_to_bytes(u)
+        with pytest.raises(ConfigError, match="truncated"):
+            gauge_from_bytes(data[: len(data) - 100])
+
+    def test_kernel_nfs_transport(self, rng):
+        # End-to-end with the run kernel's NFS path: a node writes the
+        # serialised configuration to a host file; the host re-reads it.
+        from repro.kernel.kernel import RunKernel
+        from repro.machine.asic import MachineConfig
+        from repro.machine.machine import QCDOCMachine
+
+        machine = QCDOCMachine(MachineConfig(dims=(2, 1, 1, 1, 1, 1)))
+        machine.bring_up()
+        files = {}
+        kern = RunKernel(machine.sim, machine.nodes[0], host_files=files)
+        geom = LatticeGeometry((2, 2, 2, 2))
+        u = GaugeField.hot(geom, rng)
+        blob = gauge_to_bytes(u).hex()
+
+        def app():
+            yield kern.syscall("nfs_write", "config.dat", blob)
+
+        machine.sim.run(until=kern.run_application(app()))
+        restored = gauge_from_bytes(bytes.fromhex(files["config.dat"][0]))
+        assert np.array_equal(restored.links, u.links)

@@ -1,0 +1,214 @@
+"""The discrete-event kernel: events, processes, composition, determinism."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        ev.succeed(123)
+        assert ev.triggered and ev.ok and ev.value == 123
+
+    def test_fail_carries_exception(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        assert ev.triggered and not ev.ok
+        with pytest.raises(ValueError):
+            _ = ev.value
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_trigger_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_callback_after_trigger_still_runs(self, sim):
+        ev = sim.event()
+        ev.succeed(5)
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [5]
+
+
+class TestTimeoutAndClock:
+    def test_timeout_advances_clock(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.5)
+            return sim.now
+
+        p = sim.process(proc(sim))
+        assert sim.run(until=p) == 1.5
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_fifo_order_within_same_tick(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.schedule(0.5, lambda: order.append("first"))
+        sim.run()
+        assert order == ["first", "a", "b"]
+
+
+class TestProcess:
+    def test_return_value_becomes_event_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        assert sim.run(until=sim.process(proc(sim))) == "done"
+
+    def test_process_waits_on_process(self, sim):
+        def child(sim):
+            yield sim.timeout(2.0)
+            return 7
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return value * 3
+
+        assert sim.run(until=sim.process(parent(sim))) == 21
+        assert sim.now == 2.0
+
+    def test_yield_already_triggered_event_resumes(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+
+        def proc(sim):
+            v = yield ev
+            return v
+
+        assert sim.run(until=sim.process(proc(sim))) == "early"
+
+    def test_failed_event_raises_inside_process(self, sim):
+        ev = sim.event()
+
+        def proc(sim):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = sim.process(proc(sim))
+        sim.schedule(1.0, lambda: ev.fail(RuntimeError("hw")))
+        assert sim.run(until=p) == "caught hw"
+
+    def test_bad_yield_fails_process(self, sim):
+        def proc(sim):
+            yield 42  # not an Event
+
+        p = sim.process(proc(sim))
+        with pytest.raises(SimulationError):
+            sim.run(until=p)
+
+    def test_interrupt_redirects_waiting_process(self, sim):
+        def proc(sim):
+            try:
+                yield sim.timeout(100.0)
+                return "slept"
+            except Interrupt as i:
+                return f"interrupted:{i.cause}"
+
+        p = sim.process(proc(sim))
+        sim.schedule(1.0, lambda: p.interrupt("supervisor"))
+        assert sim.run(until=p) == "interrupted:supervisor"
+        assert sim.now == pytest.approx(1.0)
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def proc(sim):
+            yield sim.timeout(100.0)
+
+        p = sim.process(proc(sim))
+        sim.schedule(1.0, lambda: p.interrupt())
+        sim.run()
+        assert p.triggered and not p.ok
+
+    def test_interrupt_after_completion_is_noop(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return "ok"
+
+        p = sim.process(proc(sim))
+        sim.run(until=p)
+        p.interrupt()  # must not raise
+        sim.run()
+        assert p.value == "ok"
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, sim):
+        def proc(sim):
+            values = yield AllOf(sim, [sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+            return values
+
+        assert sim.run(until=sim.process(proc(sim))) == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_any_of_returns_first(self, sim):
+        def proc(sim):
+            first = yield AnyOf(sim, [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+            return first.value
+
+        assert sim.run(until=sim.process(proc(sim))) == "fast"
+        assert sim.now == 1.0
+
+    def test_empty_all_of_succeeds_immediately(self, sim):
+        ev = sim.all_of([])
+        assert ev.triggered and ev.value == []
+
+
+class TestRun:
+    def test_deadlock_detected(self, sim):
+        def proc(sim):
+            yield sim.event()  # never triggered
+
+        p = sim.process(proc(sim))
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=p)
+
+    def test_time_horizon_enforced(self, sim):
+        def proc(sim):
+            yield sim.timeout(1e9)
+
+        p = sim.process(proc(sim))
+        with pytest.raises(SimulationError, match="horizon"):
+            sim.run(until=p, max_time=1.0)
+
+    def test_run_without_target_drains_heap(self, sim):
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert sim.now == 3.0
+        assert sim.peek() == float("inf")
+
+    def test_two_identical_simulations_agree_exactly(self):
+        def world(sim, log):
+            def worker(sim, k):
+                yield sim.timeout(0.1 * k)
+                log.append((sim.now, k))
+
+            for k in range(10):
+                sim.process(worker(sim, (k * 7) % 10))
+
+        log1, log2 = [], []
+        s1, s2 = Simulator(), Simulator()
+        world(s1, log1)
+        world(s2, log2)
+        s1.run()
+        s2.run()
+        assert log1 == log2

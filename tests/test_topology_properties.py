@@ -1,0 +1,81 @@
+"""Property-based verification of the partition-folding guarantee.
+
+The machine's whole "lower-dimensional partitions in software" story rests
+on one invariant: *any* valid folding of *any* power-of-two torus maps
+every logical nearest-neighbour pair onto one physical cable.  Hypothesis
+searches the configuration space for counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.machine.topology import Partition, TorusTopology
+from repro.util.errors import ConfigError
+
+#: power-of-two machine dims like real QCDOC hardware
+pow2_dims = st.lists(
+    st.sampled_from([2, 4, 8]), min_size=3, max_size=6
+).filter(lambda d: int(np.prod(d)) <= 512)
+
+
+def random_grouping(draw, ndim):
+    """Partition the axis list into 1..ndim contiguous-free groups."""
+    k = draw(st.integers(min_value=1, max_value=ndim))
+    assignment = [draw(st.integers(min_value=0, max_value=k - 1)) for _ in range(ndim)]
+    groups = [[] for _ in range(k)]
+    for axis, g in enumerate(assignment):
+        groups[g].append(axis)
+    return [tuple(g) for g in groups if g]
+
+
+class TestFoldingInvariant:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_any_valid_fold_preserves_adjacency(self, data):
+        dims = data.draw(pow2_dims)
+        topo = TorusTopology(dims)
+        groups = random_grouping(data.draw, len(dims))
+        p = Partition(topo, (0,) * len(dims), dims, groups)
+        # every logical neighbour pair is exactly one physical hop:
+        checked = p.adjacency_audit()
+        expected = p.n_nodes * 2 * sum(1 for d in p.logical_dims if d > 1)
+        assert checked == expected
+        # the fold is a bijection onto the machine
+        assert p.n_nodes == topo.n_nodes
+        phys = {p.physical_node(r) for r in range(p.n_nodes)}
+        assert len(phys) == topo.n_nodes
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_rank_roundtrip(self, data):
+        dims = data.draw(pow2_dims)
+        topo = TorusTopology(dims)
+        groups = random_grouping(data.draw, len(dims))
+        p = Partition(topo, (0,) * len(dims), dims, groups)
+        rank = data.draw(st.integers(min_value=0, max_value=p.n_nodes - 1))
+        assert p.rank_of_physical(p.physical_node(rank)) == rank
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_neighbour_directions_are_paired(self, data):
+        # the direction used to send forward must be the cable whose
+        # receiving end the forward neighbour listens on.
+        dims = data.draw(pow2_dims)
+        topo = TorusTopology(dims)
+        groups = random_grouping(data.draw, len(dims))
+        p = Partition(topo, (0,) * len(dims), dims, groups)
+        rank = data.draw(st.integers(min_value=0, max_value=p.n_nodes - 1))
+        for axis in range(len(p.logical_dims)):
+            if p.logical_dims[axis] == 1:
+                continue
+            fwd_rank = p.logical_neighbour(rank, axis, +1)
+            d_send = p.physical_direction(rank, axis, +1)
+            d_recv = p.physical_direction(fwd_rank, axis, -1)
+            # sender's out-direction and receiver's in-port are the two
+            # ends of one cable:
+            assert topo.neighbour_by_direction(p.physical_node(rank), d_send) == (
+                p.physical_node(fwd_rank)
+            )
+            assert d_recv == topo.opposite(d_send)

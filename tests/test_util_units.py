@@ -1,0 +1,78 @@
+"""Units, formatting, and table rendering."""
+
+import pytest
+
+from repro.util import (
+    GB,
+    KB,
+    MB,
+    MHZ,
+    MS,
+    NS,
+    SEC,
+    US,
+    Table,
+    fmt_bytes,
+    fmt_rate,
+    fmt_si,
+    fmt_time,
+)
+
+
+class TestUnits:
+    def test_time_ratios(self):
+        assert SEC == 1000 * MS == 1_000_000 * US == 1_000_000_000 * NS
+
+    def test_data_ratios(self):
+        assert GB == 1000 * MB == 1_000_000 * KB
+
+    def test_paper_edram_bandwidth_is_128bits_at_500mhz(self):
+        # Paper section 2.1: 128-bit words at full processor speed = 8 GB/s.
+        assert (128 / 8) * 500 * MHZ == pytest.approx(8 * GB)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (600 * NS, "600 ns"),
+            (3.3 * US, "3.3 us"),
+            (5 * MS, "5 ms"),
+            (2.0, "2 s"),
+        ],
+    )
+    def test_fmt_time(self, value, expected):
+        assert fmt_time(value) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(512, "512 B"), (4 * KB, "4 kB"), (4 * MB, "4 MB"), (2 * GB, "2 GB")],
+    )
+    def test_fmt_bytes(self, value, expected):
+        assert fmt_bytes(value) == expected
+
+    def test_fmt_rate(self):
+        assert fmt_rate(1.3 * GB) == "1.3 GB/s"
+
+    def test_fmt_si(self):
+        assert fmt_si(12288) == "12.3 k"
+        assert fmt_si(1e10) == "10 G"
+        assert fmt_si(7) == "7"
+
+
+class TestTable:
+    def test_renders_aligned_columns(self):
+        t = Table(["op", "eff"], title="E1")
+        t.add_row(["wilson", "40.0%"])
+        t.add_row(["clover", "46.5%"])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "E1"
+        assert "op" in lines[1] and "eff" in lines[1]
+        assert lines[2].startswith("--")
+        assert len(lines) == 5
+
+    def test_rejects_ragged_row(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
