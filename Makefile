@@ -1,0 +1,25 @@
+PY      ?= python
+PYTEST  = PYTHONPATH=src $(PY) -m pytest
+
+.PHONY: test protocol overlap bench verify
+
+## tier-1: the full unit/integration/property suite
+test:
+	$(PYTEST) -x -q
+
+## serial-link protocol regressions at word_batch=1 (window, idle
+## receive, go-back-N under fault injection)
+protocol:
+	$(PYTEST) -m protocol -q
+
+## bit-exactness of the overlapped two-phase Dirac pipeline
+overlap:
+	$(PYTEST) tests/test_overlap_bitexact.py -q
+
+## paper-claim benchmarks (E1..E14)
+bench:
+	$(PYTEST) benchmarks -q
+
+## what CI gates a merge on: tier-1 + the overlap bit-exactness suite
+verify: test overlap
+	@echo "verify: tier-1 + overlap bit-exactness green"

@@ -12,6 +12,28 @@ user-level software (section 3.3):
   runs bit-exactly repeatable);
 * ``compute(flops)`` to charge simulated CPU time for numpy-evaluated
   physics.
+
+Per-axis completion events
+--------------------------
+``start_stored()`` still returns one aggregate event (all transfers
+done), but the overlapped Dirac pipeline needs to know *which* halo has
+landed: boundary work for axis ``mu`` can start as soon as that axis's
+receive completes, concurrently with the remaining transfers.  For that,
+
+* ``store_send`` / ``store_recv`` accept a ``group=`` tag so logically
+  distinct waves of transfers (e.g. raw-field halos vs staged
+  ``U^+ psi`` products) can be started independently;
+* ``start_stored_events(group=...)`` returns a dict of per-direction
+  completion events keyed ``(kind, axis, sign)`` with
+  ``kind in {"send", "recv"}``;
+* ``wait_any(events)`` yields when the *first* of a set fires (and tells
+  you which), enabling the completion-order drain loop of the two-phase
+  hopping term;
+* ``wait([])`` on an empty iterable is defined to resolve immediately at
+  ``sim.now`` — an interior phase may legitimately wait on zero halo
+  axes in a 0-dimensional decomposition;
+* ``transfer_counters()`` exposes the SCU's payload/wire word counters
+  for protocol and efficiency accounting.
 """
 
 from __future__ import annotations
@@ -92,6 +114,10 @@ class CommsAPI:
         self.rank = rank
         self.node = node
         self.sim = node.sim
+        #: physical (kind, direction) -> logical (axis, sign) for stored
+        #: descriptors, so per-direction completion events can be re-keyed
+        #: in the coordinates node programs think in.
+        self._stored_logical: Dict[Tuple[str, int], Tuple[int, int]] = {}
 
     # -- identity ------------------------------------------------------------
     @property
@@ -133,16 +159,52 @@ class CommsAPI:
         return self.recv(axis, sign, full_descriptor(self.node, name))
 
     # -- persistent descriptors ---------------------------------------------------
-    def store_send(self, axis: int, sign: int, descriptor: DmaDescriptor) -> None:
-        self.node.scu.store_descriptor("send", self._direction(axis, sign), descriptor)
+    def store_send(
+        self, axis: int, sign: int, descriptor: DmaDescriptor, group: str = "default"
+    ) -> None:
+        direction = self._direction(axis, sign)
+        self._stored_logical[("send", direction)] = (axis, sign)
+        self.node.scu.store_descriptor("send", direction, descriptor, group=group)
 
-    def store_recv(self, axis: int, sign: int, descriptor: DmaDescriptor) -> None:
-        self.node.scu.store_descriptor("recv", self._direction(axis, sign), descriptor)
+    def store_recv(
+        self, axis: int, sign: int, descriptor: DmaDescriptor, group: str = "default"
+    ) -> None:
+        direction = self._direction(axis, sign)
+        self._stored_logical[("recv", direction)] = (axis, sign)
+        self.node.scu.store_descriptor("recv", direction, descriptor, group=group)
 
-    def start_stored(self) -> Event:
-        """One write starts every stored transfer; yields when all done."""
-        events = self.node.scu.start_stored()
+    def start_stored(self, group: Optional[str] = None) -> Event:
+        """One write starts every stored transfer; yields when all done.
+
+        With ``group=`` only descriptors stored under that tag are
+        started.  For per-direction completion use
+        :meth:`start_stored_events` instead.
+        """
+        events = self.node.scu.start_stored(group=group)
         return self.sim.all_of(list(events.values()))
+
+    def start_stored_events(
+        self, group: Optional[str] = None
+    ) -> Dict[Tuple[str, int, int], Event]:
+        """Start stored transfers, returning per-direction completion events.
+
+        Keys are ``(kind, axis, sign)`` with ``kind in {"send", "recv"}``
+        and ``(axis, sign)`` the *logical* neighbour coordinates used when
+        the descriptor was stored.  Boundary compute for axis ``mu`` may
+        begin as soon as ``events[("recv", mu, s)]`` fires, while other
+        transfers are still in flight — the overlap the paper's
+        sustained-efficiency model assumes.
+        """
+        raw = self.node.scu.start_stored(group=group)
+        events: Dict[Tuple[str, int, int], Event] = {}
+        for (kind, direction), event in raw.items():
+            axis, sign = self._stored_logical[(kind, direction)]
+            events[(kind, axis, sign)] = event
+        return events
+
+    def transfer_counters(self) -> Dict[str, int]:
+        """This node's cumulative SCU payload/wire word counters."""
+        return self.node.scu.transfer_counters()
 
     # -- supervisor ------------------------------------------------------------
     def send_supervisor(self, axis: int, sign: int, word: int) -> Event:
@@ -170,7 +232,23 @@ class CommsAPI:
         return self.node.compute(flops)
 
     def wait(self, events: Iterable[Event]) -> Event:
+        """Yieldable event that fires once *all* of ``events`` have fired.
+
+        An **empty** iterable is explicitly legal and resolves immediately
+        at ``sim.now`` (zero simulated delay): the interior phase of the
+        overlapped hopping term waits on the halo axes of the current
+        decomposition, and a 0-dimensional decomposition has none.
+        """
         return self.sim.all_of(list(events))
+
+    def wait_any(self, events: Iterable[Event]) -> Event:
+        """Yieldable event that fires when the *first* of ``events`` fires.
+
+        The yielded value is the triggered child :class:`Event` itself, so
+        a drain loop can identify which transfer completed (compare by
+        identity against the events from :meth:`start_stored_events`).
+        """
+        return self.sim.any_of(list(events))
 
     def __repr__(self) -> str:
         return f"CommsAPI(rank={self.rank}, coord={self.coord}, dims={self.dims})"

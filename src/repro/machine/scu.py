@@ -17,7 +17,16 @@ connections (12 send + 12 receive), each with:
   the window;
 * **supervisor packets**: a single 64-bit word written into a register of
   the neighbour's SCU, raising a CPU interrupt there;
-* per-end **checksums** compared at the end of a calculation.
+* per-end **checksums** compared at the end of a calculation;
+* **stored-descriptor groups + per-direction completion**: persistent
+  descriptors may be tagged with a group name, and ``start_stored`` starts
+  one group per register write while returning *one completion event per
+  (kind, direction)* rather than a single aggregate.  This is what lets
+  the distributed Dirac pipeline overlap interior arithmetic with the 24
+  concurrent DMA transfers and begin boundary work for an axis the moment
+  that axis's halos land (paper section 4's sustained-efficiency story);
+* **transfer counters**: per-unit payload/wire word counts (resends make
+  wire > payload) so node programs and tests can audit traffic volumes.
 
 Simulation granularity: protocol-exact behaviour is per 64-bit word.  For
 large error-free transfers the unit can batch ``word_batch`` words per
@@ -111,6 +120,10 @@ class SendUnit:
         self.done: Optional[Event] = None
         self._wake: Optional[Event] = None
         self.resends = 0
+        #: unique payload words completed (sum over finished transfers)
+        self.payload_words = 0
+        #: words actually clocked onto the wire (>= payload under resends)
+        self.wire_words = 0
 
     @property
     def link(self) -> SerialLink:
@@ -155,6 +168,7 @@ class SendUnit:
                 chunk = self.words[self.next : self.next + batch]
                 frame = Frame(PacketType.NORMAL, chunk, seq=self.next)
                 self.next += batch
+                self.wire_words += batch
                 if self.next > sent_for_checksum:
                     self.checksum.update(
                         self.words[sent_for_checksum : self.next]
@@ -166,6 +180,7 @@ class SendUnit:
                 yield self._wake
         yield self.link.transmit(Frame(PacketType.EOT, seq=n))
         self.active = False
+        self.payload_words += n
         self.done.succeed(n)
 
     # -- control-frame handlers (called by the SCU dispatcher) -------------
@@ -179,6 +194,13 @@ class SendUnit:
         if seq < self.next:
             self.next = max(seq, self.base)
             self.resends += 1
+            if self.scu.trace is not None:
+                self.scu.trace.emit(
+                    "scu.resend",
+                    node=self.scu.node_id,
+                    direction=self.direction,
+                    seq=seq,
+                )
             self._wakeup()
 
     def _wakeup(self) -> None:
@@ -206,6 +228,8 @@ class RecvUnit:
         self.write_cursor = 0
         self.done: Optional[Event] = None
         self.word_batch = 1
+        #: payload words accepted into local memory (sum over transfers)
+        self.payload_words = 0
 
     def post(self, descriptor: DmaDescriptor) -> Event:
         """Give the unit a destination; drains any idle-held words."""
@@ -276,6 +300,7 @@ class RecvUnit:
             )
         self.scu.memory_write(self._buffer_name, idx, words)
         self.write_cursor += len(words)
+        self.payload_words += len(words)
         # Acknowledge acceptance (returns window credit to the sender).
         self.control.send(PacketType.ACK, self.expected)
         if self.write_cursor >= self.total:
@@ -327,8 +352,9 @@ class SCU:
         #: global-operation pass-through routing:
         #: in_direction -> (out_directions, store_callback or None)
         self._global_routes: Dict[int, Tuple[Tuple[int, ...], Optional[Callable]]] = {}
-        #: stored ("persistent") descriptors: (kind, direction) -> payload
-        self._stored: Dict[Tuple[str, int], object] = {}
+        #: stored ("persistent") descriptors:
+        #: (kind, direction) -> (descriptor, start-group)
+        self._stored: Dict[Tuple[str, int], Tuple[DmaDescriptor, str]] = {}
 
     # -- wiring ---------------------------------------------------------------
     def attach_link(self, direction: int, link: SerialLink) -> None:
@@ -387,22 +413,67 @@ class SCU:
         return self._recv(direction).post(descriptor)
 
     # -- persistent descriptors (paper section 3.3) ---------------------------
-    def store_descriptor(self, kind: str, direction: int, descriptor: DmaDescriptor) -> None:
-        """Store a DMA instruction in the SCU for repeated reuse."""
+    def store_descriptor(
+        self,
+        kind: str,
+        direction: int,
+        descriptor: DmaDescriptor,
+        group: str = "default",
+    ) -> None:
+        """Store a DMA instruction in the SCU for repeated reuse.
+
+        ``group`` tags the descriptor with a start-group: ``start_stored``
+        can launch one group at a time (still a single register write per
+        group — the start register has per-unit enable bits), which the
+        overlapped Dirac pipeline uses to fire its raw-face transfers
+        before the sender-side products are staged.
+        """
         if kind not in ("send", "recv"):
             raise ProtocolError(f"descriptor kind must be send/recv, got {kind!r}")
-        self._stored[(kind, direction)] = descriptor
+        self._stored[(kind, direction)] = (descriptor, group)
 
-    def start_stored(self) -> Dict[Tuple[str, int], Event]:
+    def start_stored(self, group: Optional[str] = None) -> Dict[Tuple[str, int], Event]:
         """One write starts every stored transfer ("start up to 24
-        communications" with a single register write)."""
+        communications" with a single register write).
+
+        Returns **one completion event per (kind, direction)** so callers
+        can overlap work with individual transfers instead of blocking on
+        the aggregate.  With ``group`` given, only descriptors stored under
+        that group start (one register write per group).
+        """
         events = {}
-        for (kind, direction), desc in self._stored.items():
+        for (kind, direction), (desc, g) in self._stored.items():
+            if group is not None and g != group:
+                continue
             if kind == "send":
                 events[(kind, direction)] = self.send(direction, desc)
             else:
                 events[(kind, direction)] = self.recv(direction, desc)
+        if self.trace is not None:
+            self.trace.emit(
+                "scu.start_stored",
+                node=self.node_id,
+                group=group,
+                n_transfers=len(events),
+            )
         return events
+
+    # -- transfer accounting ---------------------------------------------------
+    def transfer_counters(self) -> Dict[str, int]:
+        """Aggregate payload/wire word counters over every unit.
+
+        ``wire_words_sent`` exceeds ``payload_words_sent`` exactly when the
+        go-back-N protocol retransmitted after an injected fault.
+        """
+        return {
+            "payload_words_sent": sum(
+                u.payload_words for u in self.send_units.values()
+            ),
+            "wire_words_sent": sum(u.wire_words for u in self.send_units.values()),
+            "payload_words_received": sum(
+                u.payload_words for u in self.recv_units.values()
+            ),
+        }
 
     # -- supervisor packets ---------------------------------------------------
     def send_supervisor(self, direction: int, word: int) -> Event:

@@ -16,6 +16,33 @@ starts its 4-ndim transfers with a *single* ``start_stored`` call, which is
 precisely the "only a single write (start transfer) is needed to start up
 to 24 communications" usage of paper section 3.3.
 
+Two-phase overlapped pipeline (default)
+---------------------------------------
+The paper's sustained-efficiency claims (section 4) model dslash time as
+``T_interior + max(T_comm, T_boundary)`` — DMA transfers run *concurrently*
+with CPU arithmetic.  ``hopping`` therefore splits each application into
+
+1. an **interior phase**: raw-halo transfers are started the instant the
+   source lands in ``work`` (descriptor group ``"early"``: the raw
+   low-face send plus *both* receives, so no link ever idles waiting for
+   a late receive); the sender-side ``U^+ psi`` staging products are then
+   computed, group ``"staged"`` starts their sends, and every matvec that
+   needs no halo data — plus the full per-site merge on interior sites
+   (``depth <= x_mu < L_mu - depth`` on all communicated axes) — runs
+   while the wires are busy;
+2. a **boundary phase**: a completion-order drain loop
+   (:meth:`CommsAPI.wait_any`) patches the per-axis face rows as each
+   axis's halo lands — forward-hop rows need one SU(3) matvec per face
+   site, backward-hop rows are a pure row copy of the received products —
+   then merges the boundary sites.
+
+The assembled hopping sum is **bit-identical** (``==``, not allclose) to
+the monolithic path (``overlap=False``) and to the serial operator: all
+per-site kernels are row-independent einsums, the interior/boundary site
+sets are a disjoint sorted cover, and the per-``mu`` accumulation order of
+the merge is preserved exactly.  Simulated flops charged are likewise
+identical — only their placement on the timeline changes.
+
 The source field always sits in the node-memory buffer ``work`` (so the
 descriptors can be persistent), and every numpy evaluation charges
 simulated CPU time through the cost sheets of :mod:`repro.fermions.flops`.
@@ -32,7 +59,7 @@ from repro.fermions.flops import CLOVER_TERM_FLOPS, MATVEC_SU3, operator_cost
 from repro.fermions.gamma import GAMMA, apply_spin_matrix, gamma5_sandwich
 from repro.lattice.gauge import cmatvec
 from repro.lattice.geometry import LatticeGeometry
-from repro.lattice.halos import halo_exchange_plan
+from repro.lattice.halos import halo_exchange_plan, interior_boundary_sites
 from repro.lattice.su3 import dagger
 from repro.util.errors import ConfigError
 
@@ -55,6 +82,11 @@ class DistributedWilsonContext:
     clover_tensor:
         Optional local ``(v, 4, 3, 4, 3)`` clover term (site-local, so
         distribution is a plain scatter).
+    overlap:
+        When ``True`` (default) ``hopping`` runs the two-phase
+        interior/boundary pipeline overlapping DMA with compute; when
+        ``False`` it runs the serialized monolithic assembly.  Both paths
+        produce bit-identical output and charge identical flops.
     """
 
     def __init__(
@@ -65,6 +97,7 @@ class DistributedWilsonContext:
         mass: float,
         r: float = 1.0,
         clover_tensor: Optional[np.ndarray] = None,
+        overlap: bool = True,
     ):
         self.api = api
         self.geometry = LatticeGeometry(local_shape)
@@ -87,11 +120,25 @@ class DistributedWilsonContext:
             mu: halo_exchange_plan(self.geometry, mu) for mu in range(ndim)
         }
         self.cost = operator_cost("wilson" if clover_tensor is None else "clover")
+        self.overlap = bool(overlap)
 
         #: axes actually decomposed over nodes; an extent-1 logical axis
         #: keeps the whole physics axis on-tile, so its periodic wrap is
         #: local arithmetic and needs no SCU traffic.
         self.comm_axes = [mu for mu in range(ndim) if api.dims[mu] > 1]
+
+        #: disjoint sorted cover of the tile: interior sites touch no halo
+        #: and are fully computable during communication; boundary sites
+        #: wait on per-axis halo arrival.
+        self.interior_sites, self.boundary_sites = interior_boundary_sites(
+            self.geometry, tuple(self.comm_axes), depth=1
+        )
+        #: per-site flops of the per-``mu`` merge (spin project/reconstruct
+        #: and accumulate), summed over all axes: the hopping total minus
+        #: the 2*ndim SU(3) matvecs charged where the rows are computed.
+        self.merge_flops_per_site = (
+            self.cost.flops_per_site - 48 - 2 * ndim * MATVEC_SU3
+        )
 
         mem = api.memory
         self.work = mem.zeros("work", (v, 4, 3))
@@ -103,7 +150,10 @@ class DistributedWilsonContext:
             self.halo_fwd[mu] = mem.zeros(f"halo_fwd{mu}", (nface, 4, 3))
             self.halo_bwd[mu] = mem.zeros(f"halo_bwd{mu}", (nface, 4, 3))
             self.stage_bwd[mu] = mem.zeros(f"stage_bwd{mu}", (nface, 4, 3))
-            # Persistent descriptors (stored once, restarted every apply):
+            # Persistent descriptors (stored once, restarted every apply).
+            # Group "early" depends only on the raw source in `work`, so
+            # it starts the instant the source lands — before the staging
+            # products are even computed; group "staged" waits for them.
             #  raw low face of `work` -> the -mu neighbour,
             api.store_send(
                 mu,
@@ -111,13 +161,20 @@ class DistributedWilsonContext:
                 face_descriptor(
                     "work", local_shape, mu, -1, WORDS_PER_SITE
                 ),
+                group="early",
             )
             #  U^+ psi products from my high face -> the +mu neighbour,
-            api.store_send(mu, +1, full_descriptor(api.node, f"stage_bwd{mu}"))
+            api.store_send(
+                mu, +1, full_descriptor(api.node, f"stage_bwd{mu}"), group="staged"
+            )
             #  raw spinors arriving from the +mu neighbour,
-            api.store_recv(mu, +1, full_descriptor(api.node, f"halo_fwd{mu}"))
+            api.store_recv(
+                mu, +1, full_descriptor(api.node, f"halo_fwd{mu}"), group="early"
+            )
             #  products arriving from the -mu neighbour.
-            api.store_recv(mu, -1, full_descriptor(api.node, f"halo_bwd{mu}"))
+            api.store_recv(
+                mu, -1, full_descriptor(api.node, f"halo_bwd{mu}"), group="early"
+            )
 
     @property
     def volume(self) -> int:
@@ -129,22 +186,38 @@ class DistributedWilsonContext:
 
     # -- one hopping application (generator: yields comm/compute events) -----
     def hopping(self, src: np.ndarray):
-        """Distributed dslash of ``src``; returns the hopping sum array."""
-        g = self.geometry
-        ndim = g.ndim
-        np.copyto(self.work, src)
+        """Distributed dslash of ``src``; returns the hopping sum array.
 
-        # Sender-side products for every high face (the neighbour's
-        # backward term), charged as one SU(3) matvec per face site.
+        Dispatches to the overlapped two-phase pipeline or the serialized
+        monolithic assembly according to ``self.overlap``; both are
+        bit-identical in output and total charged flops.
+        """
+        if self.overlap:
+            out = yield from self._hopping_overlapped(src)
+        else:
+            out = yield from self._hopping_monolithic(src)
+        return out
+
+    def _stage_products(self) -> int:
+        """Sender-side ``U^+ psi`` products for every high face (the
+        neighbour's backward term); returns the staged site count."""
         staged_sites = 0
         for mu in self.comm_axes:
-            plan = self.plans[mu]
-            high = plan.send_high
+            high = self.plans[mu].send_high
             np.copyto(
                 self.stage_bwd[mu],
                 cmatvec(dagger(self.links[mu][high]), self.work[high]),
             )
             staged_sites += len(high)
+        return staged_sites
+
+    def _hopping_monolithic(self, src: np.ndarray):
+        """Serialized reference path: all comms complete, then all compute."""
+        g = self.geometry
+        ndim = g.ndim
+        np.copyto(self.work, src)
+
+        staged_sites = self._stage_products()
         yield self.api.compute(staged_sites * MATVEC_SU3)
 
         # One write starts all 4*ndim stored transfers.
@@ -166,6 +239,89 @@ class DistributedWilsonContext:
             out += self.r * (fwd + bwd)
             out -= apply_spin_matrix(GAMMA[mu], fwd - bwd)
         yield self.api.compute(self.volume * (self.cost.flops_per_site - 48))
+        return out
+
+    def _merge(self, out, fwd_arr, bwd_arr, sites: np.ndarray) -> None:
+        """Per-``mu`` spin project/reconstruct + accumulate on ``sites``.
+
+        Row-for-row the same two-statement, mu-ascending sequence as the
+        monolithic assembly, so the merged rows are bit-identical.
+        """
+        for mu in range(self.geometry.ndim):
+            f = fwd_arr[mu][sites]
+            b = bwd_arr[mu][sites]
+            out[sites] += self.r * (f + b)
+            out[sites] -= apply_spin_matrix(GAMMA[mu], f - b)
+
+    def _hopping_overlapped(self, src: np.ndarray):
+        """Two-phase pipeline: interior compute under way while DMA flies,
+        per-axis boundary work as each axis's halo lands."""
+        g = self.geometry
+        ndim = g.ndim
+        v = self.volume
+        api = self.api
+        np.copyto(self.work, src)
+
+        # Raw halos (and all receives) hit the wire immediately; the
+        # staging products overlap those transfers, then their sends start.
+        pending = dict(api.start_stored_events(group="early"))
+        staged_sites = self._stage_products()
+        if staged_sites:
+            yield api.compute(staged_sites * MATVEC_SU3)
+        pending.update(api.start_stored_events(group="staged"))
+
+        # ---- interior phase: every matvec that needs no halo data -------
+        local_flops = 0.0
+        fwd_arr = []
+        bwd_arr = []
+        for mu in range(ndim):
+            # Forward hop: the full-volume gather/matvec; for comm axes the
+            # face rows are placeholders until the raw halo lands (their
+            # matvec is charged in the boundary phase instead).
+            fwd = cmatvec(self.links[mu], self.work[g.hop(mu, +1)])
+            nface = len(self.plans[mu].fill_from_fwd) if mu in self.halo_fwd else 0
+            local_flops += (v - nface) * MATVEC_SU3
+            # Backward hop: the local matvec is always computed in full —
+            # face rows are later *replaced* by the received products
+            # (exactly as the monolithic path computes then overwrites).
+            bwd = cmatvec(self.links_dagger_bwd[mu], self.work[g.hop(mu, -1)])
+            local_flops += v * MATVEC_SU3
+            fwd_arr.append(fwd)
+            bwd_arr.append(bwd)
+
+        out = np.zeros_like(self.work)
+        interior = self.interior_sites
+        if len(interior):
+            self._merge(out, fwd_arr, bwd_arr, interior)
+            local_flops += len(interior) * self.merge_flops_per_site
+        if local_flops:
+            yield api.compute(local_flops)
+
+        # ---- boundary phase: drain transfers in completion order --------
+        while pending:
+            fired = yield api.wait_any(pending.values())
+            key = next(k for k, e in pending.items() if e is fired)
+            del pending[key]
+            kind, mu, sign = key
+            if kind != "recv":
+                continue  # send completions need no compute
+            plan = self.plans[mu]
+            if sign == +1:
+                # Raw spinors from the +mu neighbour: one matvec per face
+                # site patches the forward-hop rows.
+                rows = plan.fill_from_fwd
+                fwd_arr[mu][rows] = cmatvec(
+                    self.links[mu][rows], self.halo_fwd[mu]
+                )
+                yield api.compute(len(rows) * MATVEC_SU3)
+            else:
+                # Products from the -mu neighbour: pure row copy.
+                bwd_arr[mu][plan.fill_from_bwd] = self.halo_bwd[mu]
+
+        boundary = self.boundary_sites
+        if len(boundary):
+            self._merge(out, fwd_arr, bwd_arr, boundary)
+            yield api.compute(len(boundary) * self.merge_flops_per_site)
         return out
 
     def apply(self, src: np.ndarray):

@@ -17,6 +17,17 @@ Per axis ``mu`` and application, each rank exchanges:
 * toward ``+mu``: a packed staging buffer of sender-side products —
   ``V^+ chi`` on the depth-1 high face followed by ``W^+ chi`` on the
   depth-3 high face — the ``-mu`` neighbour's backward hops.
+
+Like :mod:`repro.parallel.pdirac`, ``hopping`` defaults to the two-phase
+**overlapped** pipeline: the depth-3 raw-face DMA (descriptor group
+``"early"``) starts before the staging products are computed; the local
+backward matvecs and the full assembly of interior sites (``3 <= x_mu <
+L_mu - 3`` on communicated axes — the Naik term makes the boundary shell
+three sites deep) run while the wires are busy; and a per-axis drain loop
+patches face rows as halos land (all staggered halo patches are pure row
+copies — the forward matvecs happen in the merge).  Output is
+bit-identical to the monolithic path (``overlap=False``) and charged
+flops are identical; only the timeline changes.
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ from repro.fermions.flops import MATVEC_SU3, operator_cost
 from repro.fermions.staggered import staggered_phases
 from repro.lattice.gauge import cmatvec
 from repro.lattice.geometry import LatticeGeometry
-from repro.lattice.halos import halo_exchange_plan
+from repro.lattice.halos import halo_exchange_plan, interior_boundary_sites
 from repro.lattice.su3 import dagger
 from repro.util.errors import ConfigError
 
@@ -59,6 +70,7 @@ class DistributedStaggeredContext:
         long: np.ndarray,
         mass: float,
         c_naik: float = -1.0 / 24.0,
+        overlap: bool = True,
     ):
         self.api = api
         self.geometry = LatticeGeometry(local_shape)
@@ -72,6 +84,7 @@ class DistributedStaggeredContext:
         self.c_naik = float(c_naik)
         self.phases = staggered_phases(g)
         self.cost = operator_cost("asqtad")
+        self.overlap = bool(overlap)
         self.comm_axes = [mu for mu in range(ndim) if api.dims[mu] > 1]
         for mu in self.comm_axes:
             if local_shape[mu] < 3:
@@ -89,6 +102,16 @@ class DistributedStaggeredContext:
         # whatever their extent.
         self.plan1 = {mu: halo_exchange_plan(g, mu, 1) for mu in self.comm_axes}
         self.plan3 = {mu: halo_exchange_plan(g, mu, 3) for mu in self.comm_axes}
+        #: the Naik term reaches 3 sites, so the boundary shell is 3 deep
+        self.interior_sites, self.boundary_sites = interior_boundary_sites(
+            g, tuple(self.comm_axes), depth=3
+        )
+        #: per-site merge flops summed over axes (forward fat/long matvecs
+        #: plus the combine/phase arithmetic); the 2*ndim backward matvecs
+        #: are charged where their rows are computed.
+        self.merge_flops_per_site = (
+            self.cost.flops_per_site - 12 - 2 * ndim * MATVEC_SU3
+        )
 
         mem = api.memory
         self.work = mem.zeros("work", (v, 3))
@@ -111,22 +134,40 @@ class DistributedStaggeredContext:
                 g.coords[face_sites][:, mu] == 0
             )[0]
             api.store_send(
-                mu, -1, face_descriptor("work", local_shape, mu, -1, WORDS_PER_SITE, depth=3)
+                mu,
+                -1,
+                face_descriptor("work", local_shape, mu, -1, WORDS_PER_SITE, depth=3),
+                group="early",
             )
-            api.store_send(mu, +1, full_descriptor(api.node, f"stage{mu}"))
-            api.store_recv(mu, +1, full_descriptor(api.node, f"raw_halo{mu}"))
-            api.store_recv(mu, -1, full_descriptor(api.node, f"prod_halo{mu}"))
+            api.store_send(
+                mu, +1, full_descriptor(api.node, f"stage{mu}"), group="staged"
+            )
+            api.store_recv(
+                mu, +1, full_descriptor(api.node, f"raw_halo{mu}"), group="early"
+            )
+            api.store_recv(
+                mu, -1, full_descriptor(api.node, f"prod_halo{mu}"), group="early"
+            )
 
     @property
     def volume(self) -> int:
         return self.geometry.volume
 
     def hopping(self, src: np.ndarray):
-        """Distributed ASQTAD dslash (generator)."""
-        g = self.geometry
-        np.copyto(self.work, src)
+        """Distributed ASQTAD dslash (generator).
 
-        # sender-side backward products for every neighbour
+        Dispatches to the overlapped two-phase pipeline or the serialized
+        monolithic assembly according to ``self.overlap``; both are
+        bit-identical in output and total charged flops.
+        """
+        if self.overlap:
+            out = yield from self._hopping_overlapped(src)
+        else:
+            out = yield from self._hopping_monolithic(src)
+        return out
+
+    def _stage_products(self) -> int:
+        """Sender-side backward products for every neighbour."""
         staged = 0
         for mu in self.comm_axes:
             high1 = self.plan1[mu].send_high
@@ -136,6 +177,14 @@ class DistributedStaggeredContext:
             buf[:n1] = cmatvec(dagger(self.fat[mu][high1]), self.work[high1])
             buf[n1:] = cmatvec(dagger(self.long[mu][high3]), self.work[high3])
             staged += n1 + len(high3)
+        return staged
+
+    def _hopping_monolithic(self, src: np.ndarray):
+        """Serialized reference path: all comms complete, then all compute."""
+        g = self.geometry
+        np.copyto(self.work, src)
+
+        staged = self._stage_products()
         yield self.api.compute(staged * MATVEC_SU3)
 
         yield self.api.start_stored()
@@ -158,6 +207,85 @@ class DistributedStaggeredContext:
             term += self.c_naik * (cmatvec(self.long[mu], fwd3) - bwd3)
             out += self.phases[mu][:, None] * term
         yield self.api.compute(self.volume * (self.cost.flops_per_site - 12))
+        return out
+
+    def _merge(self, out, fwd1_arr, fwd3_arr, bwd1_arr, bwd3_arr, sites) -> None:
+        """Forward matvecs + combine/phase accumulate on ``sites``.
+
+        Row-for-row the same statement sequence (mu ascending) as the
+        monolithic assembly, so merged rows are bit-identical.
+        """
+        for mu in range(self.geometry.ndim):
+            term = (
+                cmatvec(self.fat[mu][sites], fwd1_arr[mu][sites])
+                - bwd1_arr[mu][sites]
+            )
+            term += self.c_naik * (
+                cmatvec(self.long[mu][sites], fwd3_arr[mu][sites])
+                - bwd3_arr[mu][sites]
+            )
+            out[sites] += self.phases[mu][sites][:, None] * term
+
+    def _hopping_overlapped(self, src: np.ndarray):
+        """Two-phase pipeline: interior assembly while DMA flies, per-axis
+        boundary row patches (pure copies) as each axis's halo lands."""
+        g = self.geometry
+        v = self.volume
+        api = self.api
+        np.copyto(self.work, src)
+
+        pending = dict(api.start_stored_events(group="early"))
+        staged = self._stage_products()
+        if staged:
+            yield api.compute(staged * MATVEC_SU3)
+        pending.update(api.start_stored_events(group="staged"))
+
+        # ---- interior phase: raw forward gathers + local backward matvecs
+        local_flops = 0.0
+        fwd1_arr = []
+        fwd3_arr = []
+        bwd1_arr = []
+        bwd3_arr = []
+        for mu in range(g.ndim):
+            fwd1_arr.append(self.work[g.hop(mu, +1)])
+            fwd3_arr.append(self.work[g.hop(mu, +3)])
+            bwd1_arr.append(cmatvec(self.fat_dagger_bwd[mu], self.work[g.hop(mu, -1)]))
+            bwd3_arr.append(
+                cmatvec(self.long_dagger_bwd3[mu], self.work[g.hop(mu, -3)])
+            )
+            local_flops += 2 * v * MATVEC_SU3
+
+        out = np.zeros_like(self.work)
+        interior = self.interior_sites
+        if len(interior):
+            self._merge(out, fwd1_arr, fwd3_arr, bwd1_arr, bwd3_arr, interior)
+            local_flops += len(interior) * self.merge_flops_per_site
+        yield api.compute(local_flops)
+
+        # ---- boundary phase: drain transfers in completion order --------
+        # (every staggered halo patch is a pure row copy; the forward
+        # matvecs are merge work, so arrival handlers charge no flops)
+        while pending:
+            fired = yield api.wait_any(pending.values())
+            key = next(k for k, e in pending.items() if e is fired)
+            del pending[key]
+            kind, mu, sign = key
+            if kind != "recv":
+                continue
+            if sign == +1:
+                raw = self.raw_halo[mu]
+                fwd1_arr[mu][self.plan1[mu].fill_from_fwd] = raw[self.raw_layer0[mu]]
+                fwd3_arr[mu][self.plan3[mu].fill_from_fwd] = raw
+            else:
+                prod = self.prod_halo[mu]
+                n1 = len(self.plan1[mu].send_low)
+                bwd1_arr[mu][self.plan1[mu].fill_from_bwd] = prod[:n1]
+                bwd3_arr[mu][self.plan3[mu].fill_from_bwd] = prod[n1:]
+
+        boundary = self.boundary_sites
+        if len(boundary):
+            self._merge(out, fwd1_arr, fwd3_arr, bwd1_arr, bwd3_arr, boundary)
+            yield api.compute(len(boundary) * self.merge_flops_per_site)
         return out
 
     def apply(self, src: np.ndarray):
