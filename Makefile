@@ -1,7 +1,7 @@
 PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test protocol overlap bench verify
+.PHONY: test protocol overlap bench bench-smoke verify
 
 ## tier-1: the full unit/integration/property suite
 test:
@@ -19,6 +19,11 @@ overlap:
 ## paper-claim benchmarks (E1..E14)
 bench:
 	$(PYTEST) benchmarks -q
+
+## quick dslash timing smoke: half-spinor comms vs the full-spinor seed
+## path + memoised vs rebuilt gather tables; writes BENCH_dslash.json
+bench-smoke:
+	$(PYTEST) benchmarks/bench_dslash_smoke.py -m perf -q -s
 
 ## what CI gates a merge on: tier-1 + the overlap bit-exactness suite
 verify: test overlap

@@ -47,6 +47,13 @@ class EvenOddWilson:
         self.a = dirac.diag  # the scalar site-diagonal (m + 4r)
         if self.a == 0:
             raise ConfigError("even-odd elimination needs a nonzero diagonal")
+        #: reused full-lattice embed buffer: every Schur application needs
+        #: two parity embeddings, and their lifetimes never overlap (the
+        #: hopping result is materialised before the next embed), so one
+        #: preallocated buffer serves them all — no per-call allocation.
+        self._full = np.zeros(
+            (dirac.geometry.volume, 4, 3), dtype=np.complex128
+        )
 
     # -- parity-restricted hopping -----------------------------------------
     def _hop(self, psi_full: np.ndarray) -> np.ndarray:
@@ -54,8 +61,11 @@ class EvenOddWilson:
         return self.dirac.hopping(psi_full)
 
     def _embed(self, half: np.ndarray, sites: np.ndarray) -> np.ndarray:
-        g = self.dirac.geometry
-        full = np.zeros((g.volume, 4, 3), dtype=np.complex128)
+        """Scatter a parity-restricted field into the shared full-lattice
+        buffer (zero elsewhere).  The returned array is only valid until
+        the next ``_embed`` call — exactly the Schur pipeline's usage."""
+        full = self._full
+        full.fill(0.0)
         full[sites] = half
         return full
 

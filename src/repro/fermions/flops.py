@@ -21,6 +21,16 @@ CMUL = 6  #: flops in one complex multiply
 CADD = 2  #: flops in one complex add
 MATVEC_SU3 = 9 * CMUL + 6 * CADD  #: = 66, one SU(3) matrix x colour vector
 
+# -- wire-format constants (single source of truth) --------------------------
+# Every words-per-site number used by the parallel operators, the SCU
+# descriptors, and the performance model imports from here; the
+# functional simulator's transfer counters are cross-checked against
+# these in tests (no silently divergent copies).
+WORD_BYTES = 8  #: one 64-bit machine word
+SPINOR_WORDS = 24  #: Wilson spinor, 12 complex doubles per site
+HALF_SPINOR_WORDS = SPINOR_WORDS // 2  #: = 12, spin-projected two rows
+STAGGERED_WORDS = 6  #: one colour vector, 3 complex doubles per site
+
 #: canonical community count for the Wilson hopping term (8 directions,
 #: two half-spinor SU(3) matvecs each, plus spin project/reconstruct adds)
 WILSON_DSLASH_FLOPS = 8 * (2 * MATVEC_SU3) + 264  # = 1320
@@ -59,7 +69,16 @@ class OperatorCost:
         (re-usable across the 5th dimension for domain-wall fermions).
     comm_bytes_per_face_site:
         Bytes sent per boundary site per direction in double precision
-        (halve for single).
+        (halve for single) by the hand-tuned kernels: Wilson-type
+        operators put spin-projected **half spinors** on the wire
+        (``HALF_SPINOR_WORDS`` = 12 words = 96 bytes), exactly what the
+        compressed SCU exchange of :mod:`repro.parallel` moves.
+    uncompressed_comm_bytes_per_face_site:
+        What a generic (full-spinor) exchange would ship per boundary
+        site — the seed pipeline before half-spinor compression and the
+        payload a 2004 commodity-cluster MPI code moves.  Equal to
+        ``comm_bytes_per_face_site`` for staggered operators (a colour
+        vector has no rank-2 spin structure to exploit).
     hop_depths:
         Hop distances needing halo exchange (ASQTAD needs 1 and 3).
     dirac_applications_per_cg_iteration:
@@ -71,6 +90,7 @@ class OperatorCost:
     words_per_site: int
     gauge_words_per_site: int
     comm_bytes_per_face_site: int
+    uncompressed_comm_bytes_per_face_site: int
     hop_depths: Tuple[int, ...] = (1,)
     dirac_applications_per_cg_iteration: int = 2
 
@@ -87,7 +107,11 @@ class OperatorCost:
         vectors are 3 complex = 6 words.  Drives the CG linear-algebra
         cost in the performance model.
         """
-        return 6 if "staggered" in self.name or self.name == "asqtad" else 24
+        return (
+            STAGGERED_WORDS
+            if "staggered" in self.name or self.name == "asqtad"
+            else SPINOR_WORDS
+        )
 
 
 def _wilson_cost() -> OperatorCost:
@@ -97,7 +121,9 @@ def _wilson_cost() -> OperatorCost:
         # gauge 8 x 18 + neighbour spinors 8 x 24 + site spinor 24 + store 24
         words_per_site=144 + 192 + 24 + 24,  # 384
         gauge_words_per_site=144,
-        comm_bytes_per_face_site=12 * 16,  # half spinor, 12 complex doubles
+        # half spinor on the wire: 12 words = 96 bytes per face site
+        comm_bytes_per_face_site=HALF_SPINOR_WORDS * WORD_BYTES,
+        uncompressed_comm_bytes_per_face_site=SPINOR_WORDS * WORD_BYTES,
     )
 
 
@@ -110,6 +136,7 @@ def _clover_cost() -> OperatorCost:
         words_per_site=w.words_per_site + 72,  # 456
         gauge_words_per_site=w.gauge_words_per_site,
         comm_bytes_per_face_site=w.comm_bytes_per_face_site,
+        uncompressed_comm_bytes_per_face_site=w.uncompressed_comm_bytes_per_face_site,
     )
 
 
@@ -121,7 +148,9 @@ def _asqtad_cost() -> OperatorCost:
         # + site vector 6 + store 6
         words_per_site=144 + 144 + 96 + 6 + 6,  # 396
         gauge_words_per_site=288,
-        comm_bytes_per_face_site=3 * 16,  # one colour vector
+        # one colour vector (no spin structure to compress)
+        comm_bytes_per_face_site=STAGGERED_WORDS * WORD_BYTES,
+        uncompressed_comm_bytes_per_face_site=STAGGERED_WORDS * WORD_BYTES,
         hop_depths=(1, 3),
     )
 
@@ -132,7 +161,8 @@ def _naive_staggered_cost() -> OperatorCost:
         flops_per_site=NAIVE_STAGGERED_DSLASH_FLOPS + STAGGERED_DIAG_FLOPS,  # 582
         words_per_site=144 + 48 + 6 + 6,  # 204
         gauge_words_per_site=144,
-        comm_bytes_per_face_site=3 * 16,
+        comm_bytes_per_face_site=STAGGERED_WORDS * WORD_BYTES,
+        uncompressed_comm_bytes_per_face_site=STAGGERED_WORDS * WORD_BYTES,
     )
 
 
@@ -152,6 +182,7 @@ def _dwf_cost(Ls: int = 1) -> OperatorCost:
         words_per_site=w.words_per_site,
         gauge_words_per_site=w.gauge_words_per_site,
         comm_bytes_per_face_site=w.comm_bytes_per_face_site,
+        uncompressed_comm_bytes_per_face_site=w.uncompressed_comm_bytes_per_face_site,
     )
 
 

@@ -16,13 +16,20 @@ from repro.lattice.su3 import dagger, is_su3, project_su3, random_algebra, rando
 from repro.util.errors import ConfigError
 
 
-def cmatvec(u: np.ndarray, psi: np.ndarray) -> np.ndarray:
+def cmatvec(
+    u: np.ndarray, psi: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """Apply per-site colour matrices to a field with colour as last axis.
 
     ``u`` is ``(V, 3, 3)``; ``psi`` is ``(V, ..., 3)`` (any spin axes in
-    between).  Returns ``(V, ..., 3)``.
+    between).  Returns ``(V, ..., 3)``.  ``out`` reuses a caller-owned
+    buffer (allocation-free hot loops); the contraction string is the
+    single one used by every kernel in the package, so serial and
+    distributed applications are arithmetically identical.
     """
-    return np.einsum("xab,x...b->x...a", u, psi)
+    if out is None:
+        return np.einsum("xab,x...b->x...a", u, psi)
+    return np.einsum("xab,x...b->x...a", u, psi, out=out)
 
 
 class GaugeField:

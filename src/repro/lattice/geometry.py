@@ -7,10 +7,11 @@ lexicographic with the last axis fastest (numpy C order over ``shape``).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.lattice import stencil
 from repro.util.errors import ConfigError
 
 
@@ -44,21 +45,13 @@ class LatticeGeometry:
         self.ndim = len(shape)
         self.volume = int(np.prod(shape))
 
+        # All index tables are memoised process-wide by shape in
+        # repro.lattice.stencil; every LatticeGeometry of the same shape
+        # (e.g. the per-rank local geometries of a distributed run)
+        # shares one set of read-only tables.
         # coords[i] = coordinate vector of site i (C order, last axis fastest)
-        grid = np.indices(shape).reshape(self.ndim, self.volume)
-        self.coords = np.ascontiguousarray(grid.T)  # (V, ndim)
-
-        idx = np.arange(self.volume).reshape(shape)
-        # neighbour_fwd[mu][i] = index of site at coords(i) + e_mu (periodic)
-        self._fwd = np.stack(
-            [np.roll(idx, -1, axis=mu).ravel() for mu in range(self.ndim)]
-        )
-        self._bwd = np.stack(
-            [np.roll(idx, +1, axis=mu).ravel() for mu in range(self.ndim)]
-        )
-
-        self.parity = (self.coords.sum(axis=1) % 2).astype(np.int8)
-        self._hop_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self.coords = stencil.coords(shape)  # (V, ndim), read-only
+        self.parity = stencil.parity(shape)
 
     # -- indexing -----------------------------------------------------------
     def index(self, coord: Sequence[int]) -> int:
@@ -76,38 +69,30 @@ class LatticeGeometry:
 
     # -- neighbours -----------------------------------------------------------
     def neighbour_fwd(self, mu: int) -> np.ndarray:
-        """``(V,)`` index table: site at ``x + e_mu``."""
-        return self._fwd[mu]
+        """``(V,)`` index table: site at ``x + e_mu`` (memoised)."""
+        return stencil.neighbour(self.shape, mu, +1)
 
     def neighbour_bwd(self, mu: int) -> np.ndarray:
-        """``(V,)`` index table: site at ``x - e_mu``."""
-        return self._bwd[mu]
+        """``(V,)`` index table: site at ``x - e_mu`` (memoised)."""
+        return stencil.neighbour(self.shape, mu, -1)
 
     def hop(self, mu: int, steps: int) -> np.ndarray:
         """Index table for ``x + steps * e_mu`` (negative steps go backward).
 
         The ASQTAD Naik term needs 3-link hops (paper section 1: "second or
-        third nearest-neighbor communications"); results are cached.
+        third nearest-neighbor communications"); tables are memoised
+        process-wide by shape in :mod:`repro.lattice.stencil`.
         """
-        key = (mu, steps)
-        cached = self._hop_cache.get(key)
-        if cached is not None:
-            return cached
-        table = np.arange(self.volume)
-        base = self._fwd[mu] if steps > 0 else self._bwd[mu]
-        for _ in range(abs(steps)):
-            table = base[table]
-        self._hop_cache[key] = table
-        return table
+        return stencil.hop(self.shape, mu, steps)
 
     # -- parity -----------------------------------------------------------
     @property
     def even_sites(self) -> np.ndarray:
-        return np.nonzero(self.parity == 0)[0]
+        return stencil.parity_sites(self.shape, 0)
 
     @property
     def odd_sites(self) -> np.ndarray:
-        return np.nonzero(self.parity == 1)[0]
+        return stencil.parity_sites(self.shape, 1)
 
     # -- decomposition ------------------------------------------------------
     def tile(self, pgrid: Sequence[int]) -> "Tiling":

@@ -4,7 +4,10 @@ When the physics lattice is tiled over QCDOC nodes (one tile per node,
 paper section 1), every Dirac application needs the neighbour tile's
 boundary sites.  These helpers compute, once per geometry, exactly which
 local site rows are sent and which rows of a gathered-neighbour array must
-be overwritten with received data.
+be overwritten with received data.  The index tables themselves live in
+the process-wide memo cache of :mod:`repro.lattice.stencil` — every rank
+of a distributed run (same local shape) shares one set, and repeated
+operator applications never rebuild them.
 
 Convention (matches :mod:`repro.parallel.pdirac`):
 
@@ -24,12 +27,24 @@ arithmetic bitwise identical to serial arithmetic.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.lattice import stencil
 from repro.lattice.geometry import LatticeGeometry
-from repro.util.errors import ConfigError
+from repro.lattice.stencil import HaloPlan
+
+__all__ = [
+    "HaloPlan",
+    "face_indices",
+    "halo_exchange_plan",
+    "all_halo_plans",
+    "interior_mask",
+    "interior_boundary_sites",
+    "fill_positions",
+    "surface_site_count",
+]
 
 
 def face_indices(
@@ -39,53 +54,20 @@ def face_indices(
 
     ``side=-1`` selects ``x_axis < depth`` (the low face), ``side=+1``
     selects ``x_axis >= L - depth``.  ``depth > 1`` supports the ASQTAD
-    Naik term's 3-link hops.
+    Naik term's 3-link hops.  Memoised per (shape, axis, side, depth).
     """
-    if not 0 <= axis < geometry.ndim:
-        raise ConfigError(f"axis {axis} out of range for {geometry}")
-    L = geometry.shape[axis]
-    if depth < 1 or depth > L:
-        raise ConfigError(f"face depth {depth} invalid for axis extent {L}")
-    x = geometry.coords[:, axis]
-    mask = (x < depth) if side < 0 else (x >= L - depth)
-    return np.nonzero(mask)[0]
-
-
-class HaloPlan(NamedTuple):
-    """Index plan for one (axis, hop-distance) halo exchange."""
-
-    axis: int
-    depth: int
-    #: local sites sent toward the -mu neighbour (our low face)
-    send_low: np.ndarray
-    #: local sites sent toward the +mu neighbour (our high face)
-    send_high: np.ndarray
-    #: rows of a ``field[hop(mu, +depth)]`` gather to overwrite with the
-    #: halo received from the +mu neighbour (our high face)
-    fill_from_fwd: np.ndarray
-    #: rows of a ``field[hop(mu, -depth)]`` gather to overwrite with the
-    #: halo received from the -mu neighbour (our low face)
-    fill_from_bwd: np.ndarray
+    return stencil.face_sites(geometry.shape, axis, side, depth)
 
 
 def halo_exchange_plan(
     geometry: LatticeGeometry, axis: int, depth: int = 1
 ) -> HaloPlan:
-    """Build the :class:`HaloPlan` for one axis at one hop distance.
+    """The memoised :class:`HaloPlan` for one axis at one hop distance.
 
     For ``depth=1`` this is the nearest-neighbour plan every Wilson-type
     operator uses; ASQTAD additionally needs ``depth=3`` plans.
     """
-    low = face_indices(geometry, axis, -1, depth)
-    high = face_indices(geometry, axis, +1, depth)
-    return HaloPlan(
-        axis=axis,
-        depth=depth,
-        send_low=low,
-        send_high=high,
-        fill_from_fwd=high,
-        fill_from_bwd=low,
-    )
+    return stencil.halo_plan(geometry.shape, axis, depth)
 
 
 def all_halo_plans(
@@ -118,14 +100,7 @@ def interior_mask(
     boundary site, and the overlap win comes entirely from pipelining
     per-axis boundary work against the remaining transfers.
     """
-    mask = np.ones(geometry.volume, dtype=bool)
-    for mu in comm_axes:
-        if not 0 <= mu < geometry.ndim:
-            raise ConfigError(f"axis {mu} out of range for {geometry}")
-        x = geometry.coords[:, mu]
-        L = geometry.shape[mu]
-        mask &= (x >= depth) & (x < L - depth)
-    return mask
+    return stencil.interior_mask(geometry.shape, tuple(comm_axes), depth)
 
 
 def interior_boundary_sites(
@@ -140,8 +115,7 @@ def interior_boundary_sites(
     during communication and the second as halos land, then merges rows,
     so the union must be a permutation-free cover for bit-exactness.
     """
-    mask = interior_mask(geometry, comm_axes, depth)
-    return np.nonzero(mask)[0], np.nonzero(~mask)[0]
+    return stencil.site_partition(geometry.shape, tuple(comm_axes), depth)
 
 
 def fill_positions(subset: np.ndarray, face: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

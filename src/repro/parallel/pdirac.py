@@ -3,12 +3,34 @@
 Each rank owns one tile of the lattice.  Applying the hopping term needs,
 per axis ``mu``:
 
-* the **+mu neighbour's low face** of the source field (raw spinors) — used
-  as "my forward neighbour's value" on my high face; and
-* the **-mu neighbour's** precomputed ``U^+ psi`` products from *its* high
+* the **+mu neighbour's low face** of the source field — used as "my
+  forward neighbour's value" on my high face; and
+* the **-mu neighbour's** precomputed ``U^+`` products from *its* high
   face — used as my backward hopping term on my low face.  Shipping the
   product instead of (spinor + gauge link) halves the traffic and matches
   the zero-copy, sender-side-multiply structure of the real kernels.
+
+Half-spinor compression (``compress=True``, the default at ``r == 1``)
+----------------------------------------------------------------------
+The Wilson hopping projector ``(1 -+ gamma_mu)`` has rank 2, so only two
+of the four spin rows are independent (:func:`repro.fermions.gamma.
+spin_project`).  QCDOC's SCU therefore never puts a full spinor on the
+wire: the sender projects *before* posting the send, and the receiver
+reconstructs after the SU(3) multiply.  Both directions ship
+``HALF_SPINOR_WORDS`` = 12 words per face site instead of 24:
+
+* **forward halo**: the sender spin-projects its low face with
+  ``(1 - gamma_mu)`` into ``stage_fwd`` and ships the half spinor; the
+  receiver multiplies by its own ``U_mu`` and reconstructs.
+* **backward halo**: the sender fuses the projection into the staged
+  product — ``U^+ (1 + gamma_mu) psi`` on its high face is a **half
+  product** (2 spin rows), shipped as-is and row-copied by the receiver.
+
+Because projection commutes with the colour multiply and is row-
+independent, the assembled physics is *bit-identical* to the full-spinor
+exchange and to the serial operator.  ``compress=False`` (forced for
+``r != 1``, where the projector has full rank) keeps the original
+full-spinor wire format for comparison benchmarks.
 
 All four transfers per axis run through **persistent SCU descriptors**
 stored once at context creation: every subsequent operator application
@@ -22,14 +44,14 @@ The paper's sustained-efficiency claims (section 4) model dslash time as
 ``T_interior + max(T_comm, T_boundary)`` — DMA transfers run *concurrently*
 with CPU arithmetic.  ``hopping`` therefore splits each application into
 
-1. an **interior phase**: raw-halo transfers are started the instant the
-   source lands in ``work`` (descriptor group ``"early"``: the raw
-   low-face send plus *both* receives, so no link ever idles waiting for
-   a late receive); the sender-side ``U^+ psi`` staging products are then
-   computed, group ``"staged"`` starts their sends, and every matvec that
-   needs no halo data — plus the full per-site merge on interior sites
-   (``depth <= x_mu < L_mu - depth`` on all communicated axes) — runs
-   while the wires are busy;
+1. an **interior phase**: the ``"early"`` descriptor group is started
+   the instant the source lands in ``work`` (*both* receives, plus the
+   raw low-face send when uncompressed, so no link ever idles waiting
+   for a late receive); the sender-side staging buffers are then
+   computed, group ``"staged"`` starts their sends, and every matvec
+   that needs no halo data — plus the full per-site merge on interior
+   sites (``depth <= x_mu < L_mu - depth`` on all communicated axes) —
+   runs while the wires are busy;
 2. a **boundary phase**: a completion-order drain loop
    (:meth:`CommsAPI.wait_any`) patches the per-axis face rows as each
    axis's halo lands — forward-hop rows need one SU(3) matvec per face
@@ -55,16 +77,31 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.comms.api import CommsAPI, face_descriptor, full_descriptor
-from repro.fermions.flops import CLOVER_TERM_FLOPS, MATVEC_SU3, operator_cost
-from repro.fermions.gamma import GAMMA, apply_spin_matrix, gamma5_sandwich
+from repro.fermions.flops import (
+    CLOVER_TERM_FLOPS,
+    HALF_SPINOR_WORDS,
+    MATVEC_SU3,
+    SPINOR_WORDS,
+    operator_cost,
+)
+from repro.fermions.gamma import (
+    GAMMA,
+    apply_spin_matrix,
+    gamma5_sandwich,
+    spin_project,
+    spin_reconstruct,
+)
 from repro.lattice.gauge import cmatvec
 from repro.lattice.geometry import LatticeGeometry
 from repro.lattice.halos import halo_exchange_plan, interior_boundary_sites
 from repro.lattice.su3 import dagger
 from repro.util.errors import ConfigError
 
-#: 64-bit words per Wilson spinor site (12 complex doubles)
-WORDS_PER_SITE = 24
+#: 64-bit words per Wilson spinor site (12 complex doubles) — the single
+#: source of truth is :mod:`repro.fermions.flops`.
+WORDS_PER_SITE = SPINOR_WORDS
+#: 64-bit words per compressed face site (6 complex doubles)
+HALF_WORDS_PER_SITE = HALF_SPINOR_WORDS
 
 
 class DistributedWilsonContext:
@@ -87,6 +124,12 @@ class DistributedWilsonContext:
         interior/boundary pipeline overlapping DMA with compute; when
         ``False`` it runs the serialized monolithic assembly.  Both paths
         produce bit-identical output and charge identical flops.
+    compress:
+        When ``True`` the halo exchange ships spin-projected **half
+        spinors** (12 words per face site); ``False`` keeps the
+        full-spinor wire format (24 words).  Defaults to ``r == 1.0``,
+        the only case where the rank-2 compression is exact; requesting
+        compression at ``r != 1`` raises.
     """
 
     def __init__(
@@ -98,6 +141,7 @@ class DistributedWilsonContext:
         r: float = 1.0,
         clover_tensor: Optional[np.ndarray] = None,
         overlap: bool = True,
+        compress: Optional[bool] = None,
     ):
         self.api = api
         self.geometry = LatticeGeometry(local_shape)
@@ -121,6 +165,14 @@ class DistributedWilsonContext:
         }
         self.cost = operator_cost("wilson" if clover_tensor is None else "clover")
         self.overlap = bool(overlap)
+        if compress is None:
+            compress = self.r == 1.0
+        elif compress and self.r != 1.0:
+            raise ConfigError(
+                "half-spinor compression requires r == 1 (the projector "
+                f"(r -+ gamma) has full rank at r={self.r})"
+            )
+        self.compress = bool(compress)
 
         #: axes actually decomposed over nodes; an extent-1 logical axis
         #: keeps the whole physics axis on-tile, so its periodic wrap is
@@ -144,30 +196,46 @@ class DistributedWilsonContext:
         self.work = mem.zeros("work", (v, 4, 3))
         self.halo_fwd = {}
         self.halo_bwd = {}
+        self.stage_fwd = {}
         self.stage_bwd = {}
+        #: spin rows per wire site: 2 (half spinor) when compressed, 4 raw
+        spin_rows = 2 if self.compress else 4
         for mu in self.comm_axes:
             nface = len(self.plans[mu].send_low)
-            self.halo_fwd[mu] = mem.zeros(f"halo_fwd{mu}", (nface, 4, 3))
-            self.halo_bwd[mu] = mem.zeros(f"halo_bwd{mu}", (nface, 4, 3))
-            self.stage_bwd[mu] = mem.zeros(f"stage_bwd{mu}", (nface, 4, 3))
+            self.halo_fwd[mu] = mem.zeros(f"halo_fwd{mu}", (nface, spin_rows, 3))
+            self.halo_bwd[mu] = mem.zeros(f"halo_bwd{mu}", (nface, spin_rows, 3))
+            self.stage_bwd[mu] = mem.zeros(f"stage_bwd{mu}", (nface, spin_rows, 3))
             # Persistent descriptors (stored once, restarted every apply).
-            # Group "early" depends only on the raw source in `work`, so
-            # it starts the instant the source lands — before the staging
-            # products are even computed; group "staged" waits for them.
-            #  raw low face of `work` -> the -mu neighbour,
-            api.store_send(
-                mu,
-                -1,
-                face_descriptor(
-                    "work", local_shape, mu, -1, WORDS_PER_SITE
-                ),
-                group="early",
-            )
-            #  U^+ psi products from my high face -> the +mu neighbour,
+            # Group "early" starts the instant the source lands; group
+            # "staged" waits for sender-side compute.
+            if self.compress:
+                # Compressed wire format: both directions ship half
+                # spinors (12 words per face site).  The forward halo is
+                # spin-projected *before* the send, so its descriptor
+                # reads the staged buffer.  The projection is pure
+                # sign/permute adds — no SU(3) matvec — so it gets its
+                # own start-group "proj" and hits the wire before the
+                # backward-product staging compute is charged.
+                self.stage_fwd[mu] = mem.zeros(f"stage_fwd{mu}", (nface, 2, 3))
+                api.store_send(
+                    mu,
+                    -1,
+                    full_descriptor(api.node, f"stage_fwd{mu}"),
+                    group="proj",
+                )
+            else:
+                #  raw low face of `work` -> the -mu neighbour,
+                api.store_send(
+                    mu,
+                    -1,
+                    face_descriptor("work", local_shape, mu, -1, WORDS_PER_SITE),
+                    group="early",
+                )
+            #  U^+ (projected) products from my high face -> +mu neighbour,
             api.store_send(
                 mu, +1, full_descriptor(api.node, f"stage_bwd{mu}"), group="staged"
             )
-            #  raw spinors arriving from the +mu neighbour,
+            #  (half) spinors arriving from the +mu neighbour,
             api.store_recv(
                 mu, +1, full_descriptor(api.node, f"halo_fwd{mu}"), group="early"
             )
@@ -198,16 +266,50 @@ class DistributedWilsonContext:
             out = yield from self._hopping_monolithic(src)
         return out
 
+    def _project_faces(self) -> None:
+        """Compressed mode: spin-project the forward (low-face) halo into
+        ``stage_fwd`` — ``(1 - gamma_mu) psi``, a half spinor per site.
+
+        Pure sign/permute additions (no SU(3) arithmetic), so the
+        overlapped pipeline fires these sends *before* the backward
+        staging matvecs are charged; the projection's adds are part of the
+        merge accounting, exactly as the seed charged its raw-face sends.
+        """
+        if not self.compress:
+            return
+        for mu in self.comm_axes:
+            np.copyto(
+                self.stage_fwd[mu],
+                spin_project(mu, +1, self.work[self.plans[mu].send_low]),
+            )
+
     def _stage_products(self) -> int:
-        """Sender-side ``U^+ psi`` products for every high face (the
-        neighbour's backward term); returns the staged site count."""
+        """Sender-side staging for every communicated axis; returns the
+        staged site count (for flop charging).
+
+        Uncompressed: ``U^+ psi`` full products on the high face.
+        Compressed: the backward product fuses the ``(1 + gamma_mu)``
+        projection *before* the SU(3) multiply — half the colour
+        arithmetic, half the wire (the forward halo is projected
+        separately in :meth:`_project_faces`).
+        """
         staged_sites = 0
         for mu in self.comm_axes:
-            high = self.plans[mu].send_high
-            np.copyto(
-                self.stage_bwd[mu],
-                cmatvec(dagger(self.links[mu][high]), self.work[high]),
-            )
+            plan = self.plans[mu]
+            high = plan.send_high
+            if self.compress:
+                np.copyto(
+                    self.stage_bwd[mu],
+                    cmatvec(
+                        dagger(self.links[mu][high]),
+                        spin_project(mu, -1, self.work[high]),
+                    ),
+                )
+            else:
+                np.copyto(
+                    self.stage_bwd[mu],
+                    cmatvec(dagger(self.links[mu][high]), self.work[high]),
+                )
             staged_sites += len(high)
         return staged_sites
 
@@ -217,6 +319,7 @@ class DistributedWilsonContext:
         ndim = g.ndim
         np.copyto(self.work, src)
 
+        self._project_faces()
         staged_sites = self._stage_products()
         yield self.api.compute(staged_sites * MATVEC_SU3)
 
@@ -227,6 +330,24 @@ class DistributedWilsonContext:
         out = np.zeros_like(self.work)
         for mu in range(ndim):
             plan = self.plans[mu]
+            if self.compress:
+                # Half-spinor path: identical statement sequence to the
+                # serial r == 1 kernel, with face rows of the projected
+                # gather overwritten by the received halves (the sender
+                # projected the same values, so the rows are bit-equal).
+                half = spin_project(mu, +1, self.work[g.hop(mu, +1)])
+                if mu in self.halo_fwd:
+                    half[plan.fill_from_fwd] = self.halo_fwd[mu]
+                fwd = cmatvec(self.links[mu], half)
+                out += spin_reconstruct(mu, +1, fwd)
+                bwd = cmatvec(
+                    self.links_dagger_bwd[mu],
+                    spin_project(mu, -1, self.work[g.hop(mu, -1)]),
+                )
+                if mu in self.halo_bwd:
+                    bwd[plan.fill_from_bwd] = self.halo_bwd[mu]
+                out += spin_reconstruct(mu, -1, bwd)
+                continue
             gathered = self.work[g.hop(mu, +1)]
             if mu in self.halo_fwd:
                 gathered[plan.fill_from_fwd] = self.halo_fwd[mu]
@@ -242,7 +363,7 @@ class DistributedWilsonContext:
         return out
 
     def _merge(self, out, fwd_arr, bwd_arr, sites: np.ndarray) -> None:
-        """Per-``mu`` spin project/reconstruct + accumulate on ``sites``.
+        """Per-``mu`` spin accumulate on ``sites``.
 
         Row-for-row the same two-statement, mu-ascending sequence as the
         monolithic assembly, so the merged rows are bit-identical.
@@ -250,8 +371,14 @@ class DistributedWilsonContext:
         for mu in range(self.geometry.ndim):
             f = fwd_arr[mu][sites]
             b = bwd_arr[mu][sites]
-            out[sites] += self.r * (f + b)
-            out[sites] -= apply_spin_matrix(GAMMA[mu], f - b)
+            if self.compress:
+                # f, b are half products: reconstruct then accumulate —
+                # the exact per-row arithmetic of the serial kernel.
+                out[sites] += spin_reconstruct(mu, +1, f)
+                out[sites] += spin_reconstruct(mu, -1, b)
+            else:
+                out[sites] += self.r * (f + b)
+                out[sites] -= apply_spin_matrix(GAMMA[mu], f - b)
 
     def _hopping_overlapped(self, src: np.ndarray):
         """Two-phase pipeline: interior compute under way while DMA flies,
@@ -263,8 +390,12 @@ class DistributedWilsonContext:
         np.copyto(self.work, src)
 
         # Raw halos (and all receives) hit the wire immediately; the
-        # staging products overlap those transfers, then their sends start.
+        # projected forward faces follow as soon as the (uncharged,
+        # matvec-free) projection lands; the backward staging products
+        # overlap all of those transfers, then their sends start.
         pending = dict(api.start_stored_events(group="early"))
+        self._project_faces()
+        pending.update(api.start_stored_events(group="proj"))
         staged_sites = self._stage_products()
         if staged_sites:
             yield api.compute(staged_sites * MATVEC_SU3)
@@ -276,15 +407,27 @@ class DistributedWilsonContext:
         bwd_arr = []
         for mu in range(ndim):
             # Forward hop: the full-volume gather/matvec; for comm axes the
-            # face rows are placeholders until the raw halo lands (their
+            # face rows are placeholders until the halo lands (their
             # matvec is charged in the boundary phase instead).
-            fwd = cmatvec(self.links[mu], self.work[g.hop(mu, +1)])
+            if self.compress:
+                fwd = cmatvec(
+                    self.links[mu],
+                    spin_project(mu, +1, self.work[g.hop(mu, +1)]),
+                )
+            else:
+                fwd = cmatvec(self.links[mu], self.work[g.hop(mu, +1)])
             nface = len(self.plans[mu].fill_from_fwd) if mu in self.halo_fwd else 0
             local_flops += (v - nface) * MATVEC_SU3
             # Backward hop: the local matvec is always computed in full —
             # face rows are later *replaced* by the received products
             # (exactly as the monolithic path computes then overwrites).
-            bwd = cmatvec(self.links_dagger_bwd[mu], self.work[g.hop(mu, -1)])
+            if self.compress:
+                bwd = cmatvec(
+                    self.links_dagger_bwd[mu],
+                    spin_project(mu, -1, self.work[g.hop(mu, -1)]),
+                )
+            else:
+                bwd = cmatvec(self.links_dagger_bwd[mu], self.work[g.hop(mu, -1)])
             local_flops += v * MATVEC_SU3
             fwd_arr.append(fwd)
             bwd_arr.append(bwd)

@@ -9,9 +9,14 @@ keeps the fifth dimension local (the gauge field is the same on every
 *still* a uniform block-strided pattern and a single SCU descriptor moves
 it (``Ls x head`` blocks at the intra-slice pitch).
 
-As with Wilson, the backward hop travels as sender-side ``U^+ psi``
-products, halving traffic; the 5th-dimension chiral hops are site-local in
-space-time and need no communication at all.
+As with Wilson, the backward hop travels as sender-side ``U^+`` products,
+and (``compress=True``, the default) both directions are spin-projected to
+**half spinors** before hitting the wire — the 4D hopping term of the
+domain-wall kernel is exactly the ``r = 1`` Wilson dslash, so the rank-2
+``(1 -+ gamma_mu)`` compression of :mod:`repro.parallel.pdirac` applies
+slice-by-slice: 12 words per (face site, s slice) instead of 24.  The
+5th-dimension chiral hops are site-local in space-time and need no
+communication at all.
 
 Like :mod:`repro.parallel.pdirac`, ``apply`` defaults to the two-phase
 **overlapped** pipeline: raw-halo DMA (descriptor group ``"early"``)
@@ -35,10 +40,20 @@ from repro.fermions.flops import (
     CADD,
     DIAG_AXPY_FLOPS,
     DWF_5D_EXTRA_FLOPS,
+    HALF_SPINOR_WORDS,
     MATVEC_SU3,
+    SPINOR_WORDS,
     WILSON_DSLASH_FLOPS,
 )
-from repro.fermions.gamma import GAMMA, P_MINUS, P_PLUS, apply_spin_matrix, gamma5_sandwich
+from repro.fermions.gamma import (
+    GAMMA,
+    P_MINUS,
+    P_PLUS,
+    apply_spin_matrix,
+    gamma5_sandwich,
+    spin_project,
+    spin_reconstruct,
+)
 from repro.lattice.geometry import LatticeGeometry
 from repro.lattice.halos import halo_exchange_plan, interior_boundary_sites
 from repro.lattice.su3 import dagger
@@ -52,8 +67,11 @@ MERGE5_FLOPS_PER_SITE = (
     WILSON_DSLASH_FLOPS - 2 * 4 * MATVEC_SU3 + 2 * (12 * CADD)
 )  # = 840
 
-#: 64-bit words per (4-dimensional site, 5th-dim slice): 12 complex doubles
-WORDS_PER_SITE = 24
+#: 64-bit words per (4-dimensional site, 5th-dim slice): 12 complex
+#: doubles — single source of truth in :mod:`repro.fermions.flops`.
+WORDS_PER_SITE = SPINOR_WORDS
+#: 64-bit words per compressed wire site (6 complex doubles)
+HALF_WORDS_PER_SITE = HALF_SPINOR_WORDS
 
 
 def _cmatvec5(u: np.ndarray, psi: np.ndarray) -> np.ndarray:
@@ -74,6 +92,7 @@ class DistributedDWFContext:
         M5: float = 1.8,
         mf: float = 0.1,
         overlap: bool = True,
+        compress: bool = True,
     ):
         self.api = api
         self.geometry = LatticeGeometry(local_shape)
@@ -93,6 +112,7 @@ class DistributedDWFContext:
         self.M5 = float(M5)
         self.mf = float(mf)
         self.overlap = bool(overlap)
+        self.compress = bool(compress)
         self.comm_axes = [mu for mu in range(ndim) if api.dims[mu] > 1]
         self.plans = {mu: halo_exchange_plan(g, mu) for mu in self.comm_axes}
         self.interior_sites, self.boundary_sites = interior_boundary_sites(
@@ -104,20 +124,41 @@ class DistributedDWFContext:
         self.work = mem.zeros("work", (self.Ls, v, 4, 3))
         self.halo_fwd: Dict[int, np.ndarray] = {}
         self.halo_bwd: Dict[int, np.ndarray] = {}
+        self.stage_fwd: Dict[int, np.ndarray] = {}
         self.stage_bwd: Dict[int, np.ndarray] = {}
+        spin_rows = 2 if self.compress else 4
         for mu in self.comm_axes:
             nface = len(self.plans[mu].send_low)
-            self.halo_fwd[mu] = mem.zeros(f"halo_fwd{mu}", (self.Ls, nface, 4, 3))
-            self.halo_bwd[mu] = mem.zeros(f"halo_bwd{mu}", (self.Ls, nface, 4, 3))
-            self.stage_bwd[mu] = mem.zeros(f"stage_bwd{mu}", (self.Ls, nface, 4, 3))
+            self.halo_fwd[mu] = mem.zeros(
+                f"halo_fwd{mu}", (self.Ls, nface, spin_rows, 3)
+            )
+            self.halo_bwd[mu] = mem.zeros(
+                f"halo_bwd{mu}", (self.Ls, nface, spin_rows, 3)
+            )
+            self.stage_bwd[mu] = mem.zeros(
+                f"stage_bwd{mu}", (self.Ls, nface, spin_rows, 3)
+            )
             # one descriptor covers the face of *every* s slice: the 5D
             # field is slice-major, so the blocks stay uniformly strided.
-            api.store_send(
-                mu,
-                -1,
-                face_descriptor("work", shape5, mu + 1, -1, WORDS_PER_SITE),
-                group="early",
-            )
+            if self.compress:
+                # Forward halo spin-projected before the send: half
+                # spinors for all Ls slices in one staged buffer.
+                self.stage_fwd[mu] = mem.zeros(
+                    f"stage_fwd{mu}", (self.Ls, nface, 2, 3)
+                )
+                api.store_send(
+                    mu,
+                    -1,
+                    full_descriptor(api.node, f"stage_fwd{mu}"),
+                    group="proj",
+                )
+            else:
+                api.store_send(
+                    mu,
+                    -1,
+                    face_descriptor("work", shape5, mu + 1, -1, WORDS_PER_SITE),
+                    group="early",
+                )
             api.store_send(
                 mu, +1, full_descriptor(api.node, f"stage_bwd{mu}"), group="staged"
             )
@@ -146,14 +187,36 @@ class DistributedDWFContext:
             out = yield from self._apply_monolithic(src)
         return out
 
+    def _project_faces(self) -> None:
+        """Compressed mode: spin-project the forward (low-face) halo for
+        every s slice — matvec-free adds, sent from group "proj" before
+        the backward staging compute (see :mod:`repro.parallel.pdirac`)."""
+        if not self.compress:
+            return
+        for mu in self.comm_axes:
+            np.copyto(
+                self.stage_fwd[mu],
+                spin_project(mu, +1, self.work[:, self.plans[mu].send_low]),
+            )
+
     def _stage_products(self) -> int:
         staged = 0
         for mu in self.comm_axes:
-            high = self.plans[mu].send_high
-            np.copyto(
-                self.stage_bwd[mu],
-                _cmatvec5(dagger(self.links[mu][high]), self.work[:, high]),
-            )
+            plan = self.plans[mu]
+            high = plan.send_high
+            if self.compress:
+                np.copyto(
+                    self.stage_bwd[mu],
+                    _cmatvec5(
+                        dagger(self.links[mu][high]),
+                        spin_project(mu, -1, self.work[:, high]),
+                    ),
+                )
+            else:
+                np.copyto(
+                    self.stage_bwd[mu],
+                    _cmatvec5(dagger(self.links[mu][high]), self.work[:, high]),
+                )
             staged += self.Ls * len(high)
         return staged
 
@@ -162,6 +225,7 @@ class DistributedDWFContext:
         g = self.geometry
         np.copyto(self.work, src)
 
+        self._project_faces()
         staged = self._stage_products()
         yield self.api.compute(staged * MATVEC_SU3)
 
@@ -172,6 +236,20 @@ class DistributedDWFContext:
         out = diag * self.work
         for mu in range(4):
             plan = self.plans.get(mu)
+            if self.compress:
+                half = spin_project(mu, +1, self.work[:, g.hop(mu, +1)])
+                if plan is not None:
+                    half[:, plan.fill_from_fwd] = self.halo_fwd[mu]
+                fwd = _cmatvec5(self.links[mu], half)
+                out -= 0.5 * spin_reconstruct(mu, +1, fwd)
+                bwd = _cmatvec5(
+                    self.links_dagger_bwd[mu],
+                    spin_project(mu, -1, self.work[:, g.hop(mu, -1)]),
+                )
+                if plan is not None:
+                    bwd[:, plan.fill_from_bwd] = self.halo_bwd[mu]
+                out -= 0.5 * spin_reconstruct(mu, -1, bwd)
+                continue
             fwd = self.work[:, g.hop(mu, +1)]
             if plan is not None:
                 fwd[:, plan.fill_from_fwd] = self.halo_fwd[mu]
@@ -203,7 +281,13 @@ class DistributedDWFContext:
         for mu in range(4):
             f = fwd_arr[mu][:, sites]
             b = bwd_arr[mu][:, sites]
-            out[:, sites] -= 0.5 * ((f + b) - apply_spin_matrix(GAMMA[mu], f - b))
+            if self.compress:
+                out[:, sites] -= 0.5 * spin_reconstruct(mu, +1, f)
+                out[:, sites] -= 0.5 * spin_reconstruct(mu, -1, b)
+            else:
+                out[:, sites] -= 0.5 * (
+                    (f + b) - apply_spin_matrix(GAMMA[mu], f - b)
+                )
         for s in range(self.Ls):
             up = src[s + 1] if s + 1 < self.Ls else -self.mf * src[0]
             dn = src[s - 1] if s - 1 >= 0 else -self.mf * src[self.Ls - 1]
@@ -219,6 +303,8 @@ class DistributedDWFContext:
         np.copyto(self.work, src)
 
         pending = dict(api.start_stored_events(group="early"))
+        self._project_faces()
+        pending.update(api.start_stored_events(group="proj"))
         staged = self._stage_products()
         if staged:
             yield api.compute(staged * MATVEC_SU3)
@@ -231,10 +317,24 @@ class DistributedDWFContext:
         fwd_arr = []
         bwd_arr = []
         for mu in range(4):
-            fwd = _cmatvec5(self.links[mu], self.work[:, g.hop(mu, +1)])
+            if self.compress:
+                fwd = _cmatvec5(
+                    self.links[mu],
+                    spin_project(mu, +1, self.work[:, g.hop(mu, +1)]),
+                )
+            else:
+                fwd = _cmatvec5(self.links[mu], self.work[:, g.hop(mu, +1)])
             nface = len(self.plans[mu].fill_from_fwd) if mu in self.plans else 0
             local_flops += self.Ls * (v - nface) * MATVEC_SU3
-            bwd = _cmatvec5(self.links_dagger_bwd[mu], self.work[:, g.hop(mu, -1)])
+            if self.compress:
+                bwd = _cmatvec5(
+                    self.links_dagger_bwd[mu],
+                    spin_project(mu, -1, self.work[:, g.hop(mu, -1)]),
+                )
+            else:
+                bwd = _cmatvec5(
+                    self.links_dagger_bwd[mu], self.work[:, g.hop(mu, -1)]
+                )
             local_flops += self.Ls * v * MATVEC_SU3
             fwd_arr.append(fwd)
             bwd_arr.append(bwd)

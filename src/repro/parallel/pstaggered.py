@@ -37,16 +37,20 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.comms.api import CommsAPI, face_descriptor, full_descriptor
-from repro.fermions.flops import MATVEC_SU3, operator_cost
+from repro.fermions.flops import MATVEC_SU3, STAGGERED_WORDS, operator_cost
 from repro.fermions.staggered import staggered_phases
+from repro.lattice import stencil
 from repro.lattice.gauge import cmatvec
 from repro.lattice.geometry import LatticeGeometry
 from repro.lattice.halos import halo_exchange_plan, interior_boundary_sites
 from repro.lattice.su3 import dagger
 from repro.util.errors import ConfigError
 
-#: 64-bit words per staggered site (3 complex doubles)
-WORDS_PER_SITE = 6
+#: 64-bit words per staggered site (3 complex doubles).  A colour vector
+#: has no rank-2 spin structure, so — unlike Wilson/DWF — there is no
+#: half-spinor compression: the staggered wire format is already minimal.
+#: Single source of truth in :mod:`repro.fermions.flops`.
+WORDS_PER_SITE = STAGGERED_WORDS
 
 
 class DistributedStaggeredContext:
@@ -129,10 +133,10 @@ class DistributedStaggeredContext:
             self.prod_halo[mu] = mem.zeros(f"prod_halo{mu}", (n1 + n3, 3))
             self.stage[mu] = mem.zeros(f"stage{mu}", (n1 + n3, 3))
             # which depth-3 low-face rows have face coordinate x_mu == 0:
-            face_sites = self.plan3[mu].send_low
-            self.raw_layer0[mu] = np.nonzero(
-                g.coords[face_sites][:, mu] == 0
-            )[0]
+            # memoised process-wide (same table on every rank of a run).
+            self.raw_layer0[mu] = stencil.face_layer_rows(
+                g.shape, mu, -1, 3, 0
+            )
             api.store_send(
                 mu,
                 -1,

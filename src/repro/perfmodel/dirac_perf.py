@@ -174,6 +174,15 @@ class DiracPerfModel:
         hop depth (the ASQTAD links ship depth-1 fat plus depth-3 Naik
         data, hence ``sum(hop_depths)``) — serialised at one link's
         bandwidth, plus the fixed memory-to-memory neighbour latency.
+
+        ``comm_bytes_per_face_site`` is the **compressed** wire payload:
+        Wilson-type operators ship spin-projected half spinors (12 words
+        = 96 bytes per face site, exactly what the functional simulator's
+        transfer counters measure for :mod:`repro.parallel`); staggered
+        colour vectors have no spin structure and go uncompressed.  The
+        generic full-spinor payload lives in
+        ``uncompressed_comm_bytes_per_face_site`` and is what the
+        commodity-cluster baseline of :mod:`repro.perfmodel.scaling` pays.
         """
         cost = operator_cost(op)
         shape = tuple(int(s) for s in local_shape)

@@ -13,6 +13,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.solvers.cg import Apply, Dot, SolveResult, _default_dot
+from repro.solvers.kernels import axpy
 from repro.util.errors import ConfigError
 
 
@@ -43,23 +44,39 @@ def bicgstab(
     residuals = [float(np.sqrt(rr / bb))]
     converged = rr <= target
     it = 0
+    # Preallocated solver state: one workspace plus the intermediate
+    # residual ``s`` — the inner loop below allocates nothing (operator
+    # applications aside).  Every fused update is bitwise identical to
+    # the textbook expression it replaces.
+    ws = np.empty_like(b)
+    s = np.empty_like(b)
     while not converged and it < maxiter:
         rho_new = dot(r_hat, r)
         if rho_new == 0:
             break  # breakdown: restart would be needed
         beta = (rho_new / rho) * (alpha / omega)
-        p = r + beta * (p - omega * v)
+        # p <- r + beta * (p - omega * v), in place on p
+        np.multiply(v, omega, out=ws)
+        np.subtract(p, ws, out=p)
+        np.multiply(p, beta, out=p)
+        np.add(r, p, out=p)
         v = apply_a(p)
         denom = dot(r_hat, v)
         if denom == 0:
             break
         alpha = rho_new / denom
-        s = r - alpha * v
+        # s <- r - alpha * v
+        np.multiply(v, alpha, out=ws)
+        np.subtract(r, ws, out=s)
         t = apply_a(s)
         tt = dot(t, t)
         omega = dot(t, s) / tt if tt != 0 else 0.0
-        x = x + alpha * p + omega * s
-        r = s - omega * t
+        # x += alpha p + omega s  (two streamed axpys, left to right)
+        axpy(alpha, p, x, ws)
+        axpy(omega, s, x, ws)
+        # r <- s - omega * t
+        np.multiply(t, omega, out=ws)
+        np.subtract(s, ws, out=r)
         rho = rho_new
         it += 1
         rr = dot(r, r).real

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.solvers.kernels import axpy, axpy_norm2, xpay
 from repro.util.errors import ConfigError
 
 Apply = Callable[[np.ndarray], np.ndarray]
@@ -81,14 +82,18 @@ def cg(
     residuals = [float(np.sqrt(rr / bb))]
     converged = rr <= target
     it = 0
+    # One workspace for the whole solve: the axpy updates stream through
+    # it instead of allocating a temporary per expression (see
+    # :mod:`repro.solvers.kernels` — bitwise identical arithmetic).
+    ws = np.empty_like(b)
     while not converged and it < maxiter:
         ap = apply_a(p)
         alpha = rr / dot(p, ap).real
-        x += alpha * p
-        r -= alpha * ap
-        rr_new = dot(r, r).real
+        axpy(alpha, p, x, ws)  # x += alpha p
+        # fused residual update + norm: r -= alpha ap; rr = <r, r>
+        rr_new = axpy_norm2(-alpha, ap, r, ws, dot)
         beta = rr_new / rr
-        p = r + beta * p
+        xpay(r, beta, p)  # p <- r + beta p, in place
         rr = rr_new
         it += 1
         rel = float(np.sqrt(rr / bb))

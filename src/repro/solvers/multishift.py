@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Sequence
 import numpy as np
 
 from repro.solvers.cg import Apply, Dot, _default_dot
+from repro.solvers.kernels import axpy, axpy_norm2, scale_axpy, xpay
 from repro.util.errors import ConfigError
 
 
@@ -82,6 +83,10 @@ def multishift_cg(
     residuals = [1.0]
     it = 0
     converged = rr <= target
+    # Single shared workspace: every per-shift update streams through it
+    # (see :mod:`repro.solvers.kernels`), so the inner loop allocates
+    # nothing beyond the operator application.
+    ws = np.empty_like(b)
     while not converged and it < maxiter:
         ap = apply_a(p)
         p_ap = dot(p, ap).real
@@ -94,17 +99,16 @@ def multishift_cg(
             )
             zeta_new = (zeta[s] * zeta_prev[s] * alpha_old) / denom
             alpha_s = alpha * zeta_new / zeta[s]
-            x[s] += alpha_s * ps[s]
+            axpy(alpha_s, ps[s], x[s], ws)  # x_s += alpha_s p_s
             zeta_prev[s], zeta[s] = zeta[s], zeta_new
 
-        r -= alpha * ap
-        rr_new = dot(r, r).real
+        # fused residual update + norm: r -= alpha ap; rr = <r, r>
+        rr_new = axpy_norm2(-alpha, ap, r, ws, dot)
         beta = rr_new / rr
-        p = r + beta * p
+        xpay(r, beta, p)  # p <- r + beta p, in place
         for s in shifts:
             beta_s = beta * (zeta[s] / zeta_prev[s]) ** 2
-            ps[s] = zeta[s] * r + beta_s * ps[s]
-
+            scale_axpy(zeta[s], r, beta_s, ps[s], ws)  # p_s <- zeta_s r + beta_s p_s
         alpha_old, beta_old = alpha, beta
         rr = rr_new
         it += 1

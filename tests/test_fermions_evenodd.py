@@ -58,6 +58,32 @@ class TestSchurOperator:
         )
 
 
+    def test_repeated_applications_identical(self, geom, rng):
+        # The Schur pipeline reuses one preallocated full-lattice embed
+        # buffer; repeated applications must be bitwise repeatable (no
+        # state leaking between calls through the shared workspace).
+        d, _b = system(geom, rng)
+        eo = EvenOddWilson(d)
+        n_e = len(eo.even)
+        u = rng.standard_normal((n_e, 4, 3)) + 1j * rng.standard_normal((n_e, 4, 3))
+        first = eo.schur_apply(u).copy()
+        # interleave a different-parity operation that also uses the buffer
+        eo.schur_apply_dagger(u)
+        assert np.array_equal(eo.schur_apply(u), first)
+
+    def test_schur_linear(self, geom, rng):
+        d, _b = system(geom, rng)
+        eo = EvenOddWilson(d)
+        n_e = len(eo.even)
+        u = rng.standard_normal((n_e, 4, 3)) + 1j * rng.standard_normal((n_e, 4, 3))
+        v = rng.standard_normal((n_e, 4, 3)) + 1j * rng.standard_normal((n_e, 4, 3))
+        assert np.allclose(
+            eo.schur_apply(u + 2j * v),
+            eo.schur_apply(u) + 2j * eo.schur_apply(v),
+            atol=1e-11,
+        )
+
+
 class TestSolve:
     def test_solution_matches_unpreconditioned(self, geom, rng):
         d, b = system(geom, rng)
@@ -68,6 +94,16 @@ class TestSolve:
         assert res_eo.true_residual < 1e-8
         assert np.allclose(res_eo.x, res_full.x, atol=1e-7)
 
+    def test_even_sites_agree_with_full_cg(self, geom, rng):
+        # The Schur-complement solution restricted to the even sublattice
+        # must agree with the unpreconditioned solve's even sites — the
+        # elimination is exact, not approximate.
+        d, b = system(geom, rng, mass=0.25)
+        eo = EvenOddWilson(d)
+        res_eo = eo.solve(b, tol=1e-10)
+        res_full = cgne(d.apply, d.apply_dagger, b, tol=1e-10)
+        assert np.allclose(res_eo.x[eo.even], res_full.x[eo.even], atol=1e-7)
+
     def test_fewer_iterations_than_full_solve(self, geom, rng):
         d, b = system(geom, rng, mass=0.1)
         res_eo = EvenOddWilson(d).solve(b, tol=1e-8)
@@ -75,6 +111,10 @@ class TestSolve:
         # each preconditioned iteration also touches half the sites, so
         # this undersells the speedup; iterations alone must already win.
         assert res_eo.iterations < res_full.iterations
+        # Quantified: the Schur system's condition number is roughly the
+        # square root of the full normal equations', so expect a solid
+        # cut — at least 25% fewer iterations at this light mass.
+        assert res_eo.iterations <= 0.75 * res_full.iterations
 
     def test_works_on_rough_gauge(self, geom, rng):
         gauge = GaugeField.hot(geom, rng)

@@ -40,7 +40,10 @@ class TestCostSheets:
         c = operator_cost("wilson")
         assert c.flops_per_site == 1368
         assert c.words_per_site == 384
-        assert c.comm_bytes_per_face_site == 192
+        # half spinor on the wire: 12 words x 8 bytes
+        assert c.comm_bytes_per_face_site == 96
+        # a generic full-spinor exchange ships twice that
+        assert c.uncompressed_comm_bytes_per_face_site == 192
         assert c.hop_depths == (1,)
 
     def test_asqtad_has_naik_depth(self):
@@ -55,10 +58,19 @@ class TestCostSheets:
         assert ai["clover"] > ai["wilson"] > ai["asqtad"]
 
     def test_staggered_comm_payload_smaller_than_wilson(self):
-        # A colour vector (3 complex) vs a half spinor (12 complex).
+        # A colour vector (3 complex = 6 words) vs a half spinor
+        # (6 complex = 12 words) vs a full spinor (12 complex = 24 words).
+        asqtad = operator_cost("asqtad")
+        wilson = operator_cost("wilson")
+        assert asqtad.comm_bytes_per_face_site == wilson.comm_bytes_per_face_site / 2
         assert (
-            operator_cost("asqtad").comm_bytes_per_face_site
-            == operator_cost("wilson").comm_bytes_per_face_site / 4
+            asqtad.comm_bytes_per_face_site
+            == wilson.uncompressed_comm_bytes_per_face_site / 4
+        )
+        # no spin structure to compress: staggered wire format is unchanged
+        assert (
+            asqtad.comm_bytes_per_face_site
+            == asqtad.uncompressed_comm_bytes_per_face_site
         )
 
     def test_costs_are_frozen(self):

@@ -12,6 +12,7 @@ from repro.fermions.gamma import (
     gamma5_sandwich,
     sigma_munu,
     spin_project,
+    spin_reconstruct,
 )
 
 
@@ -62,11 +63,68 @@ class TestProjectors:
                 assert np.linalg.matrix_rank(m) == 2
 
     def test_spin_project_field(self):
+        # spin_project returns the *half spinor* (the two independent rows
+        # of the rank-2 projection) — exactly the 12 words per face site
+        # QCDOC puts on the wire.  The upper rows must agree with the dense
+        # projector product.
         rng = np.random.default_rng(3)
         psi = rng.standard_normal((10, 4, 3)) + 1j * rng.standard_normal((10, 4, 3))
         out = spin_project(1, +1, psi)
+        assert out.shape == (10, 2, 3)
         ref = np.einsum("st,xtc->xsc", np.eye(4) - GAMMA[1], psi)
-        assert np.allclose(out, ref)
+        assert np.allclose(out, ref[:, :2, :])
+
+    def test_reconstruct_project_roundtrip_all_directions(self):
+        # Property test for the satellite contract: for every direction and
+        # hop sign, reconstruct(project(psi)) == (1 -+ gamma_mu) psi to
+        # 1e-12 — the compression is lossless for Wilson-type hops.
+        rng = np.random.default_rng(11)
+        psi = rng.standard_normal((32, 4, 3)) + 1j * rng.standard_normal((32, 4, 3))
+        for mu in range(4):
+            for sign in (+1, -1):
+                full = spin_reconstruct(mu, sign, spin_project(mu, sign, psi))
+                ref = np.einsum(
+                    "st,xtc->xsc", np.eye(4) - sign * GAMMA[mu], psi
+                )
+                assert np.max(np.abs(full - ref)) < 1e-12, (mu, sign)
+
+    def test_project_reconstruct_out_params_match_fresh(self):
+        # The out= fast paths used by the allocation-free kernels must be
+        # bitwise identical to the allocating paths.
+        rng = np.random.default_rng(12)
+        psi = rng.standard_normal((16, 4, 3)) + 1j * rng.standard_normal((16, 4, 3))
+        half_ws = np.empty((16, 2, 3), dtype=np.complex128)
+        full_ws = np.empty((16, 4, 3), dtype=np.complex128)
+        for mu in range(4):
+            for sign in (+1, -1):
+                half = spin_project(mu, sign, psi)
+                assert np.array_equal(
+                    spin_project(mu, sign, psi, out=half_ws), half
+                )
+                assert np.array_equal(
+                    spin_reconstruct(mu, sign, half, out=full_ws),
+                    spin_reconstruct(mu, sign, half),
+                )
+
+    def test_reconstruct_commutes_with_colour_multiply(self):
+        # U (1 -+ gamma) psi == reconstruct(U . project(psi)): the SU(3)
+        # multiply acts on colour only, so the sender may ship half
+        # products — the theorem behind the compressed SCU exchange.
+        rng = np.random.default_rng(13)
+        psi = rng.standard_normal((8, 4, 3)) + 1j * rng.standard_normal((8, 4, 3))
+        u = rng.standard_normal((8, 3, 3)) + 1j * rng.standard_normal((8, 3, 3))
+        for mu in range(4):
+            for sign in (+1, -1):
+                lhs = np.einsum(
+                    "xab,xsb->xsa",
+                    u,
+                    np.einsum("st,xtc->xsc", np.eye(4) - sign * GAMMA[mu], psi),
+                )
+                half = spin_project(mu, sign, psi)
+                rhs = spin_reconstruct(
+                    mu, sign, np.einsum("xab,xsb->xsa", u, half)
+                )
+                assert np.max(np.abs(lhs - rhs)) < 1e-12, (mu, sign)
 
 
 class TestSigma:
