@@ -1,7 +1,7 @@
 PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test protocol overlap bench bench-smoke verify
+.PHONY: test protocol overlap bench bench-smoke verify verify-telemetry
 
 ## tier-1: the full unit/integration/property suite
 test:
@@ -24,6 +24,11 @@ bench:
 ## path + memoised vs rebuilt gather tables; writes BENCH_dslash.json
 bench-smoke:
 	$(PYTEST) benchmarks/bench_dslash_smoke.py -m perf -q -s
+
+## telemetry invariants: counter conservation, trace-schema registry,
+## fault-injection accounting, measured-vs-model crosscheck
+verify-telemetry:
+	$(PYTEST) -m telemetry -q
 
 ## what CI gates a merge on: tier-1 + the overlap bit-exactness suite
 verify: test overlap

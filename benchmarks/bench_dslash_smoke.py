@@ -40,7 +40,8 @@ WORD_BATCH = 1  # word-at-a-time DMA: the comm-heavy regime
 
 def _dslash_step(compress: bool):
     """One distributed Wilson dslash application; returns
-    (simulated step seconds, per-rank transfer counters, face sites)."""
+    (simulated step seconds, per-rank transfer counters, face sites,
+    the machine itself — for the telemetry dump)."""
     machine = QCDOCMachine(MachineConfig(dims=DIMS), word_batch=WORD_BATCH)
     machine.bring_up()
     partition = machine.partition(groups=[(0,), (1,), (2,), (3,)])
@@ -71,7 +72,7 @@ def _dslash_step(compress: bool):
     counters = machine.run_partition(partition, program)
     local = LatticeGeometry(mapping.local_shape)
     nface = local.volume // local.shape[0]
-    return machine.sim.now - t0, counters, nface
+    return machine.sim.now - t0, counters, nface, machine
 
 
 def _wall_time_per_application(cold: bool, n: int = 10) -> float:
@@ -95,10 +96,10 @@ def _wall_time_per_application(cold: bool, n: int = 10) -> float:
 
 
 @pytest.mark.perf
-def test_dslash_smoke():
+def test_dslash_smoke(telemetry_report):
     # -- simulated machine: compressed vs seed full-spinor exchange -------
-    t_comp, counters_comp, nface = _dslash_step(compress=True)
-    t_full, counters_full, _ = _dslash_step(compress=False)
+    t_comp, counters_comp, nface, machine = _dslash_step(compress=True)
+    t_full, counters_full, _, _ = _dslash_step(compress=False)
     words_comp = counters_comp[0]["payload_words_sent"] // (2 * nface)
     words_full = counters_full[0]["payload_words_sent"] // (2 * nface)
     assert words_comp == HALF_SPINOR_WORDS  # 12 on the wire
@@ -144,9 +145,13 @@ def test_dslash_smoke():
     }
     out = Path(__file__).resolve().parents[1] / "BENCH_dslash.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # -- full machine-telemetry dump beside the perf numbers --------------
+    telemetry = telemetry_report(machine, "dslash", force=True)
     print(
         f"\nBENCH_dslash: {words_comp} wire words/face site "
         f"(seed {words_full}), sim speedup {speedup:.3f}x, "
         f"wall/apply {wall_cached * 1e3:.2f} ms memoised vs "
         f"{wall_cold * 1e3:.2f} ms rebuilt -> {out.name}"
+        + (f" (+ {telemetry.name})" if telemetry else "")
     )

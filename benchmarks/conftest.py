@@ -4,13 +4,33 @@ Each ``bench_eNN_*.py`` regenerates one quantitative claim of the paper's
 evaluation and prints a paper-vs-measured table; ``pytest benchmarks/
 --benchmark-only`` runs them all.  The tables land on stdout (pytest's
 ``-s`` shows them live; the captured output is in the report either way).
+
+``--report`` (PR 3) additionally dumps machine telemetry: any bench that
+calls the ``telemetry_report`` fixture writes the full
+:meth:`~repro.telemetry.report.MachineReport.to_json` snapshot — derived
+metrics plus the complete counter hierarchy — to
+``BENCH_<name>_telemetry.json`` at the repo root.
 """
 
+import json
 import sys
+from pathlib import Path
 
 import pytest
 
 from repro.util.tables import Table
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--report",
+        action="store_true",
+        default=False,
+        help="write BENCH_<name>_telemetry.json machine-telemetry dumps "
+        "beside the benchmark outputs",
+    )
 
 
 def emit(table: Table) -> None:
@@ -27,3 +47,25 @@ def report():
         return Table(headers, title=title)
 
     return make
+
+
+@pytest.fixture
+def telemetry_report(request):
+    """A writer for machine-telemetry JSON dumps.
+
+    ``write(machine, name)`` samples ``machine.report()`` and writes it to
+    ``BENCH_<name>_telemetry.json`` when ``--report`` was passed (or when
+    ``force=True`` — the dslash smoke always emits its dump so the perf
+    gate has counters to diff against).  Returns the path, or ``None``
+    when reporting is off.
+    """
+    enabled = request.config.getoption("--report")
+
+    def write(machine, name: str, force: bool = False):
+        if not (enabled or force):
+            return None
+        out = REPO_ROOT / f"BENCH_{name}_telemetry.json"
+        out.write_text(json.dumps(machine.report().to_json(), indent=2) + "\n")
+        return out
+
+    return write

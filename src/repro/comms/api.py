@@ -227,9 +227,19 @@ class CommsAPI:
         return self.globals.contribute_sum(self.rank, np.zeros(1))
 
     # -- compute ------------------------------------------------------------
-    def compute(self, flops: float) -> Event:
-        """Charge simulated CPU time for ``flops`` floating-point ops."""
-        return self.node.compute(flops)
+    def compute(self, flops: float, kernel: Optional[str] = None) -> Event:
+        """Charge simulated CPU time for ``flops`` floating-point ops.
+
+        ``kernel`` optionally attributes the work to a named kernel in the
+        node's :attr:`~repro.machine.node.Node.kernel_flops` ledger (and
+        the ``cpu.compute`` trace span when tracing is on).
+        """
+        return self.node.compute(flops, kernel=kernel)
+
+    @property
+    def trace(self):
+        """The machine-wide trace, or ``None`` when tracing is off."""
+        return self.node.trace
 
     def wait(self, events: Iterable[Event]) -> Event:
         """Yieldable event that fires once *all* of ``events`` have fired.

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.machine.asic import ASICConfig
 from repro.sim.core import Event, Simulator
+from repro.sim.trace import Trace
 from repro.util.errors import ConfigError, MachineError
 
 
@@ -76,12 +77,14 @@ class GlobalOpsEngine:
         asic: ASICConfig,
         logical_dims: Sequence[int],
         doubled: bool = True,
+        trace: Optional[Trace] = None,
     ):
         self.sim = sim
         self.asic = asic
         self.logical_dims = tuple(int(d) for d in logical_dims)
         self.n_ranks = int(np.prod(self.logical_dims))
         self.doubled = doubled
+        self.trace = trace
         self.history: List[CollectiveStats] = []
         self._round: Dict[int, np.ndarray] = {}
         self._waiters: Dict[int, Event] = {}
@@ -154,7 +157,13 @@ class GlobalOpsEngine:
         self._waiters = {}
         self._generation += 1
 
+        trace, hops = self.trace, self.hops
+
         def finish():
+            if trace is not None:
+                trace.emit(
+                    "gsum.complete", nwords=nwords, hops=hops, dur=duration
+                )
             for ev in waiters.values():
                 ev.succeed(total.copy())
 

@@ -64,6 +64,8 @@ class SerialLink:
         self.frames_sent = 0
         self.bits_sent = 0
         self.faults_injected = 0
+        #: seconds the wire spent clocking bits (busy time, for utilisation)
+        self.busy_seconds = 0.0
 
     # -- wiring -----------------------------------------------------------
     def set_receiver(self, callback: Callable[[Frame], None]) -> None:
@@ -109,6 +111,7 @@ class SerialLink:
         self._busy_until = serialised
         self.frames_sent += 1
         self.bits_sent += bits
+        self.busy_seconds += serialised - start
 
         if (
             self.error_rng is not None

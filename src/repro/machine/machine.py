@@ -44,6 +44,13 @@ class QCDOCMachine:
         Fraction of FPU peak that :meth:`Node.compute` charges — lets a
         benchmark model the measured sustained fraction without simulating
         the PPC440 pipeline.
+    trace:
+        Attach a machine-wide :class:`~repro.sim.trace.Trace`; every unit
+        (links, SCUs, CPUs, global-ops engines) emits into it.  Off by
+        default so hot paths cost a single ``is not None`` check.
+    trace_maxlen:
+        When tracing, bound the trace to a ring buffer of this many
+        records (long-run telemetry without unbounded memory).
     """
 
     def __init__(
@@ -54,11 +61,12 @@ class QCDOCMachine:
         compute_efficiency: float = 1.0,
         seed: int = 0,
         trace: bool = False,
+        trace_maxlen: Optional[int] = None,
     ):
         self.config = config
         self.asic = config.asic
         self.sim = Simulator()
-        self.trace = Trace(self.sim) if trace else None
+        self.trace = Trace(self.sim, maxlen=trace_maxlen) if trace else None
         self.topology = TorusTopology(config.dims)
         self.nodes: Dict[int, Node] = {
             i: Node(
@@ -146,8 +154,31 @@ class QCDOCMachine:
     def global_ops(self, partition: Partition, doubled: bool = True) -> GlobalOpsEngine:
         """A global-sum/broadcast engine for one partition."""
         return GlobalOpsEngine(
-            self.sim, self.asic, partition.logical_dims, doubled=doubled
+            self.sim,
+            self.asic,
+            partition.logical_dims,
+            doubled=doubled,
+            trace=self.trace,
         )
+
+    # -- telemetry ------------------------------------------------------------
+    def counter_bank(self):
+        """A :class:`repro.telemetry.CounterBank` sampling this machine.
+
+        Providers are registered for every node's SCU units, memory
+        regions, CPU kernel flops, and every mesh link — sampling reads
+        the always-on plain counters, so attaching a bank costs nothing
+        on the simulation hot path.
+        """
+        from repro.telemetry.counters import bank_for_machine  # local: layering
+
+        return bank_for_machine(self)
+
+    def report(self):
+        """A :class:`repro.telemetry.MachineReport` over current counters."""
+        from repro.telemetry.report import MachineReport  # local: layering
+
+        return MachineReport.collect(self)
 
     # -- program execution ------------------------------------------------------
     def run_partition(

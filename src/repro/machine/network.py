@@ -79,6 +79,17 @@ class MeshNetwork:
     def total_frames_sent(self) -> int:
         return sum(link.frames_sent for link in self.links.values())
 
+    def total_bits_sent(self) -> int:
+        return sum(link.bits_sent for link in self.links.values())
+
+    def total_busy_seconds(self) -> float:
+        """Sum of per-link wire-busy time (for utilisation metrics)."""
+        return sum(link.busy_seconds for link in self.links.values())
+
+    def active_links(self) -> List[Tuple[Tuple[int, int], SerialLink]]:
+        """Links that carried at least one frame, with their keys."""
+        return [(k, l) for k, l in self.links.items() if l.frames_sent > 0]
+
     # -- the end-of-run confirmation (paper section 2.2) -------------------------
     def audit_checksums(self) -> List[str]:
         """Compare each link's send-side and receive-side checksums.

@@ -37,6 +37,10 @@ class NodeMemory:
         self.model = MemoryModel(asic)
         self._buffers: Dict[str, np.ndarray] = {}
         self._regions: Dict[str, str] = {}
+        #: SCU-DMA traffic by memory region, in bytes (always-on plain
+        #: dict counters; the telemetry CounterBank samples them on demand)
+        self.read_bytes: Dict[str, int] = {"edram": 0, "ddr": 0}
+        self.write_bytes: Dict[str, int] = {"edram": 0, "ddr": 0}
 
     def alloc(
         self, name: str, array: np.ndarray, region: Optional[str] = None
@@ -107,9 +111,11 @@ class NodeMemory:
         return buf.reshape(-1).view(np.uint64)
 
     def read_words(self, name: str, indices: np.ndarray) -> np.ndarray:
+        self.read_bytes[self._regions[name]] += 8 * len(indices)
         return self.words(name)[indices]
 
     def write_words(self, name: str, indices: np.ndarray, values: np.ndarray) -> None:
+        self.write_bytes[self._regions[name]] += 8 * len(indices)
         self.words(name)[indices] = values
 
     def word_count(self, name: str) -> int:
@@ -141,26 +147,47 @@ class Node:
             trace=trace,
             word_batch=word_batch,
         )
+        self.trace = trace
         self.compute_efficiency = compute_efficiency
         self.flops_charged = 0.0
         self.compute_time = 0.0
+        #: flops charged per kernel tag (untagged work under ``None``)
+        self.kernel_flops: Dict[Optional[str], float] = {}
         self.supervisor_events: list = []
         self.scu.on_supervisor = self._on_supervisor
         self._supervisor_waiters: list = []
 
     # -- CPU time accounting -----------------------------------------------
-    def compute(self, flops: float) -> Event:
+    def compute(self, flops: float, kernel: Optional[str] = None) -> Event:
         """Charge floating-point work at ``efficiency x peak`` rate.
 
         Returns a timeout event the node program yields on; this is how
         numpy-computed physics (instantaneous in wall-clock terms) is
-        given its simulated duration.
+        given its simulated duration.  ``kernel`` optionally attributes the
+        flops to a named kernel (``"dslash"``, ``"clover_term"`` ...) in
+        :attr:`kernel_flops` and in the emitted ``cpu.compute`` trace span.
         """
         if flops < 0:
             raise ConfigError("negative flop count")
         duration = flops / (self.asic.peak_flops * self.compute_efficiency)
         self.flops_charged += flops
         self.compute_time += duration
+        self.kernel_flops[kernel] = self.kernel_flops.get(kernel, 0.0) + flops
+        if self.trace is not None:
+            # A span record: emitted at the *end* time of the charged
+            # interval so ``time - dur`` is the start.
+            trace, node_id = self.trace, self.node_id
+
+            def _emit_span():
+                trace.emit(
+                    "cpu.compute",
+                    node=node_id,
+                    flops=flops,
+                    kernel=kernel,
+                    dur=duration,
+                )
+
+            self.sim.schedule(duration, _emit_span)
         return self.sim.timeout(duration)
 
     @property

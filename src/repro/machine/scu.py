@@ -124,6 +124,11 @@ class SendUnit:
         self.payload_words = 0
         #: words actually clocked onto the wire (>= payload under resends)
         self.wire_words = 0
+        #: ACK control frames seen from the neighbour's receive unit
+        self.acks_received = 0
+        #: DMA transfers run to completion by this unit
+        self.transfers_completed = 0
+        self._t_start = 0.0
 
     @property
     def link(self) -> SerialLink:
@@ -155,6 +160,7 @@ class SendUnit:
         return self.done
 
     def _run(self):
+        self._t_start = self.sim.now
         # First-word path: DMA fetch from local memory + SCU injection.
         yield self.sim.timeout(
             self.asic.dma_fetch_latency + self.asic.scu_inject_latency
@@ -181,10 +187,21 @@ class SendUnit:
         yield self.link.transmit(Frame(PacketType.EOT, seq=n))
         self.active = False
         self.payload_words += n
+        self.transfers_completed += 1
+        if self.scu.trace is not None:
+            self.scu.trace.emit(
+                "scu.send",
+                node=self.scu.node_id,
+                direction=self.direction,
+                words=n,
+                resends=self.resends,
+                dur=self.sim.now - self._t_start,
+            )
         self.done.succeed(n)
 
     # -- control-frame handlers (called by the SCU dispatcher) -------------
     def on_ack(self, seq: int) -> None:
+        self.acks_received += 1
         if seq > self.base:
             self.base = seq
             self._wakeup()
@@ -230,6 +247,19 @@ class RecvUnit:
         self.word_batch = 1
         #: payload words accepted into local memory (sum over transfers)
         self.payload_words = 0
+        #: corrupt data frames detected (header code / parity bits)
+        self.parity_errors = 0
+        #: RESEND control frames emitted (parity failures + window gaps)
+        self.resend_requests = 0
+        #: ACK control frames emitted (window credit returns)
+        self.acks_sent = 0
+        #: cumulative words parked in the idle-receive holding registers
+        self.idle_held_words_total = 0
+        #: frames that arrived before a descriptor was posted
+        self.idle_hold_events = 0
+        #: DMA receives run to completion by this unit
+        self.transfers_completed = 0
+        self._t_post = 0.0
 
     def post(self, descriptor: DmaDescriptor) -> Event:
         """Give the unit a destination; drains any idle-held words."""
@@ -244,6 +274,7 @@ class RecvUnit:
         self.stored = 0
         self.write_cursor = 0
         self.done = self.sim.event()
+        self._t_post = self.sim.now
         if self.held:
             held, self.held = self.held, []
             self.held_words = 0
@@ -258,14 +289,25 @@ class RecvUnit:
             # No dedup: a duplicate RESEND only rewinds the sender within
             # its (3-word) window, and suppression could deadlock when the
             # same word is corrupted twice in a row.
+            self.parity_errors += 1
+            self.resend_requests += 1
+            if self.scu.trace is not None:
+                self.scu.trace.emit(
+                    "scu.parity_error",
+                    node=self.scu.node_id,
+                    direction=self.direction,
+                    seq=frame.seq,
+                )
             self.control.send(PacketType.RESEND, frame.seq)
             return
         if frame.seq != self.expected:
             if frame.seq > self.expected:
                 # Gap: an earlier word was rejected; re-request it.
+                self.resend_requests += 1
                 self.control.send(PacketType.RESEND, self.expected)
             else:
                 # Duplicate: re-ack so the sender's window advances.
+                self.acks_sent += 1
                 self.control.send(PacketType.ACK, self.expected)
             return
         self.expected += frame.nwords
@@ -282,6 +324,8 @@ class RecvUnit:
                 )
             self.held.append(frame.words)
             self.held_words += frame.nwords
+            self.idle_hold_events += 1
+            self.idle_held_words_total += frame.nwords
         else:
             self._accept(frame.words)
 
@@ -302,6 +346,7 @@ class RecvUnit:
         self.write_cursor += len(words)
         self.payload_words += len(words)
         # Acknowledge acceptance (returns window credit to the sender).
+        self.acks_sent += 1
         self.control.send(PacketType.ACK, self.expected)
         if self.write_cursor >= self.total:
             # Wire-protocol side of this transfer is finished: rearm the
@@ -320,6 +365,15 @@ class RecvUnit:
         self.stored += nwords
         if self.stored >= self.total and self.done is not None:
             done, self.done = self.done, None
+            self.transfers_completed += 1
+            if self.scu.trace is not None:
+                self.scu.trace.emit(
+                    "scu.recv",
+                    node=self.scu.node_id,
+                    direction=self.direction,
+                    words=self.total,
+                    dur=self.sim.now - self._t_post,
+                )
             done.succeed(self.total)
 
 
@@ -465,15 +519,42 @@ class SCU:
         ``wire_words_sent`` exceeds ``payload_words_sent`` exactly when the
         go-back-N protocol retransmitted after an injected fault.
         """
+        sends = list(self.send_units.values())
+        recvs = list(self.recv_units.values())
         return {
-            "payload_words_sent": sum(
-                u.payload_words for u in self.send_units.values()
-            ),
-            "wire_words_sent": sum(u.wire_words for u in self.send_units.values()),
-            "payload_words_received": sum(
-                u.payload_words for u in self.recv_units.values()
-            ),
+            "payload_words_sent": sum(u.payload_words for u in sends),
+            "wire_words_sent": sum(u.wire_words for u in sends),
+            "payload_words_received": sum(u.payload_words for u in recvs),
+            "resends": sum(u.resends for u in sends),
+            "acks_received": sum(u.acks_received for u in sends),
+            "sends_completed": sum(u.transfers_completed for u in sends),
+            "parity_errors": sum(u.parity_errors for u in recvs),
+            "resend_requests": sum(u.resend_requests for u in recvs),
+            "acks_sent": sum(u.acks_sent for u in recvs),
+            "idle_held_words": sum(u.idle_held_words_total for u in recvs),
+            "idle_hold_events": sum(u.idle_hold_events for u in recvs),
+            "recvs_completed": sum(u.transfers_completed for u in recvs),
         }
+
+    def in_flight_words(self) -> int:
+        """Words currently on the wire or awaiting DMA store.
+
+        Sender side counts ``next - base`` (transmitted but unacknowledged)
+        for active transfers; receiver side counts idle-held words plus
+        words accepted but still in the eject/store pipeline.  At quiesce
+        (heap drained, all transfers complete) this is zero — the
+        conservation invariant the telemetry test suite asserts.
+        """
+        sender = sum(
+            (u.next - u.base) for u in self.send_units.values() if u.active
+        )
+        receiver = sum(u.held_words for u in self.recv_units.values())
+        receiver += sum(
+            (u.write_cursor - u.stored)
+            for u in self.recv_units.values()
+            if u.done is not None
+        )
+        return sender + receiver
 
     # -- supervisor packets ---------------------------------------------------
     def send_supervisor(self, direction: int, word: int) -> Event:

@@ -86,6 +86,13 @@ def machine_cgne(api, ctx, b, tol, maxiter):
         it += 1
         residuals.append(float(np.sqrt(rr / bb)))
         converged = rr <= target
+        if api.trace is not None:
+            api.trace.emit(
+                "cg.iteration",
+                rank=api.rank,
+                iteration=it,
+                residual=residuals[-1],
+            )
     return x, bool(converged), it, residuals
 
 

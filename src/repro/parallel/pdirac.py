@@ -164,6 +164,16 @@ class DistributedWilsonContext:
             mu: halo_exchange_plan(self.geometry, mu) for mu in range(ndim)
         }
         self.cost = operator_cost("wilson" if clover_tensor is None else "clover")
+        #: per-site flops of the *hopping term alone*.  The clover cost
+        #: sheet's ``flops_per_site`` includes the site-local clover term,
+        #: which :meth:`apply` charges where that einsum actually runs —
+        #: basing the hopping charges on the clover sheet double-counted
+        #: ``CLOVER_TERM_FLOPS`` per site (the telemetry crosscheck against
+        #: :func:`repro.perfmodel.dirac_perf.dirac_flops_per_node` caught
+        #: this).
+        self.hop_flops_per_site = self.cost.flops_per_site - (
+            0 if clover_tensor is None else CLOVER_TERM_FLOPS
+        )
         self.overlap = bool(overlap)
         if compress is None:
             compress = self.r == 1.0
@@ -189,7 +199,7 @@ class DistributedWilsonContext:
         #: and accumulate), summed over all axes: the hopping total minus
         #: the 2*ndim SU(3) matvecs charged where the rows are computed.
         self.merge_flops_per_site = (
-            self.cost.flops_per_site - 48 - 2 * ndim * MATVEC_SU3
+            self.hop_flops_per_site - 48 - 2 * ndim * MATVEC_SU3
         )
 
         mem = api.memory
@@ -321,7 +331,7 @@ class DistributedWilsonContext:
 
         self._project_faces()
         staged_sites = self._stage_products()
-        yield self.api.compute(staged_sites * MATVEC_SU3)
+        yield self.api.compute(staged_sites * MATVEC_SU3, kernel="dslash")
 
         # One write starts all 4*ndim stored transfers.
         yield self.api.start_stored()
@@ -359,7 +369,9 @@ class DistributedWilsonContext:
 
             out += self.r * (fwd + bwd)
             out -= apply_spin_matrix(GAMMA[mu], fwd - bwd)
-        yield self.api.compute(self.volume * (self.cost.flops_per_site - 48))
+        yield self.api.compute(
+            self.volume * (self.hop_flops_per_site - 48), kernel="dslash"
+        )
         return out
 
     def _merge(self, out, fwd_arr, bwd_arr, sites: np.ndarray) -> None:
@@ -398,7 +410,7 @@ class DistributedWilsonContext:
         pending.update(api.start_stored_events(group="proj"))
         staged_sites = self._stage_products()
         if staged_sites:
-            yield api.compute(staged_sites * MATVEC_SU3)
+            yield api.compute(staged_sites * MATVEC_SU3, kernel="dslash")
         pending.update(api.start_stored_events(group="staged"))
 
         # ---- interior phase: every matvec that needs no halo data -------
@@ -438,7 +450,7 @@ class DistributedWilsonContext:
             self._merge(out, fwd_arr, bwd_arr, interior)
             local_flops += len(interior) * self.merge_flops_per_site
         if local_flops:
-            yield api.compute(local_flops)
+            yield api.compute(local_flops, kernel="dslash")
 
         # ---- boundary phase: drain transfers in completion order --------
         while pending:
@@ -456,7 +468,7 @@ class DistributedWilsonContext:
                 fwd_arr[mu][rows] = cmatvec(
                     self.links[mu][rows], self.halo_fwd[mu]
                 )
-                yield api.compute(len(rows) * MATVEC_SU3)
+                yield api.compute(len(rows) * MATVEC_SU3, kernel="dslash")
             else:
                 # Products from the -mu neighbour: pure row copy.
                 bwd_arr[mu][plan.fill_from_bwd] = self.halo_bwd[mu]
@@ -464,7 +476,9 @@ class DistributedWilsonContext:
         boundary = self.boundary_sites
         if len(boundary):
             self._merge(out, fwd_arr, bwd_arr, boundary)
-            yield api.compute(len(boundary) * self.merge_flops_per_site)
+            yield api.compute(
+                len(boundary) * self.merge_flops_per_site, kernel="dslash"
+            )
         return out
 
     def apply(self, src: np.ndarray):
@@ -472,10 +486,12 @@ class DistributedWilsonContext:
         hop = yield from self.hopping(src)
         out = self.diag * src - 0.5 * hop
         flops = 48 * self.volume
+        kernel = "diag"
         if self.clover_tensor is not None:
             out += np.einsum("xsatb,xtb->xsa", self.clover_tensor, src)
             flops += CLOVER_TERM_FLOPS * self.volume
-        yield self.api.compute(flops)
+            kernel = "clover_term"
+        yield self.api.compute(flops, kernel=kernel)
         return out
 
     def apply_dagger(self, src: np.ndarray):

@@ -227,7 +227,7 @@ class DistributedDWFContext:
 
         self._project_faces()
         staged = self._stage_products()
-        yield self.api.compute(staged * MATVEC_SU3)
+        yield self.api.compute(staged * MATVEC_SU3, kernel="dwf")
 
         yield self.api.start_stored()
 
@@ -267,7 +267,8 @@ class DistributedDWFContext:
             out[s] -= apply_spin_matrix(P_PLUS, dn)
 
         yield self.api.compute(
-            self.volume5 * (WILSON_DSLASH_FLOPS + DWF_5D_EXTRA_FLOPS)
+            self.volume5 * (WILSON_DSLASH_FLOPS + DWF_5D_EXTRA_FLOPS),
+            kernel="dwf",
         )
         return out
 
@@ -307,7 +308,7 @@ class DistributedDWFContext:
         pending.update(api.start_stored_events(group="proj"))
         staged = self._stage_products()
         if staged:
-            yield api.compute(staged * MATVEC_SU3)
+            yield api.compute(staged * MATVEC_SU3, kernel="dwf")
         pending.update(api.start_stored_events(group="staged"))
 
         # ---- interior phase ---------------------------------------------
@@ -343,7 +344,7 @@ class DistributedDWFContext:
         if len(interior):
             self._merge(out, fwd_arr, bwd_arr, src, interior)
             local_flops += self.Ls * len(interior) * MERGE5_FLOPS_PER_SITE
-        yield api.compute(local_flops)
+        yield api.compute(local_flops, kernel="dwf")
 
         # ---- boundary phase: drain transfers in completion order --------
         while pending:
@@ -359,14 +360,16 @@ class DistributedDWFContext:
                 fwd_arr[mu][:, rows] = _cmatvec5(
                     self.links[mu][rows], self.halo_fwd[mu]
                 )
-                yield api.compute(self.Ls * len(rows) * MATVEC_SU3)
+                yield api.compute(self.Ls * len(rows) * MATVEC_SU3, kernel="dwf")
             else:
                 bwd_arr[mu][:, plan.fill_from_bwd] = self.halo_bwd[mu]
 
         boundary = self.boundary_sites
         if len(boundary):
             self._merge(out, fwd_arr, bwd_arr, src, boundary)
-            yield api.compute(self.Ls * len(boundary) * MERGE5_FLOPS_PER_SITE)
+            yield api.compute(
+                self.Ls * len(boundary) * MERGE5_FLOPS_PER_SITE, kernel="dwf"
+            )
         return out
 
     def apply_dagger(self, src: np.ndarray):

@@ -189,7 +189,7 @@ class DistributedStaggeredContext:
         np.copyto(self.work, src)
 
         staged = self._stage_products()
-        yield self.api.compute(staged * MATVEC_SU3)
+        yield self.api.compute(staged * MATVEC_SU3, kernel="asqtad")
 
         yield self.api.start_stored()
 
@@ -210,7 +210,9 @@ class DistributedStaggeredContext:
             term = cmatvec(self.fat[mu], fwd1) - bwd1
             term += self.c_naik * (cmatvec(self.long[mu], fwd3) - bwd3)
             out += self.phases[mu][:, None] * term
-        yield self.api.compute(self.volume * (self.cost.flops_per_site - 12))
+        yield self.api.compute(
+            self.volume * (self.cost.flops_per_site - 12), kernel="asqtad"
+        )
         return out
 
     def _merge(self, out, fwd1_arr, fwd3_arr, bwd1_arr, bwd3_arr, sites) -> None:
@@ -241,7 +243,7 @@ class DistributedStaggeredContext:
         pending = dict(api.start_stored_events(group="early"))
         staged = self._stage_products()
         if staged:
-            yield api.compute(staged * MATVEC_SU3)
+            yield api.compute(staged * MATVEC_SU3, kernel="asqtad")
         pending.update(api.start_stored_events(group="staged"))
 
         # ---- interior phase: raw forward gathers + local backward matvecs
@@ -264,7 +266,7 @@ class DistributedStaggeredContext:
         if len(interior):
             self._merge(out, fwd1_arr, fwd3_arr, bwd1_arr, bwd3_arr, interior)
             local_flops += len(interior) * self.merge_flops_per_site
-        yield api.compute(local_flops)
+        yield api.compute(local_flops, kernel="asqtad")
 
         # ---- boundary phase: drain transfers in completion order --------
         # (every staggered halo patch is a pure row copy; the forward
@@ -289,20 +291,22 @@ class DistributedStaggeredContext:
         boundary = self.boundary_sites
         if len(boundary):
             self._merge(out, fwd1_arr, fwd3_arr, bwd1_arr, bwd3_arr, boundary)
-            yield api.compute(len(boundary) * self.merge_flops_per_site)
+            yield api.compute(
+                len(boundary) * self.merge_flops_per_site, kernel="asqtad"
+            )
         return out
 
     def apply(self, src: np.ndarray):
         hop = yield from self.hopping(src)
         out = self.mass * src + 0.5 * hop
-        yield self.api.compute(12 * self.volume)
+        yield self.api.compute(12 * self.volume, kernel="diag")
         return out
 
     def apply_dagger(self, src: np.ndarray):
         """``D^+ = m - (1/2) hopping`` (anti-hermitian hopping)."""
         hop = yield from self.hopping(src)
         out = self.mass * src - 0.5 * hop
-        yield self.api.compute(12 * self.volume)
+        yield self.api.compute(12 * self.volume, kernel="diag")
         return out
 
     def normal(self, src: np.ndarray):

@@ -64,7 +64,16 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.fermions.flops import OperatorCost, operator_cost
+from repro.fermions.flops import (
+    DWF_5D_EXTRA_FLOPS,
+    HALF_SPINOR_WORDS,
+    MATVEC_SU3,
+    SPINOR_WORDS,
+    STAGGERED_WORDS,
+    WILSON_DSLASH_FLOPS,
+    OperatorCost,
+    operator_cost,
+)
 from repro.machine.asic import ASICConfig
 from repro.machine.globalops import sum_hops
 from repro.machine.memory import MemoryModel
@@ -366,6 +375,91 @@ class DiracPerfModel:
                 comms,
             )
         return seconds
+
+
+# -- exact protocol predictions (telemetry crosscheck) ------------------------
+#
+# Unlike the calibrated timing model above, these two functions are *exact*
+# counts of what the functional simulator's distributed operators do —
+# derived from the wire format and flop sheets of
+# :mod:`repro.fermions.flops`.  ``repro.telemetry.report.MachineReport
+# .crosscheck`` compares measured hardware-style counters against them, so
+# a drift in either the protocol implementation or these formulas fails
+# the telemetry test suite.
+
+
+def _decomposed_axes(local_shape, machine_dims):
+    shape = tuple(int(s) for s in local_shape)
+    axes = [
+        mu
+        for mu in range(len(shape))
+        if mu < len(machine_dims) and int(machine_dims[mu]) > 1
+    ]
+    return shape, axes
+
+
+def halo_payload_words(
+    op: str,
+    local_shape: Sequence[int],
+    machine_dims: Sequence[int],
+    Ls: int = 1,
+    compress: bool = True,
+) -> int:
+    """Exact SCU payload words **sent per node** per operator application.
+
+    Per decomposed axis a Wilson-type rank ships two transfers — the
+    forward halo and the staged backward products — of one face each:
+    ``2 * nface * (12 | 24)`` words (compressed half spinors vs the full
+    spinor wire format), times ``Ls`` slices for domain wall.  ASQTAD
+    ships the depth-3 raw face (``3 * nface`` colour vectors) plus the
+    packed fat+Naik products (``(1 + 3) * nface``): ``7 * nface * 6``
+    words, compression not applicable.
+    """
+    if op not in ("wilson", "clover", "dwf", "asqtad", "naive-staggered"):
+        raise ConfigError(f"no distributed wire format for op {op!r}")
+    shape, axes = _decomposed_axes(local_shape, machine_dims)
+    volume = int(np.prod(shape))
+    total = 0
+    for mu in axes:
+        nface = volume // shape[mu]
+        if op in ("wilson", "clover"):
+            w = HALF_SPINOR_WORDS if compress else SPINOR_WORDS
+            total += 2 * nface * w
+        elif op == "dwf":
+            w = HALF_SPINOR_WORDS if compress else SPINOR_WORDS
+            total += 2 * int(Ls) * nface * w
+        else:  # asqtad / naive-staggered colour vectors
+            total += 7 * nface * STAGGERED_WORDS
+    return total
+
+
+def dirac_flops_per_node(
+    op: str,
+    local_shape: Sequence[int],
+    machine_dims: Sequence[int],
+    Ls: int = 1,
+) -> float:
+    """Exact flops charged per node for **one** distributed ``D`` apply.
+
+    ``volume * flops_per_site`` plus the sender-side staging matvecs the
+    halo exchange adds on decomposed axes: one ``U^+ (proj) psi`` SU(3)
+    matvec per high-face site (per slice for domain wall); ASQTAD stages
+    fat products on the depth-1 face and Naik products on the depth-3
+    face — four matvecs per face site.
+    """
+    shape, axes = _decomposed_axes(local_shape, machine_dims)
+    volume = int(np.prod(shape))
+    sum_nface = sum(volume // shape[mu] for mu in axes)
+    if op in ("wilson", "clover"):
+        cost = operator_cost(op)
+        return float(volume * cost.flops_per_site + sum_nface * MATVEC_SU3)
+    if op == "dwf":
+        per_site5 = WILSON_DSLASH_FLOPS + DWF_5D_EXTRA_FLOPS
+        return float(int(Ls) * (volume * per_site5 + sum_nface * MATVEC_SU3))
+    if op == "asqtad":
+        cost = operator_cost(op)
+        return float(volume * cost.flops_per_site + 4 * sum_nface * MATVEC_SU3)
+    raise ConfigError(f"no distributed flop model for op {op!r}")
 
 
 def calibrate(asic: Optional[ASICConfig] = None) -> Calibration:

@@ -1,13 +1,32 @@
-"""Event tracing for protocol tests and debugging.
+"""Event tracing for protocol tests, telemetry, and debugging.
 
 Machine components emit ``trace.emit(tag, **fields)``; tests assert on the
 recorded sequence (e.g. "a parity error is followed by exactly one resend of
 the same word").  Tracing is off unless a Trace is attached, so the hot path
 costs one attribute check.
+
+Structured-trace contract (PR 3)
+--------------------------------
+* **Tags are namespaced** ``"unit.event"`` (``scu.resend``, ``link.fault``,
+  ``cpu.compute`` ...).  Every tag emitted anywhere in :mod:`repro` is
+  enumerated — with its exact field names — in
+  :data:`repro.telemetry.schema.TRACE_SCHEMA`; a regression test fails on
+  unregistered tags or field-name drift.
+* **Records carry a monotone per-trace sequence number** in addition to the
+  simulation time.  A Trace attached to no simulator records ``time=0.0``
+  for everything, which used to break ordering assertions; ``seq`` is the
+  durable order and is what :meth:`tagged` / :meth:`last` sort by.
+* **Ring-buffer mode** (``maxlen=``) bounds memory on long runs: the deque
+  drops the oldest records and :attr:`dropped` counts how many were lost.
+* **Spans**: a record whose fields include ``dur`` (seconds) describes a
+  completed interval ending at ``record.time``; the Chrome-tracing exporter
+  (:mod:`repro.telemetry.chrometrace`) renders those as complete events so
+  a dslash iteration shows up as a per-node compute/comms timeline.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Dict, Iterator, List, NamedTuple, Optional
 
 
@@ -15,18 +34,65 @@ class TraceRecord(NamedTuple):
     time: float
     tag: str
     fields: Dict[str, Any]
+    #: monotone per-trace emission index (total order even at equal time,
+    #: or when the trace is detached from a simulator and time is 0.0)
+    seq: int = -1
+
+
+class TraceNamespace:
+    """A bound emitter that prefixes every tag with ``prefix + '.'``."""
+
+    __slots__ = ("trace", "prefix")
+
+    def __init__(self, trace: "Trace", prefix: str):
+        self.trace = trace
+        self.prefix = prefix
+
+    def emit(self, tag: str, **fields: Any) -> None:
+        self.trace.emit(f"{self.prefix}.{tag}", **fields)
+
+    def namespace(self, sub: str) -> "TraceNamespace":
+        return TraceNamespace(self.trace, f"{self.prefix}.{sub}")
+
+    def __repr__(self) -> str:
+        return f"TraceNamespace({self.prefix!r})"
 
 
 class Trace:
-    """An append-only record of tagged simulation occurrences."""
+    """An append-only (optionally ring-buffered) record of tagged
+    simulation occurrences.
 
-    def __init__(self, sim=None):
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock stamps records; ``None`` (detached mode,
+        used by unit tests) stamps ``time=0.0`` — ordering then relies on
+        the per-record ``seq``.
+    maxlen:
+        When given, keep only the newest ``maxlen`` records (bounded
+        ring-buffer mode for long runs); :attr:`dropped` counts evictions.
+    """
+
+    def __init__(self, sim=None, maxlen: Optional[int] = None):
         self.sim = sim
-        self.records: List[TraceRecord] = []
+        self.maxlen = maxlen
+        self.records = deque(maxlen=maxlen) if maxlen is not None else []
+        #: total records ever emitted (>= len(records) in ring-buffer mode)
+        self.emitted = 0
 
     def emit(self, tag: str, **fields: Any) -> None:
         t = self.sim.now if self.sim is not None else 0.0
-        self.records.append(TraceRecord(t, tag, fields))
+        self.records.append(TraceRecord(t, tag, fields, self.emitted))
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring buffer (0 in unbounded mode)."""
+        return self.emitted - len(self.records)
+
+    def namespace(self, prefix: str) -> TraceNamespace:
+        """A bound emitter whose tags are all ``prefix + '.' + tag``."""
+        return TraceNamespace(self, prefix)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -34,18 +100,38 @@ class Trace:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
+    def tags(self) -> set:
+        """The set of distinct tags recorded."""
+        return {r.tag for r in self.records}
+
     def tagged(self, tag: str) -> List[TraceRecord]:
-        """All records with the given tag, in time order."""
-        return [r for r in self.records if r.tag == tag]
+        """All records with the given tag, in emission (``seq``) order.
+
+        ``seq`` — not ``time`` — is the ordering key: a detached trace
+        stamps every record ``time=0.0``, and simultaneous events tie.
+        """
+        return sorted(
+            (r for r in self.records if r.tag == tag), key=lambda r: r.seq
+        )
+
+    def prefixed(self, prefix: str) -> List[TraceRecord]:
+        """All records in the ``prefix`` namespace, in ``seq`` order."""
+        dotted = prefix + "."
+        return sorted(
+            (r for r in self.records if r.tag.startswith(dotted) or r.tag == prefix),
+            key=lambda r: r.seq,
+        )
 
     def count(self, tag: str) -> int:
         return sum(1 for r in self.records if r.tag == tag)
 
     def last(self, tag: str) -> Optional[TraceRecord]:
-        for r in reversed(self.records):
-            if r.tag == tag:
-                return r
-        return None
+        """The highest-``seq`` record with the given tag."""
+        best: Optional[TraceRecord] = None
+        for r in self.records:
+            if r.tag == tag and (best is None or r.seq > best.seq):
+                best = r
+        return best
 
     def clear(self) -> None:
         self.records.clear()

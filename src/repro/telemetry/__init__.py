@@ -1,0 +1,42 @@
+"""Machine-wide telemetry: performance counters, trace schema, exporters.
+
+QCDOC's ASIC exposed hardware performance counters that made the paper's
+quantitative claims — sustained Dirac efficiency, 420 Mbit/s/link wire
+rates, global-sum hop counts — *measurable*.  This package is the
+simulator's equivalent observability layer:
+
+* :mod:`repro.telemetry.counters` — :class:`CounterBank`, a typed,
+  hierarchical (``node -> unit -> counter``) sampling view over the
+  always-on plain counters every machine unit keeps.  Sampling is pull,
+  not push: the hot paths never see the bank.
+* :mod:`repro.telemetry.schema` — the registry of every structured-trace
+  tag (and its exact field names) emitted anywhere in :mod:`repro`;
+  regression tests diff the registry against an AST scan of the source.
+* :mod:`repro.telemetry.chrometrace` — a ``chrome://tracing`` /
+  Perfetto-compatible JSON exporter turning a machine trace into a
+  per-node timeline of compute vs. in-flight communication.
+* :mod:`repro.telemetry.report` — :class:`MachineReport`, the roll-up of
+  counters into the paper's derived metrics (sustained GFlops, link
+  utilisation, overlap fraction) with a :meth:`MachineReport.crosscheck`
+  that compares measurement against :mod:`repro.perfmodel` predictions
+  within declared tolerances.
+"""
+
+from repro.telemetry.chrometrace import chrome_trace_events, export_chrome_trace
+from repro.telemetry.counters import Counter, CounterBank, bank_for_machine
+from repro.telemetry.report import CrosscheckEntry, CrosscheckResult, MachineReport
+from repro.telemetry.schema import TRACE_SCHEMA, validate_record, validate_trace
+
+__all__ = [
+    "Counter",
+    "CounterBank",
+    "bank_for_machine",
+    "MachineReport",
+    "CrosscheckEntry",
+    "CrosscheckResult",
+    "TRACE_SCHEMA",
+    "validate_record",
+    "validate_trace",
+    "chrome_trace_events",
+    "export_chrome_trace",
+]

@@ -1,0 +1,299 @@
+"""MachineReport: derived metrics, crosscheck acceptance, CG timeline (PR 3).
+
+This file pins the PR's acceptance criteria:
+
+* the measured-vs-model crosscheck passes **exactly** on a 2-node
+  ``2^4``-per-node Wilson dslash run (rel tol 1e-9 on counted words and
+  charged flops, wire overhead exactly 1.0);
+* a distributed CG solve with tracing on exports a Chrome-tracing JSON
+  that validates as the trace-event format — the per-node
+  compute/comms/solver timeline of the paper's benchmark workload;
+* the report's derived metrics (sustained GFlops, peak fraction, link
+  utilisation and Mbit/s wire rate, overlap fraction) are consistent with
+  the raw counters they summarise, and ``to_json`` is a faithful,
+  serialisable dump.
+
+Also covered: the closed-form prediction helpers in
+:mod:`repro.perfmodel.dirac_perf` (face counting, compression switch,
+unknown-operator errors) that the crosscheck is built on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fermions.flops import (
+    HALF_SPINOR_WORDS,
+    MATVEC_SU3,
+    SPINOR_WORDS,
+    STAGGERED_WORDS,
+    operator_cost,
+)
+from repro.lattice import GaugeField, LatticeGeometry
+from repro.machine.asic import MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.parallel import PhysicsMapping
+from repro.parallel.pcg import solve_on_machine
+from repro.parallel.pdirac import DistributedWilsonContext
+from repro.perfmodel.dirac_perf import dirac_flops_per_node, halo_payload_words
+from repro.telemetry import MachineReport, validate_trace
+from repro.telemetry.chrometrace import export_chrome_trace
+from repro.util import rng_stream
+from repro.util.errors import ConfigError
+
+pytestmark = pytest.mark.telemetry
+
+GROUPS = [(0,), (1,), (2,), (3,)]
+DIMS_1D = (2, 1, 1, 1, 1, 1)
+MACHINE_DIMS = (2, 1, 1, 1)
+
+
+def wilson_machine(shape=(4, 2, 2, 2), n_applications=1, trace=False):
+    m = QCDOCMachine(
+        MachineConfig(dims=DIMS_1D), word_batch=4096, trace=trace
+    )
+    m.bring_up()
+    part = m.partition(groups=GROUPS)
+    rng = rng_stream(17, "report")
+    geom = LatticeGeometry(shape)
+    gauge = GaugeField.hot(geom, rng)
+    psi = rng.standard_normal((geom.volume, 4, 3)) + 1j * rng.standard_normal(
+        (geom.volume, 4, 3)
+    )
+    mapping = PhysicsMapping(geom, part)
+    links = mapping.scatter_gauge(gauge)
+    lpsi = mapping.scatter_field(psi)
+
+    def program(api):
+        out = lpsi[api.rank]
+        ctx = DistributedWilsonContext(
+            api, mapping.local_shape, links[api.rank], mass=0.3
+        )
+        for _ in range(n_applications):
+            out = yield from ctx.apply(out)
+        return out
+
+    m.run_partition(part, program)
+    return m, mapping
+
+
+# ---------------------------------------------------------------------------
+# the acceptance crosscheck
+# ---------------------------------------------------------------------------
+
+
+def test_crosscheck_acceptance_2node_wilson():
+    """PR 3 acceptance: exact crosscheck on the 2-node 2^4 Wilson run.
+
+    Global (4,2,2,2) over machine dims (2,1,1,1) gives each node the
+    paper's 2^4 local volume.
+    """
+    m, mapping = wilson_machine()
+    assert mapping.local_shape == (2, 2, 2, 2)
+    result = m.report().crosscheck("wilson", mapping.local_shape, MACHINE_DIMS)
+    assert result.ok, f"crosscheck failed:\n{result}"
+    assert result.failures() == []
+    for entry in result.entries:
+        assert entry.rel_error <= 1e-9
+        assert str(entry).startswith("[ok]")
+
+
+def test_crosscheck_counts_applications():
+    """n_applications scales the word/flop predictions linearly."""
+    m, mapping = wilson_machine(n_applications=3)
+    report = m.report()
+    assert report.crosscheck(
+        "wilson", mapping.local_shape, MACHINE_DIMS, n_applications=3
+    ).ok
+    # the wrong application count must NOT pass
+    wrong = report.crosscheck(
+        "wilson", mapping.local_shape, MACHINE_DIMS, n_applications=2
+    )
+    assert not wrong.ok
+
+
+def test_machine_report_and_bank_accessors():
+    """QCDOCMachine.report()/counter_bank() are the front door."""
+    m, _ = wilson_machine()
+    report = m.report()
+    assert isinstance(report, MachineReport)
+    assert len(m.counter_bank()) > 0
+    assert report.counters == m.counter_bank().sample()
+
+
+# ---------------------------------------------------------------------------
+# derived metrics
+# ---------------------------------------------------------------------------
+
+
+def test_derived_metrics_consistent_with_counters():
+    m, _ = wilson_machine()
+    rep = m.report()
+    assert rep.elapsed > 0
+    # sustained rate is just flops / time
+    assert rep.sustained_gflops == pytest.approx(
+        rep.total_flops / rep.elapsed / 1e9
+    )
+    peak = m.n_nodes * m.asic.peak_flops
+    assert rep.peak_fraction == pytest.approx(
+        rep.total_flops / (peak * rep.elapsed)
+    )
+    assert 0.0 < rep.peak_fraction <= 1.0
+    util = rep.link_utilisation()
+    assert util["links_active"] > 0
+    assert 0.0 < util["mean"] <= util["max"] <= 1.0
+    # achieved wire rate is positive and below the physical line rate
+    rate = rep.link_rate_mbit_s()
+    assert rate > 0.0
+    assert 0.0 <= rep.overlap_fraction() <= 1.0
+
+
+def test_to_json_is_serialisable_and_faithful(tmp_path):
+    m, _ = wilson_machine()
+    rep = m.report()
+    payload = rep.to_json()
+    # survives a real JSON round trip
+    blob = json.dumps(payload)
+    back = json.loads(blob)
+    assert back["n_nodes"] == m.n_nodes
+    assert back["derived"]["sustained_gflops"] == pytest.approx(
+        rep.sustained_gflops
+    )
+    assert back["derived"]["wire_overhead"] == 1.0
+    assert back["totals"]["payload_words_sent"] == rep.total_payload_words
+    assert back["totals"]["resends"] == 0
+    # the full counter hierarchy rides along, sorted
+    assert list(back["counters"]) == sorted(back["counters"])
+    assert back["counters"]["node0.scu.payload_words_sent"] > 0
+
+
+# ---------------------------------------------------------------------------
+# perfmodel closed forms
+# ---------------------------------------------------------------------------
+
+
+def test_halo_words_closed_form():
+    local = (2, 2, 2, 2)
+    v = 16
+    nface = v // 2
+    # one decomposed axis, both faces, compressed
+    assert halo_payload_words("wilson", local, (2, 1, 1, 1)) == (
+        2 * nface * HALF_SPINOR_WORDS
+    )
+    assert halo_payload_words(
+        "wilson", local, (2, 1, 1, 1), compress=False
+    ) == (2 * nface * SPINOR_WORDS)
+    # DWF scales by Ls; staggered ships 7 colour vectors per face site
+    assert halo_payload_words("dwf", local, (2, 1, 1, 1), Ls=8) == (
+        8 * 2 * nface * HALF_SPINOR_WORDS
+    )
+    assert halo_payload_words("asqtad", (4, 2, 2, 2), (2, 1, 1, 1)) == (
+        7 * (32 // 4) * STAGGERED_WORDS
+    )
+    # undecomposed machine: no halo at all
+    assert halo_payload_words("wilson", local, (1, 1, 1, 1)) == 0
+
+
+def test_flops_closed_form():
+    local = (2, 2, 2, 2)
+    v = 16
+    nface = v // 2
+    # one staging matvec per high-face site on the decomposed axis
+    wilson = dirac_flops_per_node("wilson", local, (2, 1, 1, 1))
+    assert wilson == v * operator_cost("wilson").flops_per_site + (
+        nface * MATVEC_SU3
+    )
+    # clover > wilson on identical geometry (the SU(3) clover term)
+    clover = dirac_flops_per_node("clover", local, (2, 1, 1, 1))
+    assert clover > wilson
+    # no decomposition => no staging matvecs
+    assert dirac_flops_per_node("wilson", local, (1, 1, 1, 1)) == (
+        v * operator_cost("wilson").flops_per_site
+    )
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(ConfigError):
+        halo_payload_words("overlap5d", (2, 2, 2, 2), (2, 1, 1, 1))
+    with pytest.raises(ConfigError):
+        dirac_flops_per_node("overlap5d", (2, 2, 2, 2), (2, 1, 1, 1))
+
+
+# ---------------------------------------------------------------------------
+# distributed CG: solver telemetry + Chrome timeline (acceptance)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cg_machine():
+    m = QCDOCMachine(
+        MachineConfig(dims=DIMS_1D), word_batch=4096, trace=True
+    )
+    m.bring_up()
+    part = m.partition(groups=GROUPS)
+    rng = rng_stream(23, "report-cg")
+    geom = LatticeGeometry((4, 2, 2, 2))
+    gauge = GaugeField.hot(geom, rng)
+    b = rng.standard_normal((geom.volume, 4, 3)) + 1j * rng.standard_normal(
+        (geom.volume, 4, 3)
+    )
+    result = solve_on_machine(
+        m, part, gauge, b, mass=0.3, tol=1e-6, maxiter=200
+    )
+    return m, result
+
+
+def test_cg_iteration_trace(cg_machine):
+    m, result = cg_machine
+    assert result.converged
+    recs = m.trace.tagged("cg.iteration")
+    # every rank narrates every iteration
+    assert len(recs) == m.n_nodes * result.iterations
+    rank0 = [r for r in recs if r.fields["rank"] == 0]
+    assert [r.fields["iteration"] for r in rank0] == list(
+        range(1, result.iterations + 1)
+    )
+    # the traced residual history IS the solver's residual history
+    assert [r.fields["residual"] for r in rank0] == result.residuals[1:]
+    assert validate_trace(m.trace) == []
+
+
+def test_cg_chrome_export_validates(cg_machine, tmp_path):
+    """Acceptance: the distributed-CG trace is a valid Chrome trace."""
+    m, _ = cg_machine
+    out = export_chrome_trace(m.trace, tmp_path / "cg.json")
+    payload = json.loads(out.read_text())
+    events = payload["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert phases <= {"X", "i", "M"}
+    # the CG timeline interleaves compute spans, SCU traffic, global sums
+    names = {e["name"] for e in events}
+    assert any(n.startswith("cpu.compute") for n in names)
+    assert "scu.send" in names
+    assert "gsum.complete" in names
+    assert "cg.iteration" in names
+    # trace-event essentials on every record
+    for e in events:
+        assert {"name", "ph", "pid", "tid"} <= set(e)
+        if e["ph"] == "X":
+            assert e["dur"] >= 0.0
+        if e["ph"] != "M":
+            assert e["ts"] >= 0.0
+    # per-pid monotone timestamps (the exporter's sorting guarantee)
+    by_pid = {}
+    for e in events:
+        if e["ph"] != "M":
+            by_pid.setdefault(e["pid"], []).append(e["ts"])
+    for pid, stamps in by_pid.items():
+        assert stamps == sorted(stamps), f"pid {pid} not monotone"
+
+
+def test_cg_report_totals(cg_machine):
+    m, result = cg_machine
+    rep = m.report()
+    # the report's flop total covers the whole run (machine history),
+    # and the solve accounted every one of them
+    assert rep.total_flops == pytest.approx(result.flops, rel=1e-12)
+    assert rep.wire_overhead == 1.0
+    assert rep.sustained_gflops > 0.0

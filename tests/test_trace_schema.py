@@ -1,0 +1,281 @@
+"""Trace-schema registry regression suite (PR 3).
+
+Two contracts are pinned here:
+
+1. **Registry completeness** — every ``trace.emit(...)`` call site in
+   ``src/repro`` uses a tag registered in
+   :data:`repro.telemetry.schema.TRACE_SCHEMA` with *exactly* the field
+   names the schema declares.  The test AST-scans the source tree, so an
+   emission added (or a field renamed) without updating the registry
+   fails here, not in some downstream dashboard.
+
+2. **Chrome export round trip** — the Trace Event JSON produced by
+   :mod:`repro.telemetry.chrometrace` survives ``json.loads`` and keeps
+   per-process timestamps monotone, with span events reconstructing
+   ``(start, dur)`` from the end-stamped records.
+
+Plus the :class:`~repro.sim.trace.Trace` upgrades themselves: monotone
+``seq`` ordering on detached traces (the time=0.0 ordering fix),
+namespaced emitters, and the bounded ring-buffer mode.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.trace import Trace, TraceRecord
+from repro.telemetry.chrometrace import chrome_trace_events, export_chrome_trace
+from repro.telemetry.schema import (
+    SPAN_TAGS,
+    TRACE_SCHEMA,
+    validate_record,
+    validate_trace,
+)
+
+pytestmark = pytest.mark.telemetry
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def emit_call_sites():
+    """Every ``*.emit(<literal tag>, key=...)`` call in the source tree.
+
+    Yields ``(file, lineno, tag, field_names)``.  Calls whose tag is not
+    a string literal (the namespace forwarder in ``sim/trace.py``) are
+    skipped — they re-emit somebody else's literal tag.
+    """
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "emit"
+            ):
+                continue
+            if not node.args:
+                continue
+            tag_node = node.args[0]
+            if not (
+                isinstance(tag_node, ast.Constant)
+                and isinstance(tag_node.value, str)
+            ):
+                continue  # dynamic tag (namespace forwarder)
+            fields = frozenset(
+                kw.arg for kw in node.keywords if kw.arg is not None
+            )
+            yield path.relative_to(SRC), node.lineno, tag_node.value, fields
+
+
+# ---------------------------------------------------------------------------
+# registry <-> source agreement
+# ---------------------------------------------------------------------------
+
+
+def test_source_scan_finds_emissions():
+    """The scanner itself works: it sees the known instrumented units."""
+    files = {str(f) for f, _, _, _ in emit_call_sites()}
+    for expected in (
+        "machine/hssl.py",
+        "machine/scu.py",
+        "machine/node.py",
+        "machine/interrupts.py",
+        "machine/globalops.py",
+        "parallel/pcg.py",
+    ):
+        assert expected in files, f"no emit() found in {expected}"
+
+
+def test_every_emitted_tag_is_registered():
+    unregistered = [
+        (str(f), line, tag)
+        for f, line, tag, _ in emit_call_sites()
+        if tag not in TRACE_SCHEMA
+    ]
+    assert unregistered == [], f"unregistered trace tags: {unregistered}"
+
+
+def test_emitted_fields_match_schema_exactly():
+    drift = []
+    for f, line, tag, fields in emit_call_sites():
+        expected = TRACE_SCHEMA.get(tag)
+        if expected is not None and fields != expected:
+            drift.append(
+                (
+                    str(f),
+                    line,
+                    tag,
+                    sorted(expected - fields),
+                    sorted(fields - expected),
+                )
+            )
+    assert drift == [], f"field drift (file, line, tag, missing, extra): {drift}"
+
+
+def test_every_registered_tag_is_emitted_somewhere():
+    """The registry carries no dead entries."""
+    emitted = {tag for _, _, tag, _ in emit_call_sites()}
+    dead = sorted(set(TRACE_SCHEMA) - emitted)
+    assert dead == [], f"registered but never emitted: {dead}"
+
+
+def test_validate_record_flags_violations():
+    ok = TraceRecord(0.0, "scu.resend", {"node": 0, "direction": 1, "seq": 2}, 0)
+    assert validate_record(ok) == []
+    bad_tag = TraceRecord(0.0, "scu.bogus", {}, 1)
+    assert any("unregistered" in p for p in validate_record(bad_tag))
+    drift = TraceRecord(0.0, "scu.resend", {"node": 0, "word": 9}, 2)
+    (problem,) = validate_record(drift)
+    assert "field drift" in problem and "direction" in problem
+
+
+def test_validate_trace_aggregates():
+    t = Trace()
+    t.emit("link.trained", link="n0.d0->n1")
+    t.emit("nope.nope")
+    assert len(validate_trace(t)) == 1
+
+
+def test_span_tags_are_the_dur_tags():
+    for tag in SPAN_TAGS:
+        assert "dur" in TRACE_SCHEMA[tag]
+    for tag in set(TRACE_SCHEMA) - SPAN_TAGS:
+        assert "dur" not in TRACE_SCHEMA[tag]
+
+
+# ---------------------------------------------------------------------------
+# Trace mechanics: seq ordering, namespaces, ring buffer
+# ---------------------------------------------------------------------------
+
+
+def test_detached_trace_orders_by_seq():
+    """A detached trace stamps time=0.0 everywhere; tagged()/last() must
+    still return emission order (the ordering-fix satellite)."""
+    t = Trace()
+    for i in range(5):
+        t.emit("cg.iteration", rank=0, iteration=i, residual=1.0 / (i + 1))
+    recs = t.tagged("cg.iteration")
+    assert [r.fields["iteration"] for r in recs] == [0, 1, 2, 3, 4]
+    assert all(r.time == 0.0 for r in recs)
+    assert [r.seq for r in recs] == [0, 1, 2, 3, 4]
+    assert t.last("cg.iteration").fields["iteration"] == 4
+
+
+def test_namespace_prefixes_tags():
+    t = Trace()
+    scu = t.namespace("scu")
+    scu.emit("resend", node=0, direction=1, seq=7)
+    sub = scu.namespace("dma")
+    sub.emit("posted", n=1)
+    assert t.tags() == {"scu.resend", "scu.dma.posted"}
+    assert t.prefixed("scu")[0].tag == "scu.resend"
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    t = Trace(maxlen=3)
+    for i in range(10):
+        t.emit("cg.iteration", rank=0, iteration=i, residual=0.1)
+    assert len(t) == 3
+    assert t.emitted == 10
+    assert t.dropped == 7
+    assert [r.fields["iteration"] for r in t.tagged("cg.iteration")] == [7, 8, 9]
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export round trip
+# ---------------------------------------------------------------------------
+
+
+def machine_trace():
+    """A real machine trace: 2-node Wilson dslash with tracing on."""
+    import numpy as np
+
+    from repro.lattice import GaugeField, LatticeGeometry
+    from repro.machine.asic import MachineConfig
+    from repro.machine.machine import QCDOCMachine
+    from repro.parallel import PhysicsMapping
+    from repro.parallel.pdirac import DistributedWilsonContext
+    from repro.util import rng_stream
+
+    m = QCDOCMachine(
+        MachineConfig(dims=(2, 1, 1, 1, 1, 1)), word_batch=4096, trace=True
+    )
+    m.bring_up()
+    part = m.partition(groups=[(0,), (1,), (2,), (3,)])
+    rng = rng_stream(17, "chrome")
+    geom = LatticeGeometry((4, 2, 2, 2))
+    gauge = GaugeField.hot(geom, rng)
+    psi = rng.standard_normal((geom.volume, 4, 3)) + 1j * rng.standard_normal(
+        (geom.volume, 4, 3)
+    )
+    mapping = PhysicsMapping(geom, part)
+    links = mapping.scatter_gauge(gauge)
+    lpsi = mapping.scatter_field(psi)
+
+    def program(api):
+        ctx = DistributedWilsonContext(
+            api, mapping.local_shape, links[api.rank], mass=0.3
+        )
+        out = yield from ctx.apply(lpsi[api.rank])
+        return out
+
+    m.run_partition(part, program)
+    return m
+
+
+def test_machine_trace_conforms_to_schema():
+    m = machine_trace()
+    assert len(m.trace) > 0
+    assert validate_trace(m.trace) == []
+    # the dslash run exercises compute spans and SCU protocol events
+    assert {"cpu.compute", "scu.send", "scu.recv"} <= m.trace.tags()
+
+
+def test_chrome_export_round_trips(tmp_path):
+    m = machine_trace()
+    out = export_chrome_trace(m.trace, tmp_path / "dslash.json")
+    payload = json.loads(out.read_text())  # round trip through real JSON
+    events = payload["traceEvents"]
+    assert payload["displayTimeUnit"] == "ms"
+    assert len(events) > 0
+
+    # Trace-event format essentials
+    for e in events:
+        assert e["ph"] in ("X", "i", "M")
+        if e["ph"] == "X":
+            assert e["dur"] >= 0.0
+        if e["ph"] != "M":
+            assert isinstance(e["ts"], (int, float))
+            assert e["ts"] >= 0.0
+
+    # per-process timestamps are monotone non-decreasing
+    by_pid = {}
+    for e in events:
+        if e["ph"] == "M":
+            continue
+        by_pid.setdefault(e["pid"], []).append(e["ts"])
+    assert by_pid, "no timed events exported"
+    for pid, stamps in by_pid.items():
+        assert stamps == sorted(stamps), f"pid {pid} timestamps not monotone"
+
+    # each (pid, tid) lane is named by a thread_name metadata event
+    lanes = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+    named = {(e["pid"], e["tid"]) for e in events if e["ph"] == "M"}
+    assert lanes <= named
+
+    # spans reconstruct the end-stamped records: ts + dur == time * 1e6
+    spans = [e for e in events if e["ph"] == "X" and e["name"].startswith("scu.send")]
+    assert spans, "no scu.send spans exported"
+    recs = m.trace.tagged("scu.send")
+    ends = sorted(round(r.time * 1e6, 6) for r in recs)
+    got = sorted(round(e["ts"] + e["dur"], 6) for e in spans)
+    assert got == ends
+
+
+def test_chrome_compute_spans_name_the_kernel():
+    m = machine_trace()
+    events = chrome_trace_events(m.trace)
+    names = {e["name"] for e in events if e["ph"] == "X"}
+    assert any(n.startswith("cpu.compute:dslash") for n in names)
