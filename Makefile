@@ -1,7 +1,8 @@
 PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
-.PHONY: test protocol overlap bench bench-smoke verify verify-telemetry
+.PHONY: test protocol overlap bench bench-smoke verify verify-telemetry \
+        lint verify-sanitizer
 
 ## tier-1: the full unit/integration/property suite
 test:
@@ -30,6 +31,27 @@ bench-smoke:
 verify-telemetry:
 	$(PYTEST) -m telemetry -q
 
-## what CI gates a merge on: tier-1 + the overlap bit-exactness suite
-verify: test overlap
-	@echo "verify: tier-1 + overlap bit-exactness green"
+## reprolint (the in-tree simulator-aware linter) over src/, plus ruff
+## and mypy when installed (skipped gracefully when absent — the
+## container does not bake them in)
+lint:
+	PYTHONPATH=src $(PY) -m repro.analysis src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/analysis src/repro/telemetry; \
+	else \
+		echo "lint: mypy not installed, skipping"; \
+	fi
+
+## halo-buffer race sanitizer: clean-pipeline run + seeded-race detection
+verify-sanitizer:
+	$(PYTEST) tests/test_race_sanitizer.py -q
+
+## what CI gates a merge on: tier-1 + overlap bit-exactness + static
+## analysis + the race sanitizer
+verify: test overlap lint verify-sanitizer
+	@echo "verify: tier-1 + overlap + lint + sanitizer green"

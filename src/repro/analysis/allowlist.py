@@ -1,0 +1,110 @@
+"""The reprolint allowlist: per-rule, per-file suppressions with reasons.
+
+Policy (DESIGN.md section 9): every entry carries a one-line
+justification, the file is checked in at the repository root
+(``.reprolint-allow``), and the list is expected to stay *small* —
+each entry is a standing debt the next refactor should retire.
+
+Format — one entry per line::
+
+    RULE-ID  path/relative/to/scan/root.py  :: one-line justification
+
+Blank lines and ``#`` comments are ignored.  Paths are posix-style and
+match a finding's path exactly (per-file granularity: allowing a rule
+for a file acknowledges *every* occurrence in that file, which keeps
+entries stable under unrelated edits shifting line numbers).
+
+:func:`parse_allowlist` / :func:`format_allowlist` round-trip exactly
+(modulo comments), which the test suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.util.errors import ConfigError
+
+#: conventional allowlist filename, discovered at the repository root
+ALLOWLIST_FILENAME = ".reprolint-allow"
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    """One suppression: (rule, path) plus the mandatory justification."""
+
+    rule: str
+    path: str
+    justification: str
+
+    def format(self) -> str:
+        return f"{self.rule}  {self.path}  :: {self.justification}"
+
+
+def parse_allowlist(text: str) -> List[AllowEntry]:
+    """Parse allowlist text into entries (strict: malformed lines raise)."""
+    entries: List[AllowEntry] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "::" not in line:
+            raise ConfigError(
+                f"allowlist line {lineno}: missing ':: justification' in {raw!r}"
+            )
+        head, justification = line.split("::", 1)
+        justification = justification.strip()
+        if not justification:
+            raise ConfigError(f"allowlist line {lineno}: empty justification")
+        fields = head.split()
+        if len(fields) != 2:
+            raise ConfigError(
+                f"allowlist line {lineno}: expected 'RULE PATH :: reason', "
+                f"got {raw!r}"
+            )
+        entries.append(AllowEntry(fields[0], fields[1], justification))
+    return entries
+
+
+def format_allowlist(entries: List[AllowEntry]) -> str:
+    """Render entries back to file text (inverse of :func:`parse_allowlist`)."""
+    return "".join(e.format() + "\n" for e in entries)
+
+
+class Allowlist:
+    """A queryable set of :class:`AllowEntry` suppressions."""
+
+    def __init__(self, entries: List[AllowEntry]):
+        self.entries = list(entries)
+        self._index = {(e.rule, e.path) for e in self.entries}
+
+    @classmethod
+    def load(cls, path: Path) -> "Allowlist":
+        return cls(parse_allowlist(path.read_text()))
+
+    @classmethod
+    def empty(cls) -> "Allowlist":
+        return cls([])
+
+    def suppresses(self, rule: str, path: str) -> bool:
+        return (rule, path) in self._index
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def find_default_allowlist(start: Path) -> Optional[Path]:
+    """Walk up from ``start`` looking for :data:`ALLOWLIST_FILENAME`.
+
+    Lets ``python -m repro.analysis src/`` pick up the repository's
+    checked-in allowlist without a flag, wherever it is invoked from.
+    """
+    node = start.resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in [node, *node.parents]:
+        p = candidate / ALLOWLIST_FILENAME
+        if p.is_file():
+            return p
+    return None

@@ -1,0 +1,144 @@
+"""``python -m repro.analysis`` — the reprolint command-line gate.
+
+Usage::
+
+    python -m repro.analysis src/                 # text report, exit 0/1
+    python -m repro.analysis src/ --format json   # machine-readable
+    python -m repro.analysis --list-rules         # the rule catalogue
+    python -m repro.analysis src/ --select REPRO101,REPRO303
+    python -m repro.analysis src/ --allowlist path/to/.reprolint-allow
+
+Exit codes: **0** clean (no findings outside the allowlist), **1**
+findings present (or files failed to parse), **2** usage error.  The
+allowlist defaults to the ``.reprolint-allow`` found walking up from
+the first scanned path (the repository root's checked-in file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.allowlist import Allowlist, find_default_allowlist
+from repro.analysis.engine import LintEngine, LintResult, all_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: simulator-aware static analysis for repro",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to scan"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        type=Path,
+        default=None,
+        help="allowlist file (default: nearest .reprolint-allow above "
+        "the first scanned path)",
+    )
+    parser.add_argument(
+        "--no-allowlist",
+        action="store_true",
+        help="ignore any allowlist (report raw findings)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.rule_id}  {cls.name}")
+        lines.append(f"    {cls.summary}")
+    return "\n".join(lines)
+
+
+def _render_text(result: LintResult, allowlist: Allowlist) -> str:
+    lines: List[str] = []
+    for finding in result.parse_errors + result.findings:
+        lines.append(finding.format())
+    unused = result.unused_allow_entries(allowlist)
+    for entry in unused:
+        lines.append(f"warning: unused allowlist entry: {entry}")
+    verdict = "clean" if result.clean else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"reprolint: {result.files_scanned} file(s) scanned, {verdict}, "
+        f"{len(result.suppressed)} suppressed by allowlist"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return EXIT_USAGE
+    for path in args.paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return EXIT_USAGE
+
+    rules = all_rules()
+    if args.select:
+        wanted = {r.strip() for r in args.select.split(",") if r.strip()}
+        unknown = wanted - {cls.rule_id for cls in rules}
+        if unknown:
+            print(f"error: unknown rule id(s): {sorted(unknown)}", file=sys.stderr)
+            return EXIT_USAGE
+        rules = [cls for cls in rules if cls.rule_id in wanted]
+
+    if args.no_allowlist:
+        allowlist = Allowlist.empty()
+    elif args.allowlist is not None:
+        if not args.allowlist.is_file():
+            print(f"error: no such allowlist: {args.allowlist}", file=sys.stderr)
+            return EXIT_USAGE
+        allowlist = Allowlist.load(args.allowlist)
+    else:
+        found = find_default_allowlist(args.paths[0])
+        allowlist = Allowlist.load(found) if found else Allowlist.empty()
+
+    engine = LintEngine(rules=rules, allowlist=allowlist)
+    result = engine.run(args.paths)
+
+    if args.format == "json":
+        payload = result.to_dict()
+        payload["unused_allowlist_entries"] = result.unused_allow_entries(allowlist)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(_render_text(result, allowlist))
+    return EXIT_CLEAN if result.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""The reprolint rule catalogue (importing this package registers all).
+
+Numbering scheme
+----------------
+``REPRO1xx`` determinism, ``REPRO2xx`` SCU protocol conformance,
+``REPRO3xx`` accounting hygiene, ``REPRO4xx`` API hygiene and layering.
+The full catalogue with rationale lives in DESIGN.md section 9.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import accounting, determinism, hygiene, layering, protocol
+
+__all__ = ["accounting", "determinism", "hygiene", "layering", "protocol"]

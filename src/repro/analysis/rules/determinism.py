@@ -1,0 +1,178 @@
+"""Determinism rules (REPRO1xx).
+
+The QCDOC acceptance story is *bit-exact repeatability*: a five-day
+128-node evolution re-run had to produce identical results in all bits
+(paper section 4).  The software twin inherits that bar, so anything
+that injects wall-clock time, ambient environment, global RNG state, or
+hash/set iteration order into simulated or distributed code is a bug by
+construction — these rules make it a lint failure instead of a
+Hypothesis counterexample three PRs later.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, register_rule
+from repro.analysis.visitor import dotted_name, is_set_expression, iter_calls
+
+#: call targets that read the wall clock or the ambient environment
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "date.today",
+        "os.getenv",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+@register_rule
+class NoWallclockRule(Rule):
+    """No wall-clock, environment, or entropy reads in simulator code.
+
+    Simulated time is :attr:`repro.sim.core.Simulator.now`; anything a
+    node program or machine unit does must be a pure function of the
+    event heap and the seeded RNG streams.
+    """
+
+    rule_id = "REPRO101"
+    name = "no-wallclock"
+    summary = (
+        "sim/distributed code must not read wall-clock time, os.environ, "
+        "or entropy sources (determinism)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for call in iter_calls(module.tree):
+            target = dotted_name(call.func)
+            if target in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    call,
+                    f"call to {target}() breaks bit-exact repeatability; "
+                    "use sim.now / seeded rng_stream instead",
+                )
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "environ"
+                and dotted_name(node) == "os.environ"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "os.environ read in simulator code: configuration must "
+                    "arrive through explicit parameters",
+                )
+
+
+@register_rule
+class SeededRngOnlyRule(Rule):
+    """All randomness flows through ``repro.util.rng`` named streams.
+
+    Global-state RNG (``random.*``, ``np.random.<sampler>``,
+    ``np.random.default_rng()`` / ``np.random.seed``) depends on call
+    order and process history; :func:`repro.util.rng.rng_stream`
+    derives every stream from ``(seed, name)`` so creation order cannot
+    change a single bit.
+    """
+
+    rule_id = "REPRO102"
+    name = "seeded-rng-only"
+    summary = (
+        "no random.* or np.random.* entry points outside util/rng.py; "
+        "derive streams from rng_stream(seed, name)"
+    )
+
+    #: the one module allowed to touch numpy's RNG constructors
+    _HOME = "repro/util/rng.py"
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if module.is_module(self._HOME):
+            return
+        for stmt in ast.walk(module.tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            module,
+                            stmt,
+                            "import of stdlib 'random' (global-state RNG); "
+                            "use repro.util.rng streams",
+                        )
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "random":
+                    yield self.finding(
+                        module,
+                        stmt,
+                        "from-import of stdlib 'random'; use repro.util.rng",
+                    )
+        for call in iter_calls(module.tree):
+            target = dotted_name(call.func)
+            if target.startswith(("np.random.", "numpy.random.")):
+                yield self.finding(
+                    module,
+                    call,
+                    f"direct {target}() call: construct generators only in "
+                    "repro.util.rng (order-independent named streams)",
+                )
+
+
+def _iteration_sites(tree: ast.AST) -> Iterator[ast.expr]:
+    """Expressions whose iteration order becomes program behaviour."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter
+        elif isinstance(node, ast.Call):
+            target = dotted_name(node.func)
+            # materialisations that freeze an ordering
+            if target in ("list", "tuple", "enumerate") and node.args:
+                yield node.args[0]
+            elif target.endswith(".join") and node.args:
+                yield node.args[0]
+
+
+@register_rule
+class OrderedIterationRule(Rule):
+    """No iteration over unordered sets where the order can escape.
+
+    A ``for`` loop (or comprehension / ``list(...)`` / ``"".join(...)``)
+    over a set literal, set comprehension, ``set()``/``frozenset()``
+    call, or ``Trace.tags()`` result has hash order; on the wire or in a
+    trace that is nondeterminism.  Wrap the expression in ``sorted()``.
+    """
+
+    rule_id = "REPRO103"
+    name = "ordered-iteration"
+    summary = (
+        "no for-loops/comprehensions/materialisations over set "
+        "expressions; wrap in sorted() so order is canonical"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for iter_expr in _iteration_sites(module.tree):
+            if is_set_expression(iter_expr):
+                yield self.finding(
+                    module,
+                    iter_expr,
+                    "iteration over a set expression has hash order; wrap "
+                    "in sorted() before the order can reach the wire or "
+                    "the trace",
+                )

@@ -1,0 +1,155 @@
+"""SCU protocol-conformance rules (REPRO2xx).
+
+The hardware contract (paper section 2.2): DMA sends are acknowledged
+within the three-in-the-air window, receives complete only when the
+store pipeline drains, and node programs learn both *only* through the
+completion :class:`~repro.sim.core.Event` the API hands back.  A
+dropped completion event is therefore a latent halo-buffer race — the
+static sibling of what :class:`repro.analysis.sanitizer.
+HaloRaceSanitizer` catches at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, ModuleContext, Rule, register_rule
+from repro.analysis.visitor import (
+    attr_chain,
+    dropped_expression_calls,
+)
+
+#: methods that start SCU traffic and return a completion event,
+#: regardless of the receiver expression
+_SEND_FAMILY_ALWAYS = frozenset(
+    {
+        "send_buffer",
+        "recv_buffer",
+        "start_stored",
+        "start_stored_events",
+        "send_supervisor",
+    }
+)
+
+#: ambiguous method names that count only on comms-ish receivers
+#: (`api.send(...)`, `scu.recv(...)` — not `_ControlPort.send`, which is
+#: the link-level fire-and-forget control path, or arbitrary queues)
+_SEND_FAMILY_ON = {
+    "send": {"api", "scu"},
+    "recv": {"api", "scu"},
+    "global_sum": {"api", "globals"},
+    "barrier": {"api"},
+}
+
+
+@register_rule
+class SendCompletionConsumedRule(Rule):
+    """Every send-family call's completion event must be consumed.
+
+    Conservative static approximation of "every send is dominated by a
+    matching completion wait on all paths": the returned event must not
+    be discarded at the call site.  ``yield api.send(...)``, assigning
+    it, returning it, or passing it into ``wait``/``wait_any``/
+    ``all_of`` all consume it; a bare expression statement drops it —
+    the program then has *no way* to know when the DMA engine is done
+    with the buffer.
+    """
+
+    rule_id = "REPRO201"
+    name = "send-completion-consumed"
+    summary = (
+        "SCU send/recv/start_stored/supervisor calls return completion "
+        "events that must be waited on, not discarded"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for call in dropped_expression_calls(module.tree):
+            chain = attr_chain(call.func)
+            method = chain[-1]
+            base = chain[-2] if len(chain) >= 2 else None
+            applies = method in _SEND_FAMILY_ALWAYS or (
+                method in _SEND_FAMILY_ON and base in _SEND_FAMILY_ON[method]
+            )
+            if applies:
+                yield self.finding(
+                    module,
+                    call,
+                    f"completion event of {'.'.join(chain)}() is discarded; "
+                    "yield it (or hand it to wait/wait_any) so the DMA "
+                    "transfer has a completion wait on every path",
+                )
+
+
+#: always-on hardware counters: mutating them anywhere but inside the
+#: owning machine/sim units forges telemetry.  The read path is the
+#: telemetry CounterBank (pull-mode sampling).
+_COUNTER_ATTRS = frozenset(
+    {
+        "payload_words",
+        "wire_words",
+        "acks_received",
+        "acks_sent",
+        "resends",
+        "resend_requests",
+        "parity_errors",
+        "idle_hold_events",
+        "idle_held_words_total",
+        "transfers_completed",
+        "flops_charged",
+        "compute_time",
+        "kernel_flops",
+        "frames_sent",
+        "bits_sent",
+        "faults_injected",
+        "busy_seconds",
+        "read_bytes",
+        "write_bytes",
+    }
+)
+
+#: packages that own counters (hardware units + the sim substrate); the
+#: telemetry layer itself only *samples* but its test doubles may write
+_COUNTER_OWNERS = frozenset({"machine", "sim", "telemetry"})
+
+
+@register_rule
+class CounterBankOnlyRule(Rule):
+    """Hardware counters are charged only inside the owning units.
+
+    Node programs and solvers read counters through
+    ``CommsAPI.transfer_counters`` / the telemetry ``CounterBank``;
+    writing ``node.flops_charged`` (or any SCU/link counter) from the
+    physics layer would silently fork the books the
+    measured-vs-model crosscheck audits.
+    """
+
+    rule_id = "REPRO202"
+    name = "counterbank-only"
+    summary = (
+        "machine counters (payload_words, flops_charged, ...) may be "
+        "mutated only inside repro.machine / repro.sim units"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if module.package in _COUNTER_OWNERS:
+            return
+        for node in ast.walk(module.tree):
+            targets: list = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in _COUNTER_ATTRS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"write to hardware counter .{target.attr} outside "
+                        "the owning machine unit; charge through the unit "
+                        "(compute(), SCU transfers) and read through the "
+                        "telemetry CounterBank",
+                    )

@@ -114,6 +114,9 @@ class CommsAPI:
         self.rank = rank
         self.node = node
         self.sim = node.sim
+        #: the machine's halo-buffer race sanitizer, or ``None`` (off).
+        #: Hook sites below guard with one attribute check, like tracing.
+        self.sanitizer = node.sanitizer
         #: physical (kind, direction) -> logical (axis, sign) for stored
         #: descriptors, so per-direction completion events can be re-keyed
         #: in the coordinates node programs think in.
@@ -143,14 +146,46 @@ class CommsAPI:
     def buffer(self, name: str) -> np.ndarray:
         return self.node.memory.get(name)
 
+    # -- sanitizer checkpoints ------------------------------------------------
+    def cpu_read(self, buffer: str) -> None:
+        """Declare a CPU read of a node-memory buffer.
+
+        A no-op (one attribute check) unless a
+        :class:`~repro.analysis.sanitizer.HaloRaceSanitizer` is attached,
+        in which case reading a buffer with an in-flight *receive* is
+        flagged as a race (the data has not landed on real silicon).
+        """
+        san = self.sanitizer
+        if san is not None:
+            san.cpu_read(self.node.node_id, buffer, now=self.sim.now)
+
+    def cpu_write(self, buffer: str) -> None:
+        """Declare a CPU write of a node-memory buffer.
+
+        Races with *any* in-flight DMA on the buffer (a send is still
+        reading it; a receive is still storing into it).
+        """
+        san = self.sanitizer
+        if san is not None:
+            san.cpu_write(self.node.node_id, buffer, now=self.sim.now)
+
+    def _register_logical(self, direction: int, axis: int, sign: int) -> None:
+        san = self.sanitizer
+        if san is not None:
+            san.register_logical(self.node.node_id, direction, axis, sign)
+
     # -- point-to-point ---------------------------------------------------------
     def send(self, axis: int, sign: int, descriptor: DmaDescriptor) -> Event:
         """Start a DMA send toward the logical ``(axis, sign)`` neighbour."""
-        return self.node.scu.send(self._direction(axis, sign), descriptor)
+        direction = self._direction(axis, sign)
+        self._register_logical(direction, axis, sign)
+        return self.node.scu.send(direction, descriptor)
 
     def recv(self, axis: int, sign: int, descriptor: DmaDescriptor) -> Event:
         """Post a DMA receive from the logical ``(axis, sign)`` neighbour."""
-        return self.node.scu.recv(self._direction(axis, sign), descriptor)
+        direction = self._direction(axis, sign)
+        self._register_logical(direction, axis, sign)
+        return self.node.scu.recv(direction, descriptor)
 
     def send_buffer(self, axis: int, sign: int, name: str) -> Event:
         return self.send(axis, sign, full_descriptor(self.node, name))
@@ -164,6 +199,7 @@ class CommsAPI:
     ) -> None:
         direction = self._direction(axis, sign)
         self._stored_logical[("send", direction)] = (axis, sign)
+        self._register_logical(direction, axis, sign)
         self.node.scu.store_descriptor("send", direction, descriptor, group=group)
 
     def store_recv(
@@ -171,6 +207,7 @@ class CommsAPI:
     ) -> None:
         direction = self._direction(axis, sign)
         self._stored_logical[("recv", direction)] = (axis, sign)
+        self._register_logical(direction, axis, sign)
         self.node.scu.store_descriptor("recv", direction, descriptor, group=group)
 
     def start_stored(self, group: Optional[str] = None) -> Event:

@@ -51,6 +51,11 @@ class QCDOCMachine:
     trace_maxlen:
         When tracing, bound the trace to a ring buffer of this many
         records (long-run telemetry without unbounded memory).
+    sanitizer:
+        Attach a :class:`repro.analysis.sanitizer.HaloRaceSanitizer`
+        that shadow-tracks DMA buffer ownership and flags premature CPU
+        reads/writes of in-flight halo buffers.  Off (``None``) by
+        default with the same one-attribute-check cost model as tracing.
     """
 
     def __init__(
@@ -62,11 +67,17 @@ class QCDOCMachine:
         seed: int = 0,
         trace: bool = False,
         trace_maxlen: Optional[int] = None,
+        sanitizer: Optional["HaloRaceSanitizer"] = None,
     ):
         self.config = config
         self.asic = config.asic
         self.sim = Simulator()
         self.trace = Trace(self.sim, maxlen=trace_maxlen) if trace else None
+        #: machine-wide halo-buffer race sanitizer (see
+        #: :mod:`repro.analysis.sanitizer`); ``None`` = off, and every hook
+        #: site below costs exactly one attribute check — the same
+        #: discipline as :attr:`trace`.
+        self.sanitizer = sanitizer
         self.topology = TorusTopology(config.dims)
         self.nodes: Dict[int, Node] = {
             i: Node(
@@ -76,6 +87,7 @@ class QCDOCMachine:
                 trace=self.trace,
                 word_batch=word_batch,
                 compute_efficiency=compute_efficiency,
+                sanitizer=sanitizer,
             )
             for i in range(self.topology.n_nodes)
         }

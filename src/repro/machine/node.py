@@ -133,6 +133,7 @@ class Node:
         trace: Optional[Trace] = None,
         word_batch: int = 1,
         compute_efficiency: float = 1.0,
+        sanitizer: Optional["HaloRaceSanitizer"] = None,
     ):
         self.sim = sim
         self.asic = asic
@@ -146,8 +147,12 @@ class Node:
             memory_write=self.memory.write_words,
             trace=trace,
             word_batch=word_batch,
+            sanitizer=sanitizer,
         )
         self.trace = trace
+        #: the halo-buffer race sanitizer shared with :attr:`scu` (``None``
+        #: when off — hook sites guard with a single attribute check)
+        self.sanitizer = sanitizer
         self.compute_efficiency = compute_efficiency
         self.flops_charged = 0.0
         self.compute_time = 0.0

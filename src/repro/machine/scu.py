@@ -389,6 +389,7 @@ class SCU:
         memory_write: Callable[[str, np.ndarray, np.ndarray], None],
         trace: Optional[Trace] = None,
         word_batch: int = 1,
+        sanitizer: Optional["HaloRaceSanitizer"] = None,
     ):
         self.sim = sim
         self.asic = asic
@@ -396,6 +397,9 @@ class SCU:
         self.memory_read = memory_read
         self.memory_write = memory_write
         self.trace = trace
+        #: optional :class:`repro.analysis.sanitizer.HaloRaceSanitizer`;
+        #: ``None`` keeps the hot path to a single attribute check.
+        self.sanitizer = sanitizer
         self.out_links: Dict[int, SerialLink] = {}
         self.send_units: Dict[int, SendUnit] = {}
         self.recv_units: Dict[int, RecvUnit] = {}
@@ -460,11 +464,31 @@ class SCU:
     def send(self, direction: int, descriptor: DmaDescriptor) -> Event:
         """Start a zero-copy DMA send of the described local memory."""
         words = self.memory_read(descriptor.buffer, descriptor.indices())
-        return self._send(direction).start(words)
+        done = self._send(direction).start(words)
+        san = self.sanitizer
+        if san is not None:
+            claim = san.dma_begin(
+                self.node_id, descriptor.buffer, "send", direction, len(words)
+            )
+            # registered at start time, so the release runs before any
+            # process that later waits on ``done`` resumes (FIFO callbacks)
+            done.add_callback(lambda _e, c=claim, s=san: s.dma_end(c))
+        return done
 
     def recv(self, direction: int, descriptor: DmaDescriptor) -> Event:
         """Post a receive destination (may be before or after the send)."""
-        return self._recv(direction).post(descriptor)
+        done = self._recv(direction).post(descriptor)
+        san = self.sanitizer
+        if san is not None:
+            claim = san.dma_begin(
+                self.node_id,
+                descriptor.buffer,
+                "recv",
+                direction,
+                descriptor.total_words,
+            )
+            done.add_callback(lambda _e, c=claim, s=san: s.dma_end(c))
+        return done
 
     # -- persistent descriptors (paper section 3.3) ---------------------------
     def store_descriptor(

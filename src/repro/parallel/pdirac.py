@@ -79,6 +79,7 @@ import numpy as np
 from repro.comms.api import CommsAPI, face_descriptor, full_descriptor
 from repro.fermions.flops import (
     CLOVER_TERM_FLOPS,
+    DIAG_AXPY_FLOPS,
     HALF_SPINOR_WORDS,
     MATVEC_SU3,
     SPINOR_WORDS,
@@ -183,6 +184,12 @@ class DistributedWilsonContext:
                 f"(r -+ gamma) has full rank at r={self.r})"
             )
         self.compress = bool(compress)
+        #: test seam: when set, called as ``hook(self)`` immediately after
+        #: the overlapped pipeline fires its "early" transfer group — i.e.
+        #: while all receives are in flight.  The race-sanitizer tests use
+        #: it to inject a deterministic premature halo read; ``None``
+        #: (default) costs one attribute check per application.
+        self.race_injection_hook = None
 
         #: axes actually decomposed over nodes; an extent-1 logical axis
         #: keeps the whole physics axis on-tile, so its periodic wrap is
@@ -199,7 +206,7 @@ class DistributedWilsonContext:
         #: and accumulate), summed over all axes: the hopping total minus
         #: the 2*ndim SU(3) matvecs charged where the rows are computed.
         self.merge_flops_per_site = (
-            self.hop_flops_per_site - 48 - 2 * ndim * MATVEC_SU3
+            self.hop_flops_per_site - DIAG_AXPY_FLOPS - 2 * ndim * MATVEC_SU3
         )
 
         mem = api.memory
@@ -288,6 +295,7 @@ class DistributedWilsonContext:
         if not self.compress:
             return
         for mu in self.comm_axes:
+            self.api.cpu_write(f"stage_fwd{mu}")
             np.copyto(
                 self.stage_fwd[mu],
                 spin_project(mu, +1, self.work[self.plans[mu].send_low]),
@@ -307,6 +315,7 @@ class DistributedWilsonContext:
         for mu in self.comm_axes:
             plan = self.plans[mu]
             high = plan.send_high
+            self.api.cpu_write(f"stage_bwd{mu}")
             if self.compress:
                 np.copyto(
                     self.stage_bwd[mu],
@@ -327,6 +336,7 @@ class DistributedWilsonContext:
         """Serialized reference path: all comms complete, then all compute."""
         g = self.geometry
         ndim = g.ndim
+        self.api.cpu_write("work")
         np.copyto(self.work, src)
 
         self._project_faces()
@@ -347,6 +357,7 @@ class DistributedWilsonContext:
                 # projected the same values, so the rows are bit-equal).
                 half = spin_project(mu, +1, self.work[g.hop(mu, +1)])
                 if mu in self.halo_fwd:
+                    self.api.cpu_read(f"halo_fwd{mu}")
                     half[plan.fill_from_fwd] = self.halo_fwd[mu]
                 fwd = cmatvec(self.links[mu], half)
                 out += spin_reconstruct(mu, +1, fwd)
@@ -355,22 +366,26 @@ class DistributedWilsonContext:
                     spin_project(mu, -1, self.work[g.hop(mu, -1)]),
                 )
                 if mu in self.halo_bwd:
+                    self.api.cpu_read(f"halo_bwd{mu}")
                     bwd[plan.fill_from_bwd] = self.halo_bwd[mu]
                 out += spin_reconstruct(mu, -1, bwd)
                 continue
             gathered = self.work[g.hop(mu, +1)]
             if mu in self.halo_fwd:
+                self.api.cpu_read(f"halo_fwd{mu}")
                 gathered[plan.fill_from_fwd] = self.halo_fwd[mu]
             fwd = cmatvec(self.links[mu], gathered)
 
             bwd = cmatvec(self.links_dagger_bwd[mu], self.work[g.hop(mu, -1)])
             if mu in self.halo_bwd:
+                self.api.cpu_read(f"halo_bwd{mu}")
                 bwd[plan.fill_from_bwd] = self.halo_bwd[mu]
 
             out += self.r * (fwd + bwd)
             out -= apply_spin_matrix(GAMMA[mu], fwd - bwd)
         yield self.api.compute(
-            self.volume * (self.hop_flops_per_site - 48), kernel="dslash"
+            self.volume * (self.hop_flops_per_site - DIAG_AXPY_FLOPS),
+            kernel="dslash",
         )
         return out
 
@@ -399,6 +414,7 @@ class DistributedWilsonContext:
         ndim = g.ndim
         v = self.volume
         api = self.api
+        api.cpu_write("work")
         np.copyto(self.work, src)
 
         # Raw halos (and all receives) hit the wire immediately; the
@@ -406,6 +422,8 @@ class DistributedWilsonContext:
         # matvec-free) projection lands; the backward staging products
         # overlap all of those transfers, then their sends start.
         pending = dict(api.start_stored_events(group="early"))
+        if self.race_injection_hook is not None:
+            self.race_injection_hook(self)
         self._project_faces()
         pending.update(api.start_stored_events(group="proj"))
         staged_sites = self._stage_products()
@@ -465,12 +483,14 @@ class DistributedWilsonContext:
                 # Raw spinors from the +mu neighbour: one matvec per face
                 # site patches the forward-hop rows.
                 rows = plan.fill_from_fwd
+                api.cpu_read(f"halo_fwd{mu}")
                 fwd_arr[mu][rows] = cmatvec(
                     self.links[mu][rows], self.halo_fwd[mu]
                 )
                 yield api.compute(len(rows) * MATVEC_SU3, kernel="dslash")
             else:
                 # Products from the -mu neighbour: pure row copy.
+                api.cpu_read(f"halo_bwd{mu}")
                 bwd_arr[mu][plan.fill_from_bwd] = self.halo_bwd[mu]
 
         boundary = self.boundary_sites
@@ -485,7 +505,7 @@ class DistributedWilsonContext:
         """Distributed ``D src`` (Wilson or clover)."""
         hop = yield from self.hopping(src)
         out = self.diag * src - 0.5 * hop
-        flops = 48 * self.volume
+        flops = DIAG_AXPY_FLOPS * self.volume
         kernel = "diag"
         if self.clover_tensor is not None:
             out += np.einsum("xsatb,xtb->xsa", self.clover_tensor, src)

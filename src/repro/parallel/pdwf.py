@@ -64,7 +64,9 @@ from repro.util.errors import ConfigError
 #: hops (the diagonal axpy is charged separately, full-volume, interior
 #: phase — it is pure elementwise work).
 MERGE5_FLOPS_PER_SITE = (
-    WILSON_DSLASH_FLOPS - 2 * 4 * MATVEC_SU3 + 2 * (12 * CADD)
+    WILSON_DSLASH_FLOPS
+    - 2 * 4 * MATVEC_SU3
+    + (DWF_5D_EXTRA_FLOPS - DIAG_AXPY_FLOPS)
 )  # = 840
 
 #: 64-bit words per (4-dimensional site, 5th-dim slice): 12 complex
@@ -194,6 +196,7 @@ class DistributedDWFContext:
         if not self.compress:
             return
         for mu in self.comm_axes:
+            self.api.cpu_write(f"stage_fwd{mu}")
             np.copyto(
                 self.stage_fwd[mu],
                 spin_project(mu, +1, self.work[:, self.plans[mu].send_low]),
@@ -204,6 +207,7 @@ class DistributedDWFContext:
         for mu in self.comm_axes:
             plan = self.plans[mu]
             high = plan.send_high
+            self.api.cpu_write(f"stage_bwd{mu}")
             if self.compress:
                 np.copyto(
                     self.stage_bwd[mu],
@@ -223,6 +227,7 @@ class DistributedDWFContext:
     def _apply_monolithic(self, src: np.ndarray):
         """Serialized reference path: all comms complete, then all compute."""
         g = self.geometry
+        self.api.cpu_write("work")
         np.copyto(self.work, src)
 
         self._project_faces()
@@ -239,6 +244,7 @@ class DistributedDWFContext:
             if self.compress:
                 half = spin_project(mu, +1, self.work[:, g.hop(mu, +1)])
                 if plan is not None:
+                    self.api.cpu_read(f"halo_fwd{mu}")
                     half[:, plan.fill_from_fwd] = self.halo_fwd[mu]
                 fwd = _cmatvec5(self.links[mu], half)
                 out -= 0.5 * spin_reconstruct(mu, +1, fwd)
@@ -247,15 +253,18 @@ class DistributedDWFContext:
                     spin_project(mu, -1, self.work[:, g.hop(mu, -1)]),
                 )
                 if plan is not None:
+                    self.api.cpu_read(f"halo_bwd{mu}")
                     bwd[:, plan.fill_from_bwd] = self.halo_bwd[mu]
                 out -= 0.5 * spin_reconstruct(mu, -1, bwd)
                 continue
             fwd = self.work[:, g.hop(mu, +1)]
             if plan is not None:
+                self.api.cpu_read(f"halo_fwd{mu}")
                 fwd[:, plan.fill_from_fwd] = self.halo_fwd[mu]
             fwd = _cmatvec5(self.links[mu], fwd)
             bwd = _cmatvec5(self.links_dagger_bwd[mu], self.work[:, g.hop(mu, -1)])
             if plan is not None:
+                self.api.cpu_read(f"halo_bwd{mu}")
                 bwd[:, plan.fill_from_bwd] = self.halo_bwd[mu]
             out -= 0.5 * ((fwd + bwd) - apply_spin_matrix(GAMMA[mu], fwd - bwd))
 
@@ -301,6 +310,7 @@ class DistributedDWFContext:
         g = self.geometry
         v = g.volume
         api = self.api
+        api.cpu_write("work")
         np.copyto(self.work, src)
 
         pending = dict(api.start_stored_events(group="early"))
@@ -357,11 +367,13 @@ class DistributedDWFContext:
             plan = self.plans[mu]
             if sign == +1:
                 rows = plan.fill_from_fwd
+                api.cpu_read(f"halo_fwd{mu}")
                 fwd_arr[mu][:, rows] = _cmatvec5(
                     self.links[mu][rows], self.halo_fwd[mu]
                 )
                 yield api.compute(self.Ls * len(rows) * MATVEC_SU3, kernel="dwf")
             else:
+                api.cpu_read(f"halo_bwd{mu}")
                 bwd_arr[mu][:, plan.fill_from_bwd] = self.halo_bwd[mu]
 
         boundary = self.boundary_sites

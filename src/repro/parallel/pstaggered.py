@@ -37,7 +37,12 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.comms.api import CommsAPI, face_descriptor, full_descriptor
-from repro.fermions.flops import MATVEC_SU3, STAGGERED_WORDS, operator_cost
+from repro.fermions.flops import (
+    MATVEC_SU3,
+    STAGGERED_DIAG_FLOPS,
+    STAGGERED_WORDS,
+    operator_cost,
+)
 from repro.fermions.staggered import staggered_phases
 from repro.lattice import stencil
 from repro.lattice.gauge import cmatvec
@@ -114,7 +119,7 @@ class DistributedStaggeredContext:
         #: plus the combine/phase arithmetic); the 2*ndim backward matvecs
         #: are charged where their rows are computed.
         self.merge_flops_per_site = (
-            self.cost.flops_per_site - 12 - 2 * ndim * MATVEC_SU3
+            self.cost.flops_per_site - STAGGERED_DIAG_FLOPS - 2 * ndim * MATVEC_SU3
         )
 
         mem = api.memory
@@ -178,6 +183,7 @@ class DistributedStaggeredContext:
             high3 = self.plan3[mu].send_high
             n1 = len(high1)
             buf = self.stage[mu]
+            self.api.cpu_write(f"stage{mu}")
             buf[:n1] = cmatvec(dagger(self.fat[mu][high1]), self.work[high1])
             buf[n1:] = cmatvec(dagger(self.long[mu][high3]), self.work[high3])
             staged += n1 + len(high3)
@@ -186,6 +192,7 @@ class DistributedStaggeredContext:
     def _hopping_monolithic(self, src: np.ndarray):
         """Serialized reference path: all comms complete, then all compute."""
         g = self.geometry
+        self.api.cpu_write("work")
         np.copyto(self.work, src)
 
         staged = self._stage_products()
@@ -200,9 +207,11 @@ class DistributedStaggeredContext:
             bwd1 = cmatvec(self.fat_dagger_bwd[mu], self.work[g.hop(mu, -1)])
             bwd3 = cmatvec(self.long_dagger_bwd3[mu], self.work[g.hop(mu, -3)])
             if mu in self.raw_halo:
+                self.api.cpu_read(f"raw_halo{mu}")
                 raw = self.raw_halo[mu]
                 fwd1[self.plan1[mu].fill_from_fwd] = raw[self.raw_layer0[mu]]
                 fwd3[self.plan3[mu].fill_from_fwd] = raw
+                self.api.cpu_read(f"prod_halo{mu}")
                 prod = self.prod_halo[mu]
                 n1 = len(self.plan1[mu].send_low)
                 bwd1[self.plan1[mu].fill_from_bwd] = prod[:n1]
@@ -211,7 +220,8 @@ class DistributedStaggeredContext:
             term += self.c_naik * (cmatvec(self.long[mu], fwd3) - bwd3)
             out += self.phases[mu][:, None] * term
         yield self.api.compute(
-            self.volume * (self.cost.flops_per_site - 12), kernel="asqtad"
+            self.volume * (self.cost.flops_per_site - STAGGERED_DIAG_FLOPS),
+            kernel="asqtad",
         )
         return out
 
@@ -238,6 +248,7 @@ class DistributedStaggeredContext:
         g = self.geometry
         v = self.volume
         api = self.api
+        api.cpu_write("work")
         np.copyto(self.work, src)
 
         pending = dict(api.start_stored_events(group="early"))
@@ -279,10 +290,12 @@ class DistributedStaggeredContext:
             if kind != "recv":
                 continue
             if sign == +1:
+                api.cpu_read(f"raw_halo{mu}")
                 raw = self.raw_halo[mu]
                 fwd1_arr[mu][self.plan1[mu].fill_from_fwd] = raw[self.raw_layer0[mu]]
                 fwd3_arr[mu][self.plan3[mu].fill_from_fwd] = raw
             else:
+                api.cpu_read(f"prod_halo{mu}")
                 prod = self.prod_halo[mu]
                 n1 = len(self.plan1[mu].send_low)
                 bwd1_arr[mu][self.plan1[mu].fill_from_bwd] = prod[:n1]
@@ -299,14 +312,14 @@ class DistributedStaggeredContext:
     def apply(self, src: np.ndarray):
         hop = yield from self.hopping(src)
         out = self.mass * src + 0.5 * hop
-        yield self.api.compute(12 * self.volume, kernel="diag")
+        yield self.api.compute(STAGGERED_DIAG_FLOPS * self.volume, kernel="diag")
         return out
 
     def apply_dagger(self, src: np.ndarray):
         """``D^+ = m - (1/2) hopping`` (anti-hermitian hopping)."""
         hop = yield from self.hopping(src)
         out = self.mass * src - 0.5 * hop
-        yield self.api.compute(12 * self.volume, kernel="diag")
+        yield self.api.compute(STAGGERED_DIAG_FLOPS * self.volume, kernel="diag")
         return out
 
     def normal(self, src: np.ndarray):

@@ -1,0 +1,463 @@
+"""reprolint regression suite (PR 4).
+
+Every rule in the catalogue gets a minimal fixture that *fires* it and
+a matching fixture that *passes* — the rule's contract, pinned.  Plus
+the framework itself: allowlist round-trip and strict parsing, engine
+determinism and parse-error reporting, the CLI's exit codes and JSON
+shape, and the gate this whole subsystem exists for — the repository's
+own ``src/`` tree lints clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Allowlist,
+    LintEngine,
+    all_rules,
+    get_rule,
+)
+from repro.analysis.allowlist import (
+    AllowEntry,
+    find_default_allowlist,
+    format_allowlist,
+    parse_allowlist,
+)
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.telemetry.schema import TRACE_SCHEMA
+from repro.util.errors import ConfigError
+
+pytestmark = pytest.mark.analysis
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def lint(tmp_path, rel, source, rule_ids=None, allowlist=None):
+    """Lint one fixture file at tree-relative path ``rel``."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    rules = (
+        [get_rule(r) for r in rule_ids] if rule_ids is not None else all_rules()
+    )
+    engine = LintEngine(rules=rules, allowlist=allowlist or Allowlist.empty())
+    return engine.run([tmp_path])
+
+
+def rules_fired(result):
+    return sorted({f.rule for f in result.findings})
+
+
+# ---------------------------------------------------------------------------
+# rule catalogue: one firing + one passing fixture per rule
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismRules:
+    def test_wallclock_fires(self, tmp_path):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        result = lint(tmp_path, "repro/sim/x.py", src, ["REPRO101"])
+        assert rules_fired(result) == ["REPRO101"]
+        assert "time.time" in result.findings[0].message
+
+    def test_environ_read_fires(self, tmp_path):
+        src = "import os\n\ndef f():\n    return os.environ['HOME']\n"
+        result = lint(tmp_path, "repro/sim/x.py", src, ["REPRO101"])
+        assert rules_fired(result) == ["REPRO101"]
+
+    def test_sim_now_passes(self, tmp_path):
+        src = "def f(sim):\n    return sim.now\n"
+        result = lint(tmp_path, "repro/sim/x.py", src, ["REPRO101"])
+        assert result.clean
+
+    def test_global_rng_fires(self, tmp_path):
+        src = (
+            "import random\n"
+            "import numpy as np\n\n"
+            "def f():\n"
+            "    return random.random() + np.random.default_rng().random()\n"
+        )
+        result = lint(tmp_path, "repro/lattice/x.py", src, ["REPRO102"])
+        # the import AND the np.random call are both flagged
+        assert len(result.findings) >= 2
+        assert rules_fired(result) == ["REPRO102"]
+
+    def test_rng_home_module_exempt(self, tmp_path):
+        src = "import numpy as np\n\ndef f(s):\n    return np.random.default_rng(s)\n"
+        result = lint(tmp_path, "repro/util/rng.py", src, ["REPRO102"])
+        assert result.clean
+
+    def test_rng_stream_passes(self, tmp_path):
+        src = (
+            "from repro.util.rng import rng_stream\n\n"
+            "def f(seed):\n    return rng_stream(seed, 'halo').random()\n"
+        )
+        result = lint(tmp_path, "repro/lattice/x.py", src, ["REPRO102"])
+        assert result.clean
+
+    def test_set_iteration_fires(self, tmp_path):
+        src = (
+            "def f(xs):\n"
+            "    for x in {1, 2, 3}:\n"
+            "        yield x\n"
+            "    return list(set(xs))\n"
+        )
+        result = lint(tmp_path, "repro/comms/x.py", src, ["REPRO103"])
+        assert len(result.findings) == 2  # the for-loop and the list(set())
+        assert rules_fired(result) == ["REPRO103"]
+
+    def test_sorted_set_passes(self, tmp_path):
+        src = (
+            "def f(xs):\n"
+            "    for x in sorted({1, 2, 3}):\n"
+            "        yield x\n"
+            "    return list(sorted(set(xs)))\n"
+        )
+        result = lint(tmp_path, "repro/comms/x.py", src, ["REPRO103"])
+        assert result.clean
+
+
+class TestProtocolRules:
+    def test_dropped_completion_fires(self, tmp_path):
+        src = (
+            "def program(api):\n"
+            "    api.send_buffer(0, 1, 'face')\n"
+            "    api.start_stored()\n"
+        )
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO201"])
+        assert len(result.findings) == 2
+        assert "completion event" in result.findings[0].message
+
+    def test_consumed_completion_passes(self, tmp_path):
+        src = (
+            "def program(api):\n"
+            "    yield api.send_buffer(0, 1, 'face')\n"
+            "    done = api.start_stored()\n"
+            "    yield api.wait([done])\n"
+        )
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO201"])
+        assert result.clean
+
+    def test_control_port_send_not_flagged(self, tmp_path):
+        # link-level fire-and-forget control path: not a completion-event API
+        src = "def f(port):\n    port.send('ACK', 3)\n"
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO201"])
+        assert result.clean
+
+    def test_counter_write_outside_owner_fires(self, tmp_path):
+        src = "def f(node):\n    node.flops_charged += 100\n"
+        result = lint(tmp_path, "repro/solvers/x.py", src, ["REPRO202"])
+        assert rules_fired(result) == ["REPRO202"]
+        assert "flops_charged" in result.findings[0].message
+
+    def test_counter_write_inside_owner_passes(self, tmp_path):
+        src = "def f(self):\n    self.flops_charged += 100\n"
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO202"])
+        assert result.clean
+
+
+class TestAccountingRules:
+    def test_magic_flop_constant_fires(self, tmp_path):
+        src = "def f(api, v):\n    yield api.compute(1320 * v, kernel='dslash')\n"
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO301"])
+        assert rules_fired(result) == ["REPRO301"]
+        assert "WILSON_DSLASH_FLOPS" in result.findings[0].message
+
+    def test_magic_flops_assignment_fires(self, tmp_path):
+        src = "def f(self):\n    self.merge_flops_per_site = 48 + 3\n"
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO301"])
+        assert rules_fired(result) == ["REPRO301"]
+
+    def test_named_constant_passes(self, tmp_path):
+        src = (
+            "from repro.fermions.flops import WILSON_DSLASH_FLOPS\n\n"
+            "def f(api, v):\n"
+            "    yield api.compute(WILSON_DSLASH_FLOPS * v, kernel='dslash')\n"
+        )
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO301"])
+        assert result.clean
+
+    def test_cost_sheet_itself_exempt(self, tmp_path):
+        src = "WILSON_DSLASH_FLOPS = 1320\nDIAG_AXPY_FLOPS = 48\n"
+        result = lint(tmp_path, "repro/fermions/flops.py", src, ["REPRO301"])
+        assert result.clean
+
+    def test_untagged_compute_fires_in_parallel(self, tmp_path):
+        src = "def f(api, n):\n    yield api.compute(n)\n"
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO302"])
+        assert rules_fired(result) == ["REPRO302"]
+
+    def test_untagged_compute_allowed_outside_parallel(self, tmp_path):
+        src = "def f(api, n):\n    yield api.compute(n)\n"
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO302"])
+        assert result.clean
+
+    def test_tagged_compute_passes(self, tmp_path):
+        src = "def f(api, n):\n    yield api.compute(n, kernel='dslash')\n"
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO302"])
+        assert result.clean
+
+    def test_unregistered_trace_tag_fires(self, tmp_path):
+        src = "def f(trace):\n    trace.emit('totally.bogus', node=0)\n"
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO303"])
+        assert rules_fired(result) == ["REPRO303"]
+        assert "unregistered" in result.findings[0].message
+
+    def test_trace_field_drift_fires(self, tmp_path):
+        tag, fields = sorted(TRACE_SCHEMA.items())[0]
+        kwargs = ", ".join(f"{f}=0" for f in sorted(fields))
+        drifted = kwargs + ", extra_field=1"
+        src = f"def f(trace):\n    trace.emit({tag!r}, {drifted})\n"
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO303"])
+        assert rules_fired(result) == ["REPRO303"]
+        assert "field drift" in result.findings[0].message
+
+    def test_registered_tag_exact_fields_passes(self, tmp_path):
+        tag, fields = sorted(TRACE_SCHEMA.items())[0]
+        kwargs = ", ".join(f"{f}=0" for f in sorted(fields))
+        src = f"def f(trace):\n    trace.emit({tag!r}, {kwargs})\n"
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO303"])
+        assert result.clean
+
+    def test_dead_registry_entries_flagged_on_full_scan(self, tmp_path):
+        # a scan that covers the schema module itself audits for dead
+        # entries; this fixture tree emits nothing, so every entry is dead
+        lintable = "TRACE_SCHEMA = {}\n"
+        (tmp_path / "repro" / "telemetry").mkdir(parents=True)
+        (tmp_path / "repro" / "telemetry" / "schema.py").write_text(lintable)
+        result = lint(
+            tmp_path, "repro/machine/x.py", "def f():\n    pass\n", ["REPRO303"]
+        )
+        dead = [f for f in result.findings if "dead registry entry" in f.message]
+        assert len(dead) == len(TRACE_SCHEMA)
+
+
+class TestHygieneRules:
+    def test_mutable_default_fires(self, tmp_path):
+        src = "def f(xs=[], *, m={}):\n    return xs, m\n"
+        result = lint(tmp_path, "repro/util/x.py", src, ["REPRO401"])
+        assert len(result.findings) == 2
+        assert rules_fired(result) == ["REPRO401"]
+
+    def test_none_default_passes(self, tmp_path):
+        src = "def f(xs=None):\n    return list(xs or ())\n"
+        result = lint(tmp_path, "repro/util/x.py", src, ["REPRO401"])
+        assert result.clean
+
+    def test_bare_except_fires(self, tmp_path):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except:\n"
+            "        return 0\n"
+        )
+        result = lint(tmp_path, "repro/util/x.py", src, ["REPRO402"])
+        assert rules_fired(result) == ["REPRO402"]
+
+    def test_silent_exception_pass_fires(self, tmp_path):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        result = lint(tmp_path, "repro/util/x.py", src, ["REPRO402"])
+        assert rules_fired(result) == ["REPRO402"]
+
+    def test_named_except_passes(self, tmp_path):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except ValueError:\n"
+            "        raise\n"
+        )
+        result = lint(tmp_path, "repro/util/x.py", src, ["REPRO402"])
+        assert result.clean
+
+    def test_upward_layer_import_fires(self, tmp_path):
+        src = "from repro.fermions.wilson import WilsonDirac\n"
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO403"])
+        assert rules_fired(result) == ["REPRO403"]
+        assert "cross-layer" in result.findings[0].message
+
+    def test_function_local_upcall_passes(self, tmp_path):
+        src = (
+            "def report(self):\n"
+            "    from repro.telemetry.report import machine_report\n"
+            "    return machine_report(self)\n"
+        )
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO403"])
+        assert result.clean
+
+    def test_downward_import_passes(self, tmp_path):
+        src = "from repro.sim.core import Simulator\nfrom repro.util import units\n"
+        result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO403"])
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# framework: allowlist, engine, CLI
+# ---------------------------------------------------------------------------
+
+
+class TestAllowlist:
+    def test_round_trip(self):
+        entries = [
+            AllowEntry("REPRO301", "repro/a.py", "legacy constant, issue #7"),
+            AllowEntry("REPRO403", "repro/b.py", "facade upcall"),
+        ]
+        text = format_allowlist(entries)
+        assert parse_allowlist(text) == entries
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(ConfigError):
+            parse_allowlist("REPRO301 repro/a.py\n")  # no justification
+        with pytest.raises(ConfigError):
+            parse_allowlist("REPRO301 repro/a.py ::   \n")  # empty reason
+        with pytest.raises(ConfigError):
+            parse_allowlist("REPRO301 :: missing the path\n")
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\nREPRO101  repro/x.py  :: reason\n"
+        assert len(parse_allowlist(text)) == 1
+
+    def test_suppression_is_per_rule_and_file(self, tmp_path):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        allow = Allowlist([AllowEntry("REPRO101", "repro/sim/x.py", "fixture")])
+        result = lint(tmp_path, "repro/sim/x.py", src, ["REPRO101"], allow)
+        assert result.clean
+        assert len(result.suppressed) == 1
+        # a different rule id in the same file is NOT suppressed
+        wrong = Allowlist([AllowEntry("REPRO999", "repro/sim/x.py", "fixture")])
+        result = lint(tmp_path, "repro/sim/x.py", src, ["REPRO101"], wrong)
+        assert not result.clean
+
+    def test_unused_entries_reported(self, tmp_path):
+        allow = Allowlist([AllowEntry("REPRO101", "repro/never.py", "stale")])
+        result = lint(tmp_path, "repro/sim/x.py", "x = 1\n", ["REPRO101"], allow)
+        assert result.unused_allow_entries(allow) == [
+            "REPRO101  repro/never.py  :: stale"
+        ]
+
+    def test_find_default_allowlist_walks_up(self, tmp_path):
+        (tmp_path / ".reprolint-allow").write_text("")
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        assert find_default_allowlist(nested) == tmp_path / ".reprolint-allow"
+
+
+class TestEngine:
+    def test_rule_catalogue_is_complete(self):
+        ids = [cls.rule_id for cls in all_rules()]
+        assert ids == sorted(ids)
+        assert {
+            "REPRO101",
+            "REPRO102",
+            "REPRO103",
+            "REPRO201",
+            "REPRO202",
+            "REPRO301",
+            "REPRO302",
+            "REPRO303",
+            "REPRO401",
+            "REPRO402",
+            "REPRO403",
+        } <= set(ids)
+        for cls in all_rules():
+            assert cls.name and cls.summary
+
+    def test_findings_sorted_deterministically(self, tmp_path):
+        for name in ("b.py", "a.py"):
+            (tmp_path / name).write_text(
+                "import time\nx = time.time()\ny = time.time()\n"
+            )
+        engine = LintEngine(rules=[get_rule("REPRO101")])
+        result = engine.run([tmp_path])
+        keys = [(f.path, f.line) for f in result.findings]
+        assert keys == sorted(keys)
+
+    def test_syntax_error_reported_not_crashing(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def f(:\n")
+        result = LintEngine(rules=[]).run([tmp_path])
+        assert not result.clean
+        assert result.parse_errors[0].rule == "REPRO000"
+
+
+class TestCLI:
+    def test_exit_clean_on_clean_file(self, tmp_path, capsys):
+        f = tmp_path / "ok.py"
+        f.write_text("x = 1\n")
+        assert main([str(f), "--no-allowlist"]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_findings_on_violation(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("import time\nx = time.time()\n")
+        assert main([str(f), "--no-allowlist"]) == EXIT_FINDINGS
+        assert "REPRO101" in capsys.readouterr().out
+
+    def test_exit_usage_on_missing_path(self, capsys):
+        assert main([]) == EXIT_USAGE
+        assert main(["/no/such/path-xyz"]) == EXIT_USAGE
+        assert main(["--select", "NOPE999", "."]) == EXIT_USAGE
+        capsys.readouterr()
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("import time\nx = time.time()\n")
+        # selecting an unrelated rule: the wallclock call is not reported
+        assert main([str(f), "--select", "REPRO402", "--no-allowlist"]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "REPRO101" in out and "REPRO403" in out
+
+    def test_json_format_schema(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("import time\nx = time.time()\n")
+        assert main([str(f), "--format", "json", "--no-allowlist"]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "files_scanned",
+            "findings",
+            "suppressed",
+            "parse_errors",
+            "clean",
+            "unused_allowlist_entries",
+        }
+        assert payload["clean"] is False
+        finding = payload["findings"][0]
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert finding["rule"] == "REPRO101"
+
+    def test_allowlist_flag(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("import time\nx = time.time()\n")
+        allow = tmp_path / "allow"
+        allow.write_text("REPRO101  bad.py  :: fixture\n")
+        assert main([str(f), "--allowlist", str(allow)]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "1 suppressed" in out
+
+
+# ---------------------------------------------------------------------------
+# the gate: the repository's own source tree lints clean
+# ---------------------------------------------------------------------------
+
+
+def test_source_tree_is_clean():
+    allow_file = find_default_allowlist(SRC)
+    allowlist = Allowlist.load(allow_file) if allow_file else Allowlist.empty()
+    assert len(allowlist) <= 10, "allowlist grew beyond the agreed budget"
+    result = LintEngine(allowlist=allowlist).run([SRC.parent])
+    assert result.parse_errors == []
+    assert [f.format() for f in result.findings] == []
+    # and the allowlist carries no stale entries
+    assert result.unused_allow_entries(allowlist) == []

@@ -25,6 +25,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.rules.accounting import TraceSchemaRule
+from repro.analysis.rules.accounting import emit_call_sites as _emit_in_tree
 from repro.sim.trace import Trace, TraceRecord
 from repro.telemetry.chrometrace import chrome_trace_events, export_chrome_trace
 from repro.telemetry.schema import (
@@ -42,31 +44,15 @@ SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 def emit_call_sites():
     """Every ``*.emit(<literal tag>, key=...)`` call in the source tree.
 
-    Yields ``(file, lineno, tag, field_names)``.  Calls whose tag is not
-    a string literal (the namespace forwarder in ``sim/trace.py``) are
-    skipped — they re-emit somebody else's literal tag.
+    Yields ``(file, lineno, tag, field_names)``.  The AST scan itself
+    lives in :func:`repro.analysis.rules.accounting.emit_call_sites`
+    (the REPRO303 rule) — migrated there from this module so the lint
+    gate and this suite share one implementation.
     """
     for path in sorted(SRC.rglob("*.py")):
         tree = ast.parse(path.read_text(), filename=str(path))
-        for node in ast.walk(tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "emit"
-            ):
-                continue
-            if not node.args:
-                continue
-            tag_node = node.args[0]
-            if not (
-                isinstance(tag_node, ast.Constant)
-                and isinstance(tag_node.value, str)
-            ):
-                continue  # dynamic tag (namespace forwarder)
-            fields = frozenset(
-                kw.arg for kw in node.keywords if kw.arg is not None
-            )
-            yield path.relative_to(SRC), node.lineno, tag_node.value, fields
+        for call, tag, fields in _emit_in_tree(tree):
+            yield path.relative_to(SRC), call.lineno, tag, fields
 
 
 # ---------------------------------------------------------------------------
@@ -119,6 +105,18 @@ def test_every_registered_tag_is_emitted_somewhere():
     emitted = {tag for _, _, tag, _ in emit_call_sites()}
     dead = sorted(set(TRACE_SCHEMA) - emitted)
     assert dead == [], f"registered but never emitted: {dead}"
+
+
+def test_reprolint_trace_rule_agrees():
+    """The full REPRO303 rule (the lint-gate implementation) is clean
+    over the source tree — same verdict as the fine-grained tests."""
+    from repro.analysis.allowlist import Allowlist
+    from repro.analysis.engine import LintEngine
+
+    engine = LintEngine(rules=[TraceSchemaRule], allowlist=Allowlist.empty())
+    result = engine.run([SRC])
+    assert result.parse_errors == []
+    assert [f.format() for f in result.findings] == []
 
 
 def test_validate_record_flags_violations():
