@@ -2,7 +2,7 @@ PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test protocol overlap bench bench-smoke verify verify-telemetry \
-        lint verify-sanitizer
+        lint verify-sanitizer verify-faults
 
 ## tier-1: the full unit/integration/property suite
 test:
@@ -17,7 +17,7 @@ protocol:
 overlap:
 	$(PYTEST) tests/test_overlap_bitexact.py -q
 
-## paper-claim benchmarks (E1..E14)
+## paper-claim benchmarks (E1..E15)
 bench:
 	$(PYTEST) benchmarks -q
 
@@ -51,7 +51,12 @@ lint:
 verify-sanitizer:
 	$(PYTEST) tests/test_race_sanitizer.py -q
 
+## hard-fault tolerance: watchdog detection, partition abort, remap,
+## bit-identical checkpoint resume (kill a cable / a node mid-CG)
+verify-faults:
+	$(PYTEST) -m faults -q
+
 ## what CI gates a merge on: tier-1 + overlap bit-exactness + static
-## analysis + the race sanitizer
-verify: test overlap lint verify-sanitizer
-	@echo "verify: tier-1 + overlap + lint + sanitizer green"
+## analysis + the race sanitizer + the hard-fault suite
+verify: test overlap lint verify-sanitizer verify-faults
+	@echo "verify: tier-1 + overlap + lint + sanitizer + faults green"

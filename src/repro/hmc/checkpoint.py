@@ -1,0 +1,105 @@
+"""Checkpoint/restart for the pure-gauge HMC evolution.
+
+Because every random draw in :class:`repro.hmc.hmc.HMC` comes from a
+named stream keyed by the trajectory index (``(seed, "momenta/<k>")``,
+``(seed, "metropolis/<k>")``), the full evolution is a pure function of
+``(initial configuration, seed)``: an evolution killed after trajectory
+``k`` and restarted from a snapshot of ``(links, k, history)`` replays
+trajectories ``k, k+1, ...`` with *exactly* the random numbers the
+uninterrupted run would have drawn — the resumed chain is identical in
+all bits (the paper's section-4 verification criterion, extended to the
+companion papers' fail/remap/resume operating mode).
+
+The snapshot deliberately excludes the integrator/step parameters: those
+belong to the job script, and restoring onto a differently-configured
+driver is a *user* error the restore guards against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hmc.hmc import HMC, TrajectoryResult
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class HMCCheckpoint:
+    """One host-side snapshot of an HMC evolution.
+
+    Frozen and deep-copied on both save and restore, so later evolution
+    (or a crashing run mutating its gauge field mid-trajectory) can never
+    corrupt a snapshot already taken.
+    """
+
+    links: np.ndarray
+    trajectory_index: int
+    seed: int
+    history: List[TrajectoryResult] = field(default_factory=list)
+
+    @classmethod
+    def save(cls, hmc: HMC) -> "HMCCheckpoint":
+        """Snapshot the driver between trajectories."""
+        return cls(
+            links=np.array(hmc.gauge.links, copy=True),
+            trajectory_index=int(hmc.trajectory_index),
+            seed=int(hmc.seed),
+            history=list(hmc.history),
+        )
+
+    def restore(self, hmc: HMC) -> HMC:
+        """Load this snapshot into a (fresh or reused) driver in place.
+
+        The driver must use the same root seed — restoring a seed-``a``
+        snapshot into a seed-``b`` evolution would silently splice two
+        different Markov chains.
+        """
+        if int(hmc.seed) != self.seed:
+            raise ConfigError(
+                f"checkpoint was taken at seed {self.seed}, driver has "
+                f"seed {hmc.seed}; refusing to splice chains"
+            )
+        hmc.gauge.links = np.array(self.links, copy=True)
+        hmc.trajectory_index = self.trajectory_index
+        hmc.history = list(self.history)
+        return hmc
+
+    def __repr__(self) -> str:
+        return (
+            f"HMCCheckpoint(trajectory={self.trajectory_index}, "
+            f"seed={self.seed}, {len(self.history)} results)"
+        )
+
+
+def run_with_checkpoints(
+    hmc: HMC,
+    n_trajectories: int,
+    every: int = 5,
+    reunitarise_every: int = 10,
+) -> tuple:
+    """Run ``n_trajectories``, snapshotting every ``every`` trajectories.
+
+    Returns ``(results, checkpoints)`` where ``checkpoints[-1]`` is the
+    final state — the caller (e.g. the resilience harness or a fault
+    campaign) can restart from any element and replay the tail
+    bit-identically.
+    """
+    if every < 1:
+        raise ConfigError(f"checkpoint cadence must be >= 1, got {every}")
+    checkpoints: List[HMCCheckpoint] = [HMCCheckpoint.save(hmc)]
+    results: List[TrajectoryResult] = []
+    for _ in range(n_trajectories):
+        results.append(hmc.trajectory())
+        # Phase-align on the *absolute* trajectory index (not the loop
+        # counter): a run resumed from a checkpoint then reunitarises and
+        # snapshots at exactly the same points as the uninterrupted run,
+        # which is what makes the resumed chain bit-identical.
+        done = hmc.trajectory_index
+        if reunitarise_every and done % reunitarise_every == 0:
+            hmc.gauge.reunitarise()
+        if done % every == 0 or len(results) == n_trajectories:
+            checkpoints.append(HMCCheckpoint.save(hmc))
+    return results, checkpoints

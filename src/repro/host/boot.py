@@ -34,6 +34,8 @@ RUN_KERNEL_BLOCKS = 98
 LOADER_UDP_PORT = 5001
 #: UDP port for node->host status/RPC traffic
 STATUS_UDP_PORT = 5002
+#: UDP port of the run kernel's RPC endpoint (health pings, job control)
+RPC_UDP_PORT = 5003
 
 #: time the boot kernel spends on "basic hardware tests of the ASIC and
 #: attached DRAM" (memory march over a test region)
@@ -69,11 +71,17 @@ class NodeBootAgent:
         node_id: int,
         fabric: EthernetFabric,
         hw_ok: bool = True,
+        silent: bool = False,
     ):
         self.sim = sim
         self.node_id = node_id
         self.fabric = fabric
         self.hw_ok = hw_ok  # injectable hardware fault for status tests
+        #: a *silent* node is electrically absent (dead daughterboard or a
+        #: mid-run power loss): it drops every datagram — even JTAG, which
+        #: otherwise works from power-on — and never replies.  The host can
+        #: only detect it by timeout, exactly as on the real service network.
+        self.silent = silent
         self.jtag = EthernetJtagController(node_id)
         self.jtag.on_start = self._boot_kernel_entry
         self.state = BootState.RESET
@@ -84,13 +92,16 @@ class NodeBootAgent:
 
     # -- datagram dispatch -----------------------------------------------------
     def _on_datagram(self, dgram: UdpDatagram) -> None:
+        if self.silent:
+            return  # dead hardware: nothing listens on any port
         if dgram.port == JTAG_UDP_PORT:
             # Hardware path: works from power-on, no software involved.
             self.report.jtag_packets += 1
             self.jtag.handle_datagram(dgram)
         elif dgram.port == LOADER_UDP_PORT:
             self._on_loader_packet(dgram)
-        # other ports belong to the run kernel's socket layer (qdaemon RPC)
+        elif dgram.port == RPC_UDP_PORT:
+            self._on_rpc(dgram)
 
     # -- stage 1: boot kernel -----------------------------------------------------
     def _boot_kernel_entry(self, icache: Dict[int, object]) -> None:
@@ -122,7 +133,19 @@ class NodeBootAgent:
                     f"run-kernel-incomplete:{len(self._run_blocks)}"
                 )
 
+    # -- run-kernel RPC ---------------------------------------------------------
+    def _on_rpc(self, dgram: UdpDatagram) -> None:
+        """Health-check RPC: only the run kernel answers (section 3.1 —
+        "all communication ... is done via remote procedure calls")."""
+        if self.state != BootState.RUN_KERNEL:
+            return  # no run kernel, no RPC server
+        kind, nonce = dgram.payload
+        if kind == "ping":
+            self._send_status(f"rpc-ok:{nonce}")
+
     def _send_status(self, text: str) -> None:
+        if self.silent:
+            return  # dead hardware transmits nothing
         self.fabric.send(
             UdpDatagram(
                 src=self.node_id,

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.host.boot import (
     BOOT_KERNEL_BLOCKS,
     LOADER_UDP_PORT,
+    RPC_UDP_PORT,
     RUN_KERNEL_BLOCKS,
     STATUS_UDP_PORT,
     BootState,
@@ -27,10 +28,11 @@ from repro.host.boot import (
 )
 from repro.host.ethernet import EthernetFabric, UdpDatagram
 from repro.host.jtag import JTAG_UDP_PORT, JtagCommand, JtagOp
+from repro.host.remap import find_healthy_partition, partition_is_healthy
 from repro.machine.machine import QCDOCMachine
 from repro.machine.topology import Partition
 from repro.sim.core import Event
-from repro.util.errors import MachineError
+from repro.util.errors import DegradedMachineError, MachineError
 
 
 @dataclass
@@ -52,6 +54,14 @@ class Qdaemon:
         The :class:`QCDOCMachine` being managed.
     faulty_nodes:
         Node ids whose hardware self-test fails (status-tracking tests).
+    silent_nodes:
+        Node ids that are electrically dead from power-on: they answer
+        nothing, not even JTAG, so the daemon only learns of them when
+        their boot conversation times out.
+    boot_timeout:
+        Host-side deadline on each node's boot conversation.  Without it
+        a single silent node would hang :meth:`boot` forever — the seed
+        bug this parameter fixes.
     """
 
     def __init__(
@@ -59,15 +69,23 @@ class Qdaemon:
         machine: QCDOCMachine,
         host_links: int = 4,
         faulty_nodes: Sequence[int] = (),
+        silent_nodes: Sequence[int] = (),
+        boot_timeout: float = 50e-3,
     ):
         self.machine = machine
         self.sim = machine.sim
+        self.boot_timeout = float(boot_timeout)
         self.fabric = EthernetFabric(
             self.sim, machine.n_nodes, host_links=host_links
         )
+        silent = set(silent_nodes)
         self.agents: Dict[int, NodeBootAgent] = {
             i: NodeBootAgent(
-                self.sim, i, self.fabric, hw_ok=(i not in set(faulty_nodes))
+                self.sim,
+                i,
+                self.fabric,
+                hw_ok=(i not in set(faulty_nodes)),
+                silent=(i in silent),
             )
             for i in range(machine.n_nodes)
         }
@@ -76,6 +94,12 @@ class Qdaemon:
         self._job_counter = 0
         self.output_log: List[Tuple[float, str]] = []
         self.booted = False
+        #: hardware-problem registry (section 3.1 "status of the nodes,
+        #: including hardware problems"): node id -> first failure reason
+        self.failed: Dict[int, str] = {}
+        #: cables the daemon has quarantined: sorted-unique (node, direction)
+        self.quarantined_cables: List[Tuple[int, int]] = []
+        self._ping_nonce = 0
         self.fabric.attach("host", self._on_datagram)
 
     # -- host-side receive -----------------------------------------------------
@@ -84,9 +108,27 @@ class Qdaemon:
             node_id, text = dgram.payload
             self.node_status[node_id] = text
 
+    # -- hardware-problem tracking ----------------------------------------------
+    def mark_failed(self, node_id: int, reason: str) -> None:
+        """Record a node as hardware-dead (first reason wins)."""
+        self.failed.setdefault(node_id, reason)
+        self.agents[node_id].state = BootState.FAILED
+
+    def silence_node(self, node_id: int) -> None:
+        """A node lost power mid-run: its boot agent stops answering.
+
+        Called by :meth:`repro.machine.faults.FaultSchedule._inject` for
+        ``node-dead`` events.  Deliberately does *not* mark the node
+        failed — the host has not observed anything yet.  Detection
+        happens the honest way: the next :meth:`health_check` ping sweep
+        times out and records ``"rpc-timeout"``.
+        """
+        self.agents[node_id].silent = True
+
     # -- booting ---------------------------------------------------------------
     def _boot_one(self, node_id: int):
         send = self.fabric.send
+        deadline = self.sim.now + self.boot_timeout
 
         def jtag(cmd: JtagCommand, nbytes: int = 256) -> Event:
             return send(
@@ -103,10 +145,16 @@ class Qdaemon:
             )
         yield jtag(JtagCommand(JtagOp.START))
 
-        # Wait for the boot kernel's hardware self-test verdict.
+        # Wait for the boot kernel's hardware self-test verdict — bounded:
+        # a silent node never reports, and one hung poll must not wedge
+        # the whole machine's bring-up.
         while self.node_status.get(node_id) not in ("boot-kernel-up", "hw-fail"):
+            if self.sim.now >= deadline:
+                self.mark_failed(node_id, "boot-timeout:boot-kernel")
+                return False
             yield self.sim.timeout(50e-6)
         if self.node_status[node_id] == "hw-fail":
+            self.mark_failed(node_id, "hw-fail")
             return False
 
         # Stage 2 over the standard 100 Mbit port: the run kernel.
@@ -124,6 +172,9 @@ class Qdaemon:
             UdpDatagram("host", node_id, LOADER_UDP_PORT, ("complete", -1, None), nbytes=64)
         )
         while self.node_status.get(node_id) != "run-kernel-up":
+            if self.sim.now >= deadline:
+                self.mark_failed(node_id, "boot-timeout:run-kernel")
+                return False
             yield self.sim.timeout(50e-6)
         return True
 
@@ -143,14 +194,31 @@ class Qdaemon:
         self.sim.run(until=done)
         results = {i: bool(p.value) for i, p in procs.items()}
 
-        # Run kernels collectively train the mesh links...
+        # Quarantine the mesh around electrically-dead nodes *before*
+        # training: a dead node's cables never complete the HSSL training
+        # byte exchange, and waiting on them would hang bring-up.
+        for i, agent in sorted(self.agents.items()):
+            if agent.silent:
+                self.machine.network.fail_node(i)
+        # Run kernels collectively train the (live) mesh links...
         self.sim.run(until=self.machine.network.train_all())
         self.machine._booted = True
         # ...and check the partition-interrupt functionality end to end.
-        self.machine.raise_partition_interrupt(0, 0b1)
+        healthy = self.healthy_nodes()
+        if not healthy:
+            raise DegradedMachineError(
+                requested=self.machine.topology.dims,
+                failed_nodes=self.failed_nodes(),
+                dead_links=self.machine.network.dead_links(),
+                detail="no node survived boot",
+            )
+        self.machine.raise_partition_interrupt(healthy[0], 0b1)
         self.sim.run()
+        # Only surviving nodes can present the interrupt: a node that
+        # failed boot (or is electrically dead) never will, and counting
+        # it would fail bring-up of an otherwise usable machine.
         irq_ok = all(
-            ctrl.presented_bits & 0b1 for ctrl in self.machine.interrupts.values()
+            self.machine.interrupts[i].presented_bits & 0b1 for i in healthy
         )
         if not irq_ok:
             raise MachineError("partition interrupt check failed during boot")
@@ -164,7 +232,79 @@ class Qdaemon:
         """The six-dimensional size the run kernel determines."""
         return self.machine.topology.dims
 
+    # -- health monitoring -------------------------------------------------------
+    def health_check(self) -> Dict[int, bool]:
+        """RPC-ping every non-failed node; mark the non-responders failed.
+
+        Post-boot, "all communication between the host and QCDOC is done
+        via remote procedure calls" (section 3.1) — a node that stops
+        answering its RPC port is dead as far as the host can observe.
+        The sweep drains the service network, so a missing reply is a
+        genuine timeout, not an in-flight race.
+        """
+        self._ping_nonce += 1
+        nonce = self._ping_nonce
+        candidates = [i for i in sorted(self.agents) if i not in self.failed]
+        for i in candidates:
+            self.node_status[i] = "pinged"
+            self.fabric.send(
+                UdpDatagram("host", i, RPC_UDP_PORT, ("ping", nonce), nbytes=64)
+            )
+        self.sim.run()  # drain the fabric: every reply that will come, came
+        verdict: Dict[int, bool] = {}
+        expect = f"rpc-ok:{nonce}"
+        for i in candidates:
+            ok = self.node_status.get(i) == expect
+            verdict[i] = ok
+            if not ok:
+                self.mark_failed(i, "rpc-timeout")
+        return verdict
+
+    def handle_fault(self) -> Dict[str, list]:
+        """Diagnose and contain hardware loss after a FAULT interrupt.
+
+        Reads the LINK_DOWN reports the SCU watchdogs escalated,
+        quarantines both ends of each implicated cable (a stuck-at wire
+        must not be retrained into the next allocation), RPC-sweeps for
+        dead nodes, and acknowledges the partition interrupt.  Returns a
+        diagnosis summary for the job log.
+        """
+        cables = set(self.quarantined_cables)
+        topo = self.machine.topology
+        for node, direction, _reason in self.machine.link_down_log:
+            cables.add((node, direction))
+            # the other end of the same neighbour pair carries the acks
+            neighbour = topo.neighbour_by_direction(node, direction)
+            cables.add((neighbour, topo.opposite(direction)))
+        for src, direction in sorted(cables - set(self.quarantined_cables)):
+            if self.machine.network.link_ok(src, direction):
+                self.machine.network.fail_link(src, direction, mode="dead")
+        self.quarantined_cables = sorted(cables)
+        verdict = self.health_check()
+        newly_dead = sorted(i for i, ok in verdict.items() if not ok)
+        for i in newly_dead:
+            self.machine.network.fail_node(i)
+        for ctrl in self.machine.interrupts.values():
+            ctrl.clear()
+        return {
+            "link_down": list(self.machine.link_down_log),
+            "quarantined_cables": list(self.quarantined_cables),
+            "dead_nodes": newly_dead,
+            "failed_nodes": self.failed_nodes(),
+        }
+
     # -- partition allocation ---------------------------------------------------
+    def held_nodes(self) -> List[int]:
+        """Sorted physical nodes held by active allocations."""
+        held = set()
+        for alloc in self.allocations:
+            if alloc.active:
+                held.update(
+                    alloc.partition.physical_node(r)
+                    for r in range(alloc.partition.n_nodes)
+                )
+        return sorted(held)
+
     def allocate(
         self,
         user: str,
@@ -172,8 +312,18 @@ class Qdaemon:
         origin: Optional[Sequence[int]] = None,
         extents: Optional[Sequence[int]] = None,
         require_periodic: bool = True,
+        remap: bool = True,
     ) -> Allocation:
-        """Carve out a user partition; refuses overlap with active jobs."""
+        """Carve out a user partition on *healthy* hardware.
+
+        Refuses overlap with active jobs.  If the requested placement
+        touches failed nodes or dead cables and ``remap=True`` (the
+        default), the daemon searches every placement of the same logical
+        shape for a healthy one — the companion papers' route-around-dead
+        -hardware operating mode — and raises
+        :class:`~repro.util.errors.DegradedMachineError` only when none
+        exists.  ``remap=False`` restores strict placement semantics.
+        """
         if not self.booted:
             raise MachineError("machine not booted")
         partition = self.machine.partition(
@@ -194,6 +344,23 @@ class Qdaemon:
                     f"allocation overlaps active job {alloc.job_id} "
                     f"({len(held & new_nodes)} shared nodes)"
                 )
+        unusable = set(self.failed_nodes()) | set(self.failed)
+        if not partition_is_healthy(self.machine, partition, unusable):
+            if not remap:
+                raise DegradedMachineError(
+                    requested=partition.extents,
+                    failed_nodes=sorted(unusable),
+                    dead_links=self.machine.network.dead_links(),
+                    detail="requested placement touches dead hardware "
+                    "and remap=False",
+                )
+            partition = find_healthy_partition(
+                self.machine,
+                groups,
+                partition.extents,
+                exclude_nodes=sorted(unusable | set(self.held_nodes())),
+                require_periodic=require_periodic,
+            )
         self._job_counter += 1
         alloc = Allocation(self._job_counter, user, partition)
         self.allocations.append(alloc)

@@ -1,0 +1,122 @@
+"""Remapping user partitions around dead hardware (host side).
+
+Paper section 3.1 gives the qdaemon responsibility for "keeping track of
+the status of the nodes (including hardware problems)" and for
+"allocating user partitions"; the companion papers' operating experience
+on 12,288-node machines joins the two: when a cable or daughterboard
+dies, the daemon must find a *healthy* sub-torus of the same logical
+shape and restart the job there — without moving cables, exactly the
+software-partitioning flexibility the 6-torus was designed for.
+
+The search is deliberately exhaustive and deterministic: machine
+dimensions are tiny powers of two, so enumerating candidate origins
+(axes the allocation does not span) is cheap, and a deterministic scan
+order makes fault-campaign runs reproducible.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.machine.machine import QCDOCMachine
+from repro.machine.topology import Partition
+from repro.util.errors import ConfigError, DegradedMachineError
+
+
+def partition_nodes(partition: Partition) -> List[int]:
+    """Sorted physical node ids a partition occupies."""
+    return sorted(
+        partition.physical_node(r) for r in range(partition.n_nodes)
+    )
+
+
+def partition_cables(partition: Partition) -> List[Tuple[int, int]]:
+    """Every ``(node, direction)`` wire a partition's traffic touches.
+
+    For each logical forward hop this is the send cable plus the ack wire
+    at the far end; iterating every rank covers backward hops too (a
+    rank's backward cable is its backward neighbour's forward ack wire).
+    """
+    cables: Set[Tuple[int, int]] = set()
+    topo = partition.topology
+    for rank in range(partition.n_nodes):
+        me = partition.physical_node(rank)
+        for axis, extent in enumerate(partition.logical_dims):
+            if extent == 1:
+                continue
+            d = partition.physical_direction(rank, axis, +1)
+            fwd = partition.physical_node(
+                partition.logical_neighbour(rank, axis, +1)
+            )
+            cables.add((me, d))
+            cables.add((fwd, topo.opposite(d)))
+    return sorted(cables)
+
+
+def partition_is_healthy(
+    machine: QCDOCMachine,
+    partition: Partition,
+    exclude_nodes: Iterable[int] = (),
+) -> bool:
+    """No excluded/dead node, and every wire the partition uses is usable."""
+    excluded = set(exclude_nodes)
+    if any(n in excluded for n in partition_nodes(partition)):
+        return False
+    return all(
+        machine.network.link_ok(src, d)
+        for src, d in partition_cables(partition)
+    )
+
+
+def candidate_origins(
+    dims: Sequence[int], extents: Sequence[int]
+) -> List[Tuple[int, ...]]:
+    """Deterministic (lexicographic) origins where the box can sit.
+
+    A full axis pins its origin at 0 (shifting a full periodic axis only
+    relabels nodes); a partial axis slides over every in-range offset.
+    """
+    ranges = [
+        range(1) if e == d else range(d - e + 1)
+        for e, d in zip(extents, dims)
+    ]
+    return [tuple(c) for c in product(*ranges)]
+
+
+def find_healthy_partition(
+    machine: QCDOCMachine,
+    groups: Sequence[Sequence[int]],
+    extents: Sequence[int],
+    exclude_nodes: Iterable[int] = (),
+    require_periodic: bool = True,
+) -> Partition:
+    """The first healthy placement of a logical shape, scan order fixed.
+
+    ``exclude_nodes`` carries both the daemon's failed-node registry and
+    nodes held by other active allocations.  Raises
+    :class:`~repro.util.errors.DegradedMachineError` when no placement of
+    this shape avoids the dead hardware.
+    """
+    extents = tuple(int(e) for e in extents)
+    excluded = sorted(set(exclude_nodes))
+    tried = 0
+    for origin in candidate_origins(machine.topology.dims, extents):
+        try:
+            candidate = machine.partition(
+                groups,
+                origin=origin,
+                extents=extents,
+                require_periodic=require_periodic,
+            )
+        except ConfigError:
+            continue  # shape illegal at this origin (e.g. periodicity)
+        tried += 1
+        if partition_is_healthy(machine, candidate, excluded):
+            return candidate
+    raise DegradedMachineError(
+        requested=extents,
+        failed_nodes=excluded,
+        dead_links=machine.network.dead_links(),
+        detail=f"tried {tried} placements",
+    )

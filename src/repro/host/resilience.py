@@ -1,0 +1,139 @@
+"""Fail / diagnose / remap / resume: the host-side recovery loop.
+
+This ties the PR's pieces into the operating mode the companion papers
+(hep-lat/0306023, hep-lat/0309096) describe for 12,288-node machines:
+
+1. a job runs with host-side checkpointing
+   (:class:`~repro.solvers.checkpoint.CGCheckpointStore`);
+2. a cable or node dies; the SCU watchdog detects it within
+   :attr:`~repro.machine.asic.ASICConfig.watchdog_detection_budget`,
+   escalates a LINK_DOWN supervisor word and the hard-fault partition
+   interrupt, and the machine aborts the partition cleanly
+   (:class:`~repro.util.errors.LinkDownError` surfaces to the host);
+3. the qdaemon diagnoses (:meth:`~repro.host.qdaemon.Qdaemon
+   .handle_fault`: quarantine cables, RPC-sweep for dead nodes);
+4. the job is re-allocated on a healthy sub-torus of the same logical
+   shape and resumed from the newest complete checkpoint — continuing
+   the residual history **bit-identically**, because the distributed CG's
+   global sums accumulate in canonical logical-rank order regardless of
+   which physical nodes host the ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.host.qdaemon import Allocation, Qdaemon
+from repro.lattice.gauge import GaugeField
+from repro.parallel.pcg import DistributedSolveResult, solve_on_machine
+from repro.solvers.checkpoint import CGCheckpointStore
+from repro.util.errors import FaultError, MachineError
+
+
+@dataclass
+class RecoveryEvent:
+    """One fault-and-restart cycle in a resilient run."""
+
+    time: float
+    error: str
+    diagnosis: dict
+    resumed_from: Optional[int]  # checkpoint iteration, None = cold restart
+    partition_nodes: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ResilientSolveReport:
+    """Outcome of :func:`solve_resilient`."""
+
+    result: DistributedSolveResult
+    recoveries: List[RecoveryEvent] = field(default_factory=list)
+
+    @property
+    def n_restarts(self) -> int:
+        return len(self.recoveries)
+
+
+def solve_resilient(
+    daemon: Qdaemon,
+    gauge: GaugeField,
+    b: np.ndarray,
+    mass: float,
+    groups: Sequence[Sequence[int]],
+    extents: Optional[Sequence[int]] = None,
+    r: float = 1.0,
+    c_sw: Optional[float] = None,
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+    max_time: float = 10_000.0,
+    checkpoint_every: int = 10,
+    max_restarts: int = 3,
+    user: str = "resilient",
+) -> ResilientSolveReport:
+    """A Wilson/clover CGNE solve that survives permanent hardware faults.
+
+    Runs on a partition from ``daemon.allocate`` with checkpointing; on a
+    :class:`~repro.util.errors.FaultError` it diagnoses, re-allocates
+    (remapping around the dead hardware) and resumes from the newest
+    complete checkpoint, up to ``max_restarts`` times.  Raises
+    :class:`~repro.util.errors.MachineError` when the restart budget is
+    exhausted, or :class:`~repro.util.errors.DegradedMachineError` when
+    no healthy placement of the job's shape remains.
+    """
+    store = CGCheckpointStore(every=checkpoint_every)
+    recoveries: List[RecoveryEvent] = []
+    alloc: Allocation = daemon.allocate(user, groups, extents=extents)
+    resume = False
+    while True:
+        try:
+            result = solve_on_machine(
+                daemon.machine,
+                alloc.partition,
+                gauge,
+                b,
+                mass,
+                r=r,
+                c_sw=c_sw,
+                tol=tol,
+                maxiter=maxiter,
+                max_time=max_time,
+                checkpoint=store,
+                resume=resume,
+            )
+        except FaultError as exc:
+            daemon.release(alloc)
+            diagnosis = daemon.handle_fault()
+            if len(recoveries) >= max_restarts:
+                raise MachineError(
+                    f"job failed {len(recoveries) + 1} times "
+                    f"(restart budget {max_restarts}); last: {exc}"
+                ) from exc
+            alloc = daemon.allocate(user, groups, extents=extents)
+            states = store.latest_complete_states(alloc.partition.n_nodes)
+            recoveries.append(
+                RecoveryEvent(
+                    time=daemon.sim.now,
+                    error=str(exc),
+                    diagnosis=diagnosis,
+                    resumed_from=(
+                        None if states is None else next(iter(states.values()))["it"]
+                    ),
+                    partition_nodes=[
+                        alloc.partition.physical_node(i)
+                        for i in range(alloc.partition.n_nodes)
+                    ],
+                )
+            )
+            resume = states is not None
+            continue
+        daemon.release(alloc)
+        daemon.output_log.append(
+            (
+                daemon.sim.now,
+                f"resilient job ({user}): converged={result.converged} "
+                f"after {len(recoveries)} restart(s)",
+            )
+        )
+        return ResilientSolveReport(result=result, recoveries=recoveries)

@@ -67,6 +67,23 @@ class ASICConfig:
     #: 8 bits are received before forwarding begins (paper section 2.2)
     passthrough_bits: int = 8
 
+    # -- SCU hard-fault watchdog (companion papers hep-lat/0306023 / 0309096)
+    #: consecutive RESEND requests (without intervening ack progress) a
+    #: send unit tolerates before declaring the link dead.  One injected
+    #: transient costs at most ``ack_window_words`` RESENDs, so a storm of
+    #: this length means the same words are failing over and over — a
+    #: stuck-at fault, not a bit flip.
+    watchdog_resend_limit: int = 24
+    #: base no-progress timeout: a send unit with unacknowledged words in
+    #: flight (or a recv unit with a posted descriptor) that sees no
+    #: progress for this long starts the backoff ladder.
+    watchdog_timeout: float = 40e-6
+    #: exponential backoff multiplier between successive no-progress probes
+    watchdog_backoff_factor: float = 2.0
+    #: probes on the backoff ladder before the watchdog trips; bounds
+    #: total detection latency (see :attr:`watchdog_detection_budget`)
+    watchdog_max_backoffs: int = 5
+
     # -- derived ------------------------------------------------------------
     @property
     def peak_flops(self) -> float:
@@ -116,6 +133,22 @@ class ASICConfig:
     def passthrough_latency(self) -> float:
         """Per-node forwarding latency in global (cut-through) mode."""
         return self.passthrough_bits / self.clock_hz + self.wire_latency
+
+    @property
+    def watchdog_detection_budget(self) -> float:
+        """Worst-case no-progress detection latency of the SCU watchdog.
+
+        The sum of the full backoff ladder: base timeout + every probe up
+        to ``watchdog_max_backoffs`` (geometric in
+        ``watchdog_backoff_factor``).  A permanently dead link is declared
+        down within this budget of the last forward progress.
+        """
+        t = self.watchdog_timeout
+        total = t
+        for k in range(self.watchdog_max_backoffs):
+            t *= self.watchdog_backoff_factor
+            total += t
+        return total
 
     def at_clock(self, clock_hz: float) -> "ASICConfig":
         """The same ASIC run at a different clock (360/420/450 MHz tests)."""

@@ -1,0 +1,160 @@
+"""Permanent hardware faults: the model, the schedule, the LINK_DOWN word.
+
+The paper's reliability machinery (section 2.2: per-link parity +
+automatic resend, end-of-run checksums; section 3.1: qdaemon status
+tracking "including hardware problems") handles *transient* single-bit
+errors invisibly.  The companion papers (hep-lat/0306023, hep-lat/0309096)
+add the other half of the story for a 12,288-node machine: links and nodes
+that die *permanently* mid-run, which the host daemon must detect and route
+around.  This module provides
+
+* :class:`FaultEvent` / :class:`FaultSchedule` — a seeded, mid-run
+  injectable schedule of permanent faults (link-dead, link-stuck,
+  node-dead), the hard-fault analogue of the transient
+  ``bit_error_rate`` machinery in :mod:`repro.machine.hssl`;
+* the **LINK_DOWN supervisor word** encoding: when an SCU watchdog
+  declares a direction dead it writes one 64-bit supervisor word into a
+  neighbour's SCU (paper section 2.2 item 2), carrying the detecting
+  node and the dead direction for the host's diagnosis;
+* :data:`FAULT_IRQ_BIT` — the partition-interrupt bit reserved for
+  hard-fault escalation (bit 0 remains the application stop bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.errors import ConfigError
+from repro.util.rng import rng_stream
+
+#: partition-interrupt bit raised when a watchdog declares hardware dead
+FAULT_IRQ_BIT = 0b10
+
+#: magic prefix ("LD") marking a supervisor word as a LINK_DOWN report
+LINK_DOWN_MAGIC = 0x4C44
+
+#: the permanent fault modes the network can inject
+FAULT_KINDS = ("link-dead", "link-stuck", "node-dead")
+
+
+def encode_link_down(node: int, direction: int) -> int:
+    """Pack a LINK_DOWN report into one 64-bit supervisor word."""
+    if node < 0 or direction < 0:
+        raise ConfigError(f"bad LINK_DOWN report ({node}, {direction})")
+    return (LINK_DOWN_MAGIC << 48) | ((node & 0xFFFFFFFF) << 8) | (direction & 0xFF)
+
+
+def decode_link_down(word: int) -> Optional[Tuple[int, int]]:
+    """``(node, direction)`` if ``word`` is a LINK_DOWN report, else None."""
+    if (word >> 48) != LINK_DOWN_MAGIC:
+        return None
+    return (word >> 8) & 0xFFFFFFFF, word & 0xFF
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One permanent fault, injected at a simulation time.
+
+    ``direction`` is required for the link kinds and ignored for
+    ``node-dead`` (which cuts every cable touching the node).
+    """
+
+    time: float
+    kind: str
+    node: int
+    direction: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; options: {FAULT_KINDS}"
+            )
+        if self.kind != "node-dead" and self.direction is None:
+            raise ConfigError(f"{self.kind} fault needs a link direction")
+        if self.time < 0:
+            raise ConfigError(f"fault time {self.time} is negative")
+
+
+class FaultSchedule:
+    """A deterministic schedule of permanent faults.
+
+    Build explicitly from :class:`FaultEvent` objects, or draw a random
+    campaign from a seeded stream with :meth:`random` — either way a
+    schedule is pure data until :meth:`arm` registers it with a machine's
+    simulator, so the same schedule object can describe a run before it
+    happens (and be printed in a campaign report afterwards).
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.time)
+        self.injected: List[FaultEvent] = []
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_faults: int,
+        t_window: Tuple[float, float],
+        n_nodes: int,
+        n_directions: int,
+        kinds: Sequence[str] = FAULT_KINDS,
+    ) -> "FaultSchedule":
+        """A seeded random fault campaign (reproducible run over run)."""
+        rng = rng_stream(seed, "hard-faults")
+        t0, t1 = t_window
+        events = []
+        for _ in range(int(n_faults)):
+            kind = kinds[int(rng.integers(0, len(kinds)))]
+            events.append(
+                FaultEvent(
+                    time=float(t0 + (t1 - t0) * rng.random()),
+                    kind=kind,
+                    node=int(rng.integers(0, n_nodes)),
+                    direction=(
+                        None
+                        if kind == "node-dead"
+                        else int(rng.integers(0, n_directions))
+                    ),
+                )
+            )
+        return cls(events)
+
+    def arm(self, machine, daemon=None) -> None:
+        """Schedule every fault on the machine's simulator.
+
+        ``daemon`` (a :class:`~repro.host.qdaemon.Qdaemon`) is optional:
+        when given, a ``node-dead`` fault also silences the node's boot
+        agent so host health checks see the death (RPC timeouts), exactly
+        as real hardware loss would present.
+        """
+        for event in self.events:
+            delay = event.time - machine.sim.now
+            if delay < 0:
+                raise ConfigError(
+                    f"fault at t={event.time} is in the past (now={machine.sim.now})"
+                )
+            machine.sim.schedule(delay, self._inject, machine, daemon, event)
+
+    def _inject(self, machine, daemon, event: FaultEvent) -> None:
+        if event.kind == "node-dead":
+            machine.network.fail_node(event.node)
+            if daemon is not None:
+                daemon.silence_node(event.node)
+        else:
+            mode = "dead" if event.kind == "link-dead" else "stuck"
+            machine.network.fail_link(event.node, event.direction, mode=mode)
+        self.injected.append(event)
+        if machine.trace is not None:
+            machine.trace.emit(
+                "fault.inject",
+                kind=event.kind,
+                node=event.node,
+                direction=event.direction,
+            )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self.events)} events, {len(self.injected)} injected)"

@@ -132,6 +132,13 @@ class GlobalOpsEngine:
             raise MachineError(
                 f"global-sum shape mismatch: {arr.shape} vs {first.shape}"
             )
+        if first is not None and first.dtype != arr.dtype:
+            # A silent dtype promotion here (e.g. one rank contributing
+            # float32 into a float64 reduction) would change the canonical
+            # accumulation bit pattern on *every* rank — reject it loudly.
+            raise MachineError(
+                f"global-sum dtype mismatch: {arr.dtype} vs {first.dtype}"
+            )
         self._round[rank] = arr
         ev = self.sim.event()
         self._waiters[rank] = ev

@@ -66,6 +66,40 @@ class SerialLink:
         self.faults_injected = 0
         #: seconds the wire spent clocking bits (busy time, for utilisation)
         self.busy_seconds = 0.0
+        # -- permanent fault state (vs the transient flips above) ----------
+        #: ``False`` once the cable is cut or the far end is dead: frames
+        #: clock out of the sender normally but are never delivered.
+        self.alive = True
+        #: stuck-at fault: every payload frame arrives corrupt, so the
+        #: receiver requests a resend of the same word forever.
+        self.stuck = False
+        #: frames that vanished into a dead cable
+        self.frames_dropped = 0
+
+    # -- permanent faults --------------------------------------------------
+    def fail(self, mode: str = "dead") -> None:
+        """Inject a *permanent* fault: ``"dead"`` (no delivery) or
+        ``"stuck"`` (every payload frame corrupt).
+
+        Unlike the transient ``bit_error_rate`` flips — which the SCU's
+        automatic-resend protocol absorbs — a permanent fault can only be
+        cleared by hardware replacement; the simulator never un-fails a
+        link.  The SCU watchdog is what turns this condition into a
+        :class:`~repro.util.errors.LinkDownError`.
+        """
+        if mode == "dead":
+            self.alive = False
+        elif mode == "stuck":
+            self.stuck = True
+        else:
+            raise ProtocolError(f"unknown permanent link-fault mode {mode!r}")
+        if self.trace is not None:
+            self.trace.emit("link.down", link=self.name, mode=mode)
+
+    @property
+    def healthy(self) -> bool:
+        """Usable for data: alive, not stuck-at."""
+        return self.alive and not self.stuck
 
     # -- wiring -----------------------------------------------------------
     def set_receiver(self, callback: Callable[[Frame], None]) -> None:
@@ -73,11 +107,20 @@ class SerialLink:
 
     # -- training -----------------------------------------------------------
     def train(self) -> Event:
-        """Run the training byte exchange; succeeds when the link is usable."""
+        """Run the training byte exchange; succeeds when the link is usable.
+
+        A dead cable never completes training (the known byte sequence
+        never arrives): the returned event stays pending forever, which is
+        why bring-up must skip links already known dead.
+        """
         done = self.sim.event()
+        if not self.alive:
+            return done
         t = TRAINING_BYTES * 8 / self.asic.clock_hz
 
         def finish():
+            if not self.alive:
+                return  # died while training
             self.trained = True
             if self.trace is not None:
                 self.trace.emit("link.trained", link=self.name)
@@ -113,7 +156,12 @@ class SerialLink:
         self.bits_sent += bits
         self.busy_seconds += serialised - start
 
-        if (
+        if self.stuck and frame.nwords > 0 and frame.corrupt_bit is None:
+            # Stuck-at fault: the same wire bit is pinned, so every payload
+            # frame fails its header-code/parity check at the receiver.
+            frame.corrupt_bit = 0
+            self.faults_injected += 1
+        elif (
             self.error_rng is not None
             and self.bit_error_rate > 0.0
             and frame.nwords > 0
@@ -128,14 +176,23 @@ class SerialLink:
 
         done = self.sim.event()
         self.sim.schedule(serialised - self.sim.now, done.succeed)
-        self.sim.schedule(
-            serialised - self.sim.now + self.asic.wire_latency,
-            self._deliver,
-            frame,
-        )
+        if self.alive:
+            self.sim.schedule(
+                serialised - self.sim.now + self.asic.wire_latency,
+                self._deliver,
+                frame,
+            )
+        else:
+            # Dead cable: the sender clocks the bits out normally (it has
+            # no way to know) but nothing arrives at the far end.
+            self.frames_dropped += 1
         return done
 
     def _deliver(self, frame: Frame) -> None:
+        if not self.alive:
+            # The cable died while this frame was in flight.
+            self.frames_dropped += 1
+            return
         if self.trace is not None:
             self.trace.emit(
                 "link.deliver",

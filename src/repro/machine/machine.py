@@ -14,11 +14,12 @@ interrupt controllers, and offers the operations the rest of the library
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.machine.asic import MachineConfig
+from repro.machine.faults import FAULT_IRQ_BIT
 from repro.machine.globalops import GlobalOpsEngine
 from repro.machine.interrupts import GlobalClock, InterruptController, safe_period
 from repro.machine.network import MeshNetwork
@@ -26,7 +27,7 @@ from repro.machine.node import Node
 from repro.machine.topology import Partition, TorusTopology
 from repro.sim.core import Event, Process, Simulator
 from repro.sim.trace import Trace
-from repro.util.errors import MachineError
+from repro.util.errors import FaultError, MachineError
 from repro.util.rng import rng_stream
 
 
@@ -56,6 +57,13 @@ class QCDOCMachine:
         that shadow-tracks DMA buffer ownership and flags premature CPU
         reads/writes of in-flight halo buffers.  Off (``None``) by
         default with the same one-attribute-check cost model as tracing.
+    watchdog:
+        Arm the SCU hard-fault watchdogs (resend-storm / no-progress
+        detection, companion papers hep-lat/0306023 and hep-lat/0309096).
+        Off by default: the seed protocol stalls *legitimately* while a
+        receiver holds the idle-receive window, so watchdogs are only
+        meaningful on machines whose host daemon handles LINK_DOWN
+        escalation.
     """
 
     def __init__(
@@ -68,6 +76,7 @@ class QCDOCMachine:
         trace: bool = False,
         trace_maxlen: Optional[int] = None,
         sanitizer: Optional["HaloRaceSanitizer"] = None,
+        watchdog: bool = False,
     ):
         self.config = config
         self.asic = config.asic
@@ -124,6 +133,14 @@ class QCDOCMachine:
             for i in self.nodes
         }
         self._booted = False
+        #: LINK_DOWN reports collected from SCU watchdogs: (node, direction,
+        #: reason), in detection order.  The host daemon reads this after a
+        #: faulted run to diagnose which cables to quarantine.
+        self.link_down_log: List[Tuple[int, int, str]] = []
+        self.watchdog = bool(watchdog)
+        for node in self.nodes.values():
+            node.scu.watchdog_enabled = self.watchdog
+            node.scu.on_link_down = self._handle_link_down
 
     # -- bring-up -----------------------------------------------------------
     def bring_up(self) -> None:
@@ -206,25 +223,88 @@ class QCDOCMachine:
         :class:`repro.comms.api.CommsAPI`; the call returns the list of
         per-rank return values (rank order).  The machine must be brought
         up first.
+
+        If any rank dies of a hard fault (:class:`FaultError`, e.g. a
+        watchdog :class:`~repro.util.errors.LinkDownError`) the whole
+        partition is aborted and cleaned — surviving ranks interrupted,
+        in-flight SCU transfers cancelled and drained, run-allocated
+        buffers freed — and the first fault re-raised.  The machine is
+        then reusable: a host daemon can remap the job onto healthy
+        hardware and resume from a checkpoint.
         """
         from repro.comms.api import CommsAPI  # local import: layering
 
         if not self._booted:
             raise MachineError("bring_up() the machine before running programs")
         engine = self.global_ops(partition)
+        part_nodes = [
+            self.nodes[partition.physical_node(r)] for r in range(partition.n_nodes)
+        ]
+        # Snapshot node memory so an abort can free what this run allocates
+        # (resumed jobs re-allocate the same buffer names on reused nodes).
+        pre_buffers = {n.node_id: set(n.memory.buffer_names()) for n in part_nodes}
+
+        abort = self.sim.event()
+        first_fault: List[BaseException] = []
+
+        def guarded(api):
+            try:
+                result = yield from program(api, **program_kwargs)
+            except FaultError as exc:
+                if not first_fault:
+                    first_fault.append(exc)
+                if not abort.triggered:
+                    abort.succeed(exc)
+                return None
+            return result
+
         processes: List[Process] = []
         for rank in range(partition.n_nodes):
-            node = self.nodes[partition.physical_node(rank)]
-            api = CommsAPI(self, partition, engine, rank, node)
-            processes.append(
-                self.sim.process(program(api, **program_kwargs), name=f"rank{rank}")
-            )
+            api = CommsAPI(self, partition, engine, rank, part_nodes[rank])
+            processes.append(self.sim.process(guarded(api), name=f"rank{rank}"))
         done = self.sim.all_of(processes)
-        return self.sim.run(until=done, max_time=max_time)
+        outcome = self.sim.any_of([done, abort])
+        self.sim.run(until=outcome, max_time=max_time)
+        if not abort.triggered:
+            return done.value
+        self._abort_partition(part_nodes, processes, pre_buffers)
+        raise first_fault[0]
+
+    def _abort_partition(self, part_nodes, processes, pre_buffers) -> None:
+        """Tear a faulted partition down to a reusable machine state.
+
+        Interrupt the surviving rank processes, cancel every active SCU
+        transfer on the partition's nodes (units start discarding stale
+        in-flight frames), free buffers the dead run allocated, then drain
+        the event heap so nothing from the old job fires later.
+        """
+        for proc in processes:
+            if proc.is_alive:
+                proc.interrupt("partition abort")
+        for node in part_nodes:
+            node.scu.cancel_active_transfers()
+        self.sim.run()  # drain: cancellations, interrupts, in-flight frames
+        for node in part_nodes:
+            for name in sorted(
+                set(node.memory.buffer_names()) - pre_buffers[node.node_id]
+            ):
+                node.memory.free(name)
+            node.scu.finish_drain()
 
     # -- machine-wide services ---------------------------------------------------
     def raise_partition_interrupt(self, node_id: int, bits: int) -> None:
         self.interrupts[node_id].raise_irq(bits)
+
+    def _handle_link_down(self, node_id: int, direction: int, reason: str) -> None:
+        """An SCU watchdog declared a direction dead (section 2.2 item 2).
+
+        Record the report and raise the hard-fault partition-interrupt bit
+        from the detecting node; the torus-redundant interrupt flood
+        reaches the host even with one cable gone.  Repeat reports re-raise
+        the same bit, which the controllers dedup (``seen_bits``).
+        """
+        self.link_down_log.append((node_id, direction, reason))
+        self.interrupts[node_id].raise_irq(FAULT_IRQ_BIT)
 
     def audit_checksums(self) -> List[str]:
         """End-of-run link checksum comparison (empty list = clean)."""

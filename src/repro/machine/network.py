@@ -19,6 +19,7 @@ from repro.machine.packets import Frame
 from repro.machine.topology import TorusTopology
 from repro.sim.core import Event, Simulator
 from repro.sim.trace import Trace
+from repro.util.errors import ConfigError
 
 
 class MeshNetwork:
@@ -63,10 +64,74 @@ class MeshNetwork:
 
     # -- bring-up ------------------------------------------------------------
     def train_all(self) -> Event:
-        """Train every HSSL link; the returned event completes when all are
-        usable (they train concurrently, as after power-on)."""
-        events = [link.train() for link in self.links.values()]
+        """Train every *live* HSSL link; the returned event completes when
+        all are usable (they train concurrently, as after power-on).
+
+        Links already known dead are skipped: a dead cable's training event
+        never fires, so including one would hang bring-up forever — the
+        daemon quarantines bad cables before calling this.
+        """
+        events = [link.train() for link in self.links.values() if link.alive]
         return self.sim.all_of(events)
+
+    # -- permanent faults ------------------------------------------------------
+    def fail_link(self, src: int, direction: int, mode: str = "dead") -> None:
+        """Permanently fail the unidirectional cable ``(src, direction)``.
+
+        ``mode`` is ``"dead"`` (nothing delivered) or ``"stuck"`` (every
+        payload frame corrupt).  A physical QCDOC cable carries one
+        direction of traffic per wire, so a single-wire fault is exactly
+        one ``(node, direction)`` entry here; killing both directions of a
+        neighbour pair takes two calls (or :meth:`fail_node`).
+        """
+        key = (src, direction)
+        if key not in self.links:
+            raise ConfigError(f"no link at node {src} direction {direction}")
+        self.links[key].fail(mode=mode)
+
+    def fail_node(self, node: int) -> None:
+        """Permanently kill a node: every cable touching it goes dead.
+
+        Both the node's outbound wires and its neighbours' wires *into* it
+        are cut — frames in either direction vanish, which is how a powered
+        -off daughterboard presents to the rest of the mesh.
+        """
+        if node not in self.nodes:
+            raise ConfigError(f"no node {node} in the mesh")
+        for direction in range(self.topology.n_directions):
+            if (node, direction) not in self.links:
+                continue  # axis of extent 1: no cable on this direction
+            # outbound wire from the dead node
+            self.links[(node, direction)].fail(mode="dead")
+            # the neighbour's wire back into the dead node
+            neighbour = self.topology.neighbour_by_direction(node, direction)
+            back = self.topology.opposite(direction)
+            self.links[(neighbour, back)].fail(mode="dead")
+
+    def link_ok(self, src: int, direction: int) -> bool:
+        """True when the cable ``(src, direction)`` is usable for data."""
+        return self.links[(src, direction)].healthy
+
+    def dead_links(self) -> List[Tuple[int, int]]:
+        """Sorted ``(node, direction)`` keys of unusable cables."""
+        return sorted(k for k, l in self.links.items() if not l.healthy)
+
+    def dead_nodes(self) -> List[int]:
+        """Nodes with *every* attached cable (in and out) unusable.
+
+        This is the network's-eye view of a dead node; the daemon overlays
+        it with boot/RPC health to form the full failed-node registry.
+        """
+        out = []
+        for node in sorted(self.nodes):
+            attached = [
+                self.links[(node, d)]
+                for d in range(self.topology.n_directions)
+                if (node, d) in self.links
+            ]
+            if attached and all(not l.healthy for l in attached):
+                out.append(node)
+        return out
 
     @property
     def n_links(self) -> int:

@@ -14,7 +14,7 @@ bundles:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -77,6 +77,10 @@ class NodeMemory:
     def free(self, name: str) -> None:
         self._buffers.pop(name)
         self._regions.pop(name)
+
+    def buffer_names(self) -> List[str]:
+        """Sorted names of every live buffer (abort/cleanup bookkeeping)."""
+        return sorted(self._buffers)
 
     def __contains__(self, name: str) -> bool:
         return name in self._buffers

@@ -44,11 +44,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.machine.asic import ASICConfig
+from repro.machine.faults import encode_link_down
 from repro.machine.hssl import SerialLink
 from repro.machine.packets import Frame, LinkChecksum, PacketType, decode_header, encode_header
 from repro.sim.core import Event, Simulator
 from repro.sim.trace import Trace
-from repro.util.errors import ProtocolError
+from repro.util.errors import FaultError, LinkDownError, ProtocolError
 
 
 @dataclass(frozen=True)
@@ -129,6 +130,14 @@ class SendUnit:
         #: DMA transfers run to completion by this unit
         self.transfers_completed = 0
         self._t_start = 0.0
+        #: hard-fault watchdog: trips declared by this unit
+        self.watchdog_trips = 0
+        #: no-progress probes taken on the backoff ladder
+        self.backoff_waits = 0
+        self._consec_resends = 0
+        #: generation counter invalidating in-flight watchdog callbacks
+        self._wd_gen = 0
+        self._proc: Optional["Process"] = None
 
     @property
     def link(self) -> SerialLink:
@@ -154,9 +163,14 @@ class SendUnit:
         self.base = 0
         self.next = 0
         self.resends = 0
+        self._consec_resends = 0
         self.done = self.sim.event()
         self._region = region
-        self.sim.process(self._run(), name=f"send[{self.scu.node_id}:{self.direction}]")
+        self._proc = self.sim.process(
+            self._run(), name=f"send[{self.scu.node_id}:{self.direction}]"
+        )
+        if self.scu.watchdog_enabled:
+            self._arm_watchdog()
         return self.done
 
     def _run(self):
@@ -186,6 +200,8 @@ class SendUnit:
                 yield self._wake
         yield self.link.transmit(Frame(PacketType.EOT, seq=n))
         self.active = False
+        self._wd_gen += 1  # disarm the watchdog: transfer complete
+        self._proc = None
         self.payload_words += n
         self.transfers_completed += 1
         if self.scu.trace is not None:
@@ -204,6 +220,7 @@ class SendUnit:
         self.acks_received += 1
         if seq > self.base:
             self.base = seq
+            self._consec_resends = 0  # forward progress: not a storm
             self._wakeup()
 
     def on_resend(self, seq: int) -> None:
@@ -218,12 +235,81 @@ class SendUnit:
                     direction=self.direction,
                     seq=seq,
                 )
+            if self.scu.watchdog_enabled and self.active:
+                self._consec_resends += 1
+                if self._consec_resends > self.asic.watchdog_resend_limit:
+                    # A transient flip costs at most a window's worth of
+                    # RESENDs before the retransmission clears it; this
+                    # many in a row without ack progress is a stuck link.
+                    self._trip("resend-storm")
+                    return
             self._wakeup()
 
     def _wakeup(self) -> None:
         if self._wake is not None and not self._wake.triggered:
             wake, self._wake = self._wake, None
             wake.succeed()
+
+    # -- hard-fault watchdog ------------------------------------------------
+    def _arm_watchdog(self) -> None:
+        self._wd_gen += 1
+        self.sim.schedule(
+            self.asic.watchdog_timeout, self._wd_check, self._wd_gen, self.base, 0
+        )
+
+    def _wd_check(self, gen: int, snapshot: int, backoffs: int) -> None:
+        """No-ack-progress probe (bounded exponential backoff ladder)."""
+        if gen != self._wd_gen or not self.active:
+            return  # transfer finished, tripped, or cancelled
+        if self.base > snapshot:
+            # Acked progress since the last probe: reset the ladder.
+            self.sim.schedule(
+                self.asic.watchdog_timeout, self._wd_check, gen, self.base, 0
+            )
+            return
+        if backoffs < self.asic.watchdog_max_backoffs:
+            self.backoff_waits += 1
+            wait = self.asic.watchdog_timeout * (
+                self.asic.watchdog_backoff_factor ** (backoffs + 1)
+            )
+            if self.scu.trace is not None:
+                self.scu.trace.emit(
+                    "scu.backoff",
+                    node=self.scu.node_id,
+                    direction=self.direction,
+                    wait=wait,
+                )
+            self.sim.schedule(wait, self._wd_check, gen, snapshot, backoffs + 1)
+            return
+        self._trip("no-ack-progress")
+
+    def _trip(self, reason: str) -> None:
+        """Declare this direction dead: stop spinning, escalate."""
+        self.watchdog_trips += 1
+        self._wd_gen += 1
+        self.active = False
+        self._wake = None
+        proc, self._proc = self._proc, None
+        if proc is not None and proc.is_alive:
+            proc.interrupt(reason)
+        done, self.done = self.done, None
+        self.scu._escalate_link_down(self.direction, reason)
+        if done is not None and not done.triggered:
+            done.fail(LinkDownError(self.scu.node_id, self.direction, reason))
+
+    def cancel(self, reason: str = "partition abort") -> None:
+        """Abandon any active transfer without declaring the link dead."""
+        if not self.active and self.done is None:
+            return
+        self._wd_gen += 1
+        self.active = False
+        self._wake = None
+        proc, self._proc = self._proc, None
+        if proc is not None and proc.is_alive:
+            proc.interrupt(reason)
+        done, self.done = self.done, None
+        if done is not None and not done.triggered:
+            done.fail(FaultError(f"send transfer cancelled: {reason}"))
 
 
 class RecvUnit:
@@ -260,6 +346,14 @@ class RecvUnit:
         #: DMA receives run to completion by this unit
         self.transfers_completed = 0
         self._t_post = 0.0
+        #: expected EOT sequence numbers of transfers whose wire side has
+        #: completed (FIFO: the EOT frame trails the final data word)
+        self._eot_due: List[int] = []
+        #: hard-fault watchdog: trips declared by this unit
+        self.watchdog_trips = 0
+        #: no-progress probes taken on the backoff ladder
+        self.backoff_waits = 0
+        self._wd_gen = 0
 
     def post(self, descriptor: DmaDescriptor) -> Event:
         """Give the unit a destination; drains any idle-held words."""
@@ -275,6 +369,8 @@ class RecvUnit:
         self.write_cursor = 0
         self.done = self.sim.event()
         self._t_post = self.sim.now
+        if self.scu.watchdog_enabled:
+            self._arm_watchdog()
         if self.held:
             held, self.held = self.held, []
             self.held_words = 0
@@ -330,10 +426,35 @@ class RecvUnit:
             self._accept(frame.words)
 
     def on_eot(self, seq: int) -> None:
-        if self.descriptor is not None and self.stored != self.total and seq != self.total:
+        """End-of-transfer marker from the sender.
+
+        A transfer *owes* exactly one EOT once its wire side has completed
+        (tracked in :attr:`_eot_due` — a FIFO, since a back-to-back next
+        transfer can overlap the previous transfer's trailing EOT).  Any
+        EOT that is not owed is a protocol violation: either the sender
+        truncated a DMA (descriptor still has outstanding words — caught
+        here *regardless* of whether ``seq`` happens to equal the posted
+        total, the escape hatch of the old ``seq != total`` check), or it
+        sent an EOT with no transfer in progress at all (idle receive /
+        after completion).
+        """
+        if self._eot_due:
+            expected = self._eot_due.pop(0)
+            if seq != expected:
+                raise ProtocolError(
+                    f"EOT at {seq} but completed transfer carried {expected} words"
+                )
+            return
+        if self.descriptor is not None:
             raise ProtocolError(
-                f"EOT at {seq} but descriptor expects {self.total} words"
+                f"truncated DMA: EOT at {seq} with "
+                f"{self.total - self.write_cursor} of {self.total} descriptor "
+                "words outstanding"
             )
+        raise ProtocolError(
+            f"unexpected EOT at {seq}: no transfer in progress on direction "
+            f"{self.direction} (idle receive or already-completed descriptor)"
+        )
 
     def _accept(self, words: np.ndarray) -> None:
         idx = self._indices[self.write_cursor : self.write_cursor + len(words)]
@@ -352,6 +473,9 @@ class RecvUnit:
             # Wire-protocol side of this transfer is finished: rearm the
             # sequence space so a back-to-back next transfer idle-receives
             # correctly while the last words drain through the store pipe.
+            # The sender still owes this transfer its trailing EOT frame.
+            self._eot_due.append(self.total)
+            self._wd_gen += 1  # disarm the watchdog: wire side complete
             self.descriptor = None
             self.expected = 0
         # Eject + DMA store pipeline latency before the data is usable.
@@ -375,6 +499,73 @@ class RecvUnit:
                     dur=self.sim.now - self._t_post,
                 )
             done.succeed(self.total)
+
+    # -- hard-fault watchdog ------------------------------------------------
+    def _arm_watchdog(self) -> None:
+        self._wd_gen += 1
+        self.sim.schedule(
+            self.asic.watchdog_timeout,
+            self._wd_check,
+            self._wd_gen,
+            self.write_cursor,
+            0,
+        )
+
+    def _wd_check(self, gen: int, snapshot: int, backoffs: int) -> None:
+        """Posted-descriptor-to-progress probe (same ladder as the sender)."""
+        if gen != self._wd_gen or self.descriptor is None:
+            return  # wire side finished, tripped, or cancelled
+        if self.write_cursor > snapshot:
+            self.sim.schedule(
+                self.asic.watchdog_timeout,
+                self._wd_check,
+                gen,
+                self.write_cursor,
+                0,
+            )
+            return
+        if backoffs < self.asic.watchdog_max_backoffs:
+            self.backoff_waits += 1
+            wait = self.asic.watchdog_timeout * (
+                self.asic.watchdog_backoff_factor ** (backoffs + 1)
+            )
+            if self.scu.trace is not None:
+                self.scu.trace.emit(
+                    "scu.backoff",
+                    node=self.scu.node_id,
+                    direction=self.direction,
+                    wait=wait,
+                )
+            self.sim.schedule(wait, self._wd_check, gen, snapshot, backoffs + 1)
+            return
+        self._trip("recv-stall")
+
+    def _trip(self, reason: str) -> None:
+        self.watchdog_trips += 1
+        self._reset(LinkDownError(self.scu.node_id, self.direction, reason))
+        self.scu._escalate_link_down(self.direction, reason)
+
+    def cancel(self, reason: str = "partition abort") -> None:
+        """Abandon any posted receive without declaring the link dead."""
+        if self.descriptor is None and self.done is None and not self.held:
+            self.expected = 0
+            self._eot_due = []
+            return
+        self._reset(FaultError(f"recv transfer cancelled: {reason}"))
+
+    def _reset(self, exc: BaseException) -> None:
+        self._wd_gen += 1
+        self.descriptor = None
+        self.expected = 0
+        self.total = 0
+        self.stored = 0
+        self.write_cursor = 0
+        self.held = []
+        self.held_words = 0
+        self._eot_due = []
+        done, self.done = self.done, None
+        if done is not None and not done.triggered:
+            done.fail(exc)
 
 
 class SCU:
@@ -407,6 +598,17 @@ class SCU:
         self.supervisor_reg: Dict[int, int] = {}
         self.on_supervisor: Optional[Callable[[int, int], None]] = None
         self.on_partition_irq: Optional[Callable[[int, int], None]] = None
+        #: hard-fault watchdog master enable (off: protocol identical to
+        #: the seed — idle receive may legitimately stall a sender forever)
+        self.watchdog_enabled = False
+        #: direction -> watchdog reason, for every link declared dead here
+        self.links_down: Dict[int, str] = {}
+        #: machine hook called as ``on_link_down(node, direction, reason)``
+        self.on_link_down: Optional[Callable[[int, int, str], None]] = None
+        #: abort-drain mode: stale protocol frames of a cancelled run are
+        #: discarded instead of dispatched (counted here)
+        self.drained_frames = 0
+        self._draining = False
         #: global-operation pass-through routing:
         #: in_direction -> (out_directions, store_callback or None)
         self._global_routes: Dict[int, Tuple[Tuple[int, ...], Optional[Callable]]] = {}
@@ -429,6 +631,16 @@ class SCU:
         route = self._global_routes.get(direction)
         if route is not None and frame.ptype == PacketType.NORMAL:
             self._passthrough(direction, frame, route)
+            return
+        if self._draining and frame.ptype in (
+            PacketType.NORMAL,
+            PacketType.EOT,
+            PacketType.ACK,
+            PacketType.RESEND,
+        ):
+            # Partition-abort drain: in-flight frames of cancelled
+            # transfers are discarded so they cannot poison reset units.
+            self.drained_frames += 1
             return
         if frame.ptype == PacketType.NORMAL:
             self._recv(direction).on_data(frame)
@@ -536,6 +748,56 @@ class SCU:
             )
         return events
 
+    # -- hard-fault escalation --------------------------------------------------
+    def _escalate_link_down(self, direction: int, reason: str) -> None:
+        """A watchdog tripped: record, notify the host path, raise the IRQ.
+
+        Escalation is once per direction (send- and recv-unit trips on the
+        same dead cable collapse to one LINK_DOWN event).  A LINK_DOWN
+        supervisor packet goes to the first alive neighbour — the paper's
+        single-word CPU-interrupt mechanism — and the machine-level hook
+        (wired by :class:`~repro.machine.machine.QCDOCMachine`) raises a
+        partition interrupt so every node, and the host daemon, learns a
+        hard fault occurred.
+        """
+        if direction in self.links_down:
+            return
+        self.links_down[direction] = reason
+        if self.trace is not None:
+            self.trace.emit(
+                "scu.link_down",
+                node=self.node_id,
+                direction=direction,
+                reason=reason,
+            )
+        word = encode_link_down(self.node_id, direction)
+        for d in sorted(self.out_links):
+            link = self.out_links[d]
+            if d != direction and link.alive and link.trained:
+                self.send_supervisor(d, word)
+                break
+        if self.on_link_down is not None:
+            self.on_link_down(self.node_id, direction, reason)
+
+    def cancel_active_transfers(self, reason: str = "partition abort") -> None:
+        """Abandon every in-progress DMA and enter frame-drain mode.
+
+        Part of the machine's partition-abort path: after a watchdog
+        trip fails one rank, the surviving ranks' half-finished transfers
+        are cancelled (their events fail), and any frames still on the
+        wire are discarded on arrival until :meth:`finish_drain`.
+        """
+        self._draining = True
+        for unit in self.send_units.values():
+            unit.cancel(reason)
+        for unit in self.recv_units.values():
+            unit.cancel(reason)
+        self._stored.clear()
+
+    def finish_drain(self) -> None:
+        """Leave abort-drain mode (call once the event heap has drained)."""
+        self._draining = False
+
     # -- transfer accounting ---------------------------------------------------
     def transfer_counters(self) -> Dict[str, int]:
         """Aggregate payload/wire word counters over every unit.
@@ -558,6 +820,11 @@ class SCU:
             "idle_held_words": sum(u.idle_held_words_total for u in recvs),
             "idle_hold_events": sum(u.idle_hold_events for u in recvs),
             "recvs_completed": sum(u.transfers_completed for u in recvs),
+            "watchdog_trips": sum(u.watchdog_trips for u in sends)
+            + sum(u.watchdog_trips for u in recvs),
+            "backoff_waits": sum(u.backoff_waits for u in sends)
+            + sum(u.backoff_waits for u in recvs),
+            "link_down": len(self.links_down),
         }
 
     def in_flight_words(self) -> int:
@@ -608,7 +875,10 @@ class SCU:
         frame_word = np.array([bits & 0xFF], dtype=np.uint64)
         for d in directions:
             link = self.out_links.get(d)
-            if link is not None:
+            # Skip cables that are dead or never trained (a quarantined
+            # neighbour): the flood still reaches every live node through
+            # the torus's redundant paths.
+            if link is not None and link.alive and link.trained:
                 link.transmit(Frame(PacketType.PARTITION_IRQ, frame_word.copy()))
 
     # -- global (pass-through) mode ----------------------------------------------

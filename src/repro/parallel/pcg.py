@@ -13,7 +13,7 @@ reproducible** run over run (the paper's section-4 verification).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.machine.machine import QCDOCMachine
 from repro.machine.topology import Partition
 from repro.parallel.decomp import PhysicsMapping
 from repro.parallel.pdirac import DistributedWilsonContext
+from repro.solvers.checkpoint import CGCheckpointStore
 from repro.util.errors import ConfigError
 
 
@@ -46,33 +47,53 @@ class DistributedSolveResult:
         return self.flops / self.machine_time if self.machine_time > 0 else 0.0
 
 
-def machine_cgne(api, ctx, b, tol, maxiter):
+def machine_cgne(api, ctx, b, tol, maxiter, checkpoint=None, resume_state=None):
     """CGNE over any distributed operator context (generator).
 
     ``ctx`` must provide generator methods ``apply``, ``apply_dagger`` and
     ``normal`` (e.g. :class:`DistributedWilsonContext` or
     :class:`repro.parallel.pstaggered.DistributedStaggeredContext`).
     Yields machine events; returns ``(x, converged, iterations, residuals)``.
+
+    ``checkpoint`` (a :class:`~repro.solvers.checkpoint.CGCheckpointStore`)
+    captures this rank's end-of-iteration state at the store's cadence —
+    iteration 0 always, so a hard fault at any point can resume rather
+    than restart.  ``resume_state`` is one rank's stored state: the solve
+    then skips the ``D^+ b`` setup and the initial global sums and
+    continues the residual history **bit-identically** (global sums
+    accumulate in canonical rank order, so the arithmetic after a resume
+    is exactly the arithmetic of the uninterrupted run).
     """
 
     def dot(u, v):
         # local partial, then the SCU global sum (canonical rank order)
         return np.array([np.vdot(u, v)])
 
-    # rhs of the normal equations: D^+ b
-    rhs = yield from ctx.apply_dagger(b)
+    if resume_state is not None:
+        x = resume_state["x"].copy()
+        resid = resume_state["resid"].copy()
+        p = resume_state["p"].copy()
+        rr = resume_state["rr"]
+        bb = resume_state["bb"]
+        it = resume_state["it"]
+        residuals = list(resume_state["residuals"])
+    else:
+        # rhs of the normal equations: D^+ b
+        rhs = yield from ctx.apply_dagger(b)
 
-    x = np.zeros_like(rhs)
-    resid = rhs.copy()
-    p = resid.copy()
-    rr = (yield api.global_sum(dot(resid, resid)))[0].real
-    bb = (yield api.global_sum(dot(rhs, rhs)))[0].real
-    if bb == 0.0:
-        return x, True, 0, [0.0]
+        x = np.zeros_like(rhs)
+        resid = rhs.copy()
+        p = resid.copy()
+        rr = (yield api.global_sum(dot(resid, resid)))[0].real
+        bb = (yield api.global_sum(dot(rhs, rhs)))[0].real
+        if bb == 0.0:
+            return x, True, 0, [0.0]
+        residuals = [float(np.sqrt(rr / bb))]
+        it = 0
     target = tol * tol * bb
-    residuals = [float(np.sqrt(rr / bb))]
     converged = rr <= target
-    it = 0
+    if checkpoint is not None and resume_state is None:
+        _cg_checkpoint(api, checkpoint, it, x, resid, p, rr, bb, residuals)
     while not converged and it < maxiter:
         ap = yield from ctx.normal(p)
         p_ap = (yield api.global_sum(dot(p, ap)))[0].real
@@ -93,10 +114,43 @@ def machine_cgne(api, ctx, b, tol, maxiter):
                 iteration=it,
                 residual=residuals[-1],
             )
+        if checkpoint is not None and checkpoint.due(it, converged):
+            _cg_checkpoint(api, checkpoint, it, x, resid, p, rr, bb, residuals)
     return x, bool(converged), it, residuals
 
 
-def _cg_program(api, mapping, local_links, local_b, mass, r, clover_locals, tol, maxiter):
+def _cg_checkpoint(api, store, it, x, resid, p, rr, bb, residuals):
+    """Stream one rank's end-of-iteration CG state to the host-side store."""
+    store.put(
+        api.rank,
+        it,
+        {
+            "it": it,
+            "x": x,
+            "resid": resid,
+            "p": p,
+            "rr": rr,
+            "bb": bb,
+            "residuals": residuals,
+        },
+    )
+    if api.trace is not None:
+        api.trace.emit("cg.checkpoint", rank=api.rank, iteration=it)
+
+
+def _cg_program(
+    api,
+    mapping,
+    local_links,
+    local_b,
+    mass,
+    r,
+    clover_locals,
+    tol,
+    maxiter,
+    checkpoint=None,
+    resume_states=None,
+):
     """The per-rank node program: Wilson/clover CGNE with machine collectives."""
     rank = api.rank
     ctx = DistributedWilsonContext(
@@ -107,7 +161,15 @@ def _cg_program(api, mapping, local_links, local_b, mass, r, clover_locals, tol,
         r=r,
         clover_tensor=None if clover_locals is None else clover_locals[rank],
     )
-    result = yield from machine_cgne(api, ctx, local_b[rank], tol, maxiter)
+    result = yield from machine_cgne(
+        api,
+        ctx,
+        local_b[rank],
+        tol,
+        maxiter,
+        checkpoint=checkpoint,
+        resume_state=None if resume_states is None else resume_states[rank],
+    )
     return result
 
 
@@ -122,6 +184,8 @@ def solve_on_machine(
     tol: float = 1e-8,
     maxiter: int = 2000,
     max_time: float = 10_000.0,
+    checkpoint: Optional[CGCheckpointStore] = None,
+    resume: bool = False,
 ) -> DistributedSolveResult:
     """Solve ``D x = b`` (Wilson, or clover when ``c_sw`` given) on the
     simulated machine via CG on the normal equations.
@@ -129,7 +193,20 @@ def solve_on_machine(
     The lattice is tiled over ``partition``; returns the gathered global
     solution plus machine-level accounting (simulated time, flops,
     checksum audit).
+
+    With ``checkpoint`` given, each rank streams its iteration state to
+    the host-side store at the store's cadence; ``resume=True`` loads the
+    newest complete generation before launching the node programs (loaded
+    host-side, so every rank sees one consistent generation even though
+    a fault may have caught them mid-stride).  A solve resumed on a
+    *different* healthy partition of the same logical shape reproduces
+    the uninterrupted residual history bit for bit.
     """
+    resume_states: Optional[Dict[int, dict]] = None
+    if resume:
+        if checkpoint is None:
+            raise ConfigError("resume=True needs a checkpoint store")
+        resume_states = checkpoint.latest_complete_states(partition.n_nodes)
     mapping = PhysicsMapping(gauge.geometry, partition)
     if b.shape != (gauge.geometry.volume, 4, 3):
         raise ConfigError(f"bad source shape {b.shape}")
@@ -154,6 +231,8 @@ def solve_on_machine(
         clover_locals=clover_locals,
         tol=tol,
         maxiter=maxiter,
+        checkpoint=checkpoint,
+        resume_states=resume_states,
     )
     machine_time = machine.sim.now - t0
     flops = sum(n.flops_charged for n in machine.nodes.values()) - flops_before

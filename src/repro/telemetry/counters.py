@@ -149,6 +149,10 @@ SCU_COUNTER_UNITS = {
     "idle_held_words": "words",
     "idle_hold_events": "events",
     "recvs_completed": "transfers",
+    # hard-fault watchdog (companion papers hep-lat/0306023 / 0309096)
+    "watchdog_trips": "events",
+    "backoff_waits": "events",
+    "link_down": "links",
 }
 
 
@@ -181,6 +185,7 @@ def _link_provider(src: int, direction: int, link) -> Callable[[], Sample]:
             f"{prefix}.frames_sent": link.frames_sent,
             f"{prefix}.bits_sent": link.bits_sent,
             f"{prefix}.faults_injected": link.faults_injected,
+            f"{prefix}.frames_dropped": link.frames_dropped,
             f"{prefix}.busy_seconds": link.busy_seconds,
         }
 

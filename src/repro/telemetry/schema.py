@@ -20,7 +20,10 @@ Tags are namespaced ``unit.event``:
 ``gsum.*``
     global-operations engine (:mod:`repro.machine.globalops`);
 ``cg.*``
-    the distributed solver layer (:mod:`repro.parallel.pcg`).
+    the distributed solver layer (:mod:`repro.parallel.pcg`);
+``fault.*``
+    the permanent-hardware-fault injection schedule
+    (:mod:`repro.machine.faults`).
 
 A record whose fields include ``dur`` is a **span**: it is emitted at the
 *end* of the interval it describes, ``record.time - dur`` being the start.
@@ -40,6 +43,7 @@ TRACE_SCHEMA: Dict[str, FrozenSet[str]] = {
     "link.trained": frozenset({"link"}),
     "link.fault": frozenset({"link", "bit", "seq"}),
     "link.deliver": frozenset({"link", "ptype", "seq", "nwords"}),
+    "link.down": frozenset({"link", "mode"}),
     # -- SCU protocol engines ----------------------------------------------
     "scu.send": frozenset({"node", "direction", "words", "resends", "dur"}),
     "scu.recv": frozenset({"node", "direction", "words", "dur"}),
@@ -47,6 +51,11 @@ TRACE_SCHEMA: Dict[str, FrozenSet[str]] = {
     "scu.parity_error": frozenset({"node", "direction", "seq"}),
     "scu.start_stored": frozenset({"node", "group", "n_transfers"}),
     "scu.supervisor": frozenset({"node", "direction", "word"}),
+    # -- SCU hard-fault watchdog (companion papers) -------------------------
+    "scu.backoff": frozenset({"node", "direction", "wait"}),
+    "scu.link_down": frozenset({"node", "direction", "reason"}),
+    # -- fault-injection schedule -------------------------------------------
+    "fault.inject": frozenset({"kind", "node", "direction"}),
     # -- interrupt tree -----------------------------------------------------
     "irq.forward": frozenset({"node", "bits"}),
     "irq.present": frozenset({"node", "bits"}),
@@ -56,6 +65,7 @@ TRACE_SCHEMA: Dict[str, FrozenSet[str]] = {
     "gsum.complete": frozenset({"nwords", "hops", "dur"}),
     # -- solver layer -------------------------------------------------------
     "cg.iteration": frozenset({"rank", "iteration", "residual"}),
+    "cg.checkpoint": frozenset({"rank", "iteration"}),
 }
 
 #: tags whose records are spans (carry ``dur``; exporter draws intervals)

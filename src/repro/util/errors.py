@@ -21,3 +21,49 @@ class MachineError(ReproError):
 
 class ProtocolError(ReproError):
     """A link/packet protocol invariant was violated (corrupt header, ...)."""
+
+
+class FaultError(MachineError):
+    """A *permanent* hardware fault was detected (vs transient bit flips,
+    which the go-back-N resend protocol absorbs silently)."""
+
+
+class LinkDownError(FaultError):
+    """An SCU watchdog declared one serial-link direction dead.
+
+    Carries enough structure for the host daemon to diagnose and remap:
+    the detecting node, the physical link direction, and the watchdog's
+    reason string (``"resend-storm"``, ``"no-ack-progress"``,
+    ``"recv-stall"``).
+    """
+
+    def __init__(self, node: int, direction: int, reason: str):
+        super().__init__(
+            f"node {node} direction {direction}: link declared down ({reason})"
+        )
+        self.node = int(node)
+        self.direction = int(direction)
+        self.reason = reason
+
+
+class DegradedMachineError(MachineError):
+    """No healthy partition of the requested shape exists.
+
+    ``failed_nodes`` / ``dead_links`` record what the daemon knows about
+    the hardware loss; ``requested`` is the logical shape that could not
+    be placed.
+    """
+
+    def __init__(self, requested, failed_nodes=(), dead_links=(), detail=""):
+        requested = tuple(requested)
+        msg = (
+            f"no healthy sub-torus for logical dims {requested} "
+            f"({len(tuple(failed_nodes))} failed nodes, "
+            f"{len(tuple(dead_links))} dead links)"
+        )
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.requested = requested
+        self.failed_nodes = tuple(failed_nodes)
+        self.dead_links = tuple(dead_links)
