@@ -2,7 +2,7 @@ PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test protocol overlap bench bench-smoke verify verify-telemetry \
-        lint verify-sanitizer verify-faults
+        lint verify-sanitizer verify-faults verify-sharding
 
 ## tier-1: the full unit/integration/property suite
 test:
@@ -56,7 +56,12 @@ verify-sanitizer:
 verify-faults:
 	$(PYTEST) -m faults -q
 
+## sharded event engine: shards=1 vs N bit-identity across all fermion
+## actions, window-protocol edge cases, 64-node cross-shard conservation
+verify-sharding:
+	$(PYTEST) -m sharding -q
+
 ## what CI gates a merge on: tier-1 + overlap bit-exactness + static
-## analysis + the race sanitizer + the hard-fault suite
-verify: test overlap lint verify-sanitizer verify-faults
-	@echo "verify: tier-1 + overlap + lint + sanitizer + faults green"
+## analysis + the race sanitizer + the hard-fault + sharding suites
+verify: test overlap lint verify-sanitizer verify-faults verify-sharding
+	@echo "verify: tier-1 + overlap + lint + sanitizer + faults + sharding green"

@@ -176,3 +176,54 @@ class OrderedIterationRule(Rule):
                     "in sorted() before the order can reach the wire or "
                     "the trace",
                 )
+
+
+#: attribute names (underscore-insensitive) that hold cross-shard message
+#: buffers; their drain order *is* cross-shard event order
+_CROSS_SHARD_BUFFERS = frozenset(
+    {
+        "outbox",
+        "outboxes",
+        "mailbox",
+        "mailboxes",
+        "pending_posts",
+        "cross_posts",
+        "coordinator_box",
+    }
+)
+
+
+@register_rule
+class CrossShardIterationRule(Rule):
+    """Cross-shard message buffers drain only through ``sorted()``.
+
+    The sharded event engine's determinism contract pins barrier delivery
+    to the ``(time, src_shard, src_seq)`` total order
+    (:mod:`repro.sim.sync`).  A bare ``for`` loop (or comprehension /
+    ``list()`` / ``enumerate()`` materialisation) over an outbox/mailbox
+    attribute replays whatever insertion order this particular executor
+    produced — which differs between the serial and forked executors and
+    across shard counts.  Wrap the buffer in ``sorted(...)`` keyed on the
+    post's canonical order before the contents can act.
+    """
+
+    rule_id = "REPRO104"
+    name = "cross-shard-order"
+    summary = (
+        "cross-shard outbox/mailbox buffers must be drained in sorted() "
+        "order, never raw insertion order"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for iter_expr in _iteration_sites(module.tree):
+            if (
+                isinstance(iter_expr, ast.Attribute)
+                and iter_expr.attr.lstrip("_") in _CROSS_SHARD_BUFFERS
+            ):
+                yield self.finding(
+                    module,
+                    iter_expr,
+                    f"iteration over cross-shard buffer "
+                    f"{iter_expr.attr!r} in raw insertion order; drain "
+                    "through sorted(...) on the canonical post order",
+                )

@@ -135,6 +135,23 @@ class ASICConfig:
         return self.passthrough_bits / self.clock_hz + self.wire_latency
 
     @property
+    def shard_lookahead(self) -> float:
+        """Conservative lookahead bound for the sharded event engine.
+
+        The shortest cross-node influence the mesh can carry is a
+        bare-header HSSL frame (an ACK/RESEND/EOT control frame has no
+        payload words): header serialisation plus time of flight,
+        ``frame_header_bits / clock_hz + wire_latency`` — 26 ns at the
+        500 MHz design point.  Any frame transmitted at time ``t``
+        arrives at ``>= t + shard_lookahead``, so shards synchronised at
+        windows of this width never see traffic from their own window
+        (:mod:`repro.sim.sync`).  Global-sum completions clear the same
+        bound with margin: one reduction costs at least a full 72-bit
+        word serialisation (144 ns).
+        """
+        return self.frame_header_bits / self.clock_hz + self.wire_latency
+
+    @property
     def watchdog_detection_budget(self) -> float:
         """Worst-case no-progress detection latency of the SCU watchdog.
 

@@ -189,3 +189,151 @@ class GlobalOpsEngine:
         )
         self.history.append(stats)
         return arr.copy(), stats
+
+
+class ShardedGlobalOps(GlobalOpsEngine):
+    """The global-sum engine on a sharded simulator.
+
+    The single-heap engine completes a round inside the *last*
+    ``contribute_sum`` call — whose identity depends on cross-node event
+    interleaving, which windowed sharding permutes.  Here contributions
+    travel as barrier notifications to the window coordinator, which
+    completes a round when all ranks are present and schedules every
+    waiter at the **absolute** time ``max(contribution times) +
+    reduction_time`` — an order-independent rendezvous.  On the
+    single-heap engine contributions already execute in global time
+    order, so the last call *is* the max: both engines complete rounds
+    at bitwise-identical times with bitwise-identical canonical
+    rank-order sums.
+
+    Safety under conservative windows: ``reduction_time(1) >=
+    word_serialisation_time`` (144 ns at 500 MHz), which exceeds the
+    26 ns lookahead — a completion posted at the barrier always lands
+    beyond the next window's start.
+
+    The same message protocol serves both executors: under fork, each
+    rank's waiter event lives in the contributing worker
+    (``router.gsum_waiters``), contributions reach the parent
+    coordinator as pipe notifications, and completions return as data
+    posts decoded against the pre-fork engine registry.
+    """
+
+    def __init__(
+        self,
+        sim,
+        asic: ASICConfig,
+        logical_dims: Sequence[int],
+        doubled: bool = True,
+        trace: Optional[Trace] = None,
+    ):
+        super().__init__(sim, asic, logical_dims, doubled=doubled, trace=trace)
+        self.router = sim.router
+        self.engine_id = self.router.register_engine(self)
+        self.router.note_handlers.setdefault("gsum", _dispatch_gsum_note(self.router))
+        #: per-rank round counter on the contributing side (worker-local
+        #: under fork: each rank contributes its rounds in order)
+        self._local_gen: Dict[int, int] = {}
+        #: coordinator: per-rank arrival counter + open rounds
+        self._coord_gen: Dict[int, int] = {}
+        self._rounds: Dict[int, Dict[int, Tuple[float, np.ndarray, int]]] = {}
+        self._completed_gen = 0
+
+    # -- contributing (lane) side ------------------------------------------
+    def contribute_sum(self, rank: int, values: np.ndarray) -> Event:
+        """Contribute this rank's addend; event yields the global sum."""
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigError(f"rank {rank} out of range ({self.n_ranks} ranks)")
+        arr = np.ascontiguousarray(values)
+        gen = self._local_gen.get(rank, 0)
+        self._local_gen[rank] = gen + 1
+        ev = self.sim.event()
+        self.router.gsum_waiters[(self.engine_id, gen, rank)] = ev
+        self.router.notify(
+            "gsum", engine=self.engine_id, rank=rank, t=self.sim.now, values=arr
+        )
+        return ev
+
+    def _finish_rank(self, key: Tuple[int, int, int], value: np.ndarray,
+                     emit: Optional[dict]) -> None:
+        """Deliver one rank's completed sum (runs on the waiter's lane at
+        the rendezvous time; decoded by the router from a barrier post)."""
+        ev = self.router.gsum_waiters.pop(key)
+        if emit is not None and self.trace is not None:
+            self.trace.emit(
+                "gsum.complete",
+                nwords=emit["nwords"],
+                hops=emit["hops"],
+                dur=emit["dur"],
+            )
+        ev.succeed(value)
+
+    # -- coordinator (barrier) side ----------------------------------------
+    def _coordinator_note(self, note) -> None:
+        data = note.data
+        rank = data["rank"]
+        gen = self._coord_gen.get(rank, 0)
+        self._coord_gen[rank] = gen + 1
+        self._rounds.setdefault(gen, {})[rank] = (
+            data["t"],
+            data["values"],
+            note.src_shard,
+        )
+        self._try_complete()
+
+    def _try_complete(self) -> None:
+        while True:
+            round_ = self._rounds.get(self._completed_gen)
+            if round_ is None or len(round_) < self.n_ranks:
+                return
+            gen = self._completed_gen
+            del self._rounds[gen]
+            self._completed_gen += 1
+            ranks = sorted(round_)
+            _t0, first, _s0 = round_[ranks[0]]
+            for r in ranks[1:]:
+                arr = round_[r][1]
+                if arr.shape != first.shape:
+                    raise MachineError(
+                        f"global-sum shape mismatch: {arr.shape} vs {first.shape}"
+                    )
+                if arr.dtype != first.dtype:
+                    raise MachineError(
+                        f"global-sum dtype mismatch: {arr.dtype} vs {first.dtype}"
+                    )
+            # Canonical accumulation order: logical rank 0, 1, 2, ... —
+            # independent of the shard interleaving the contributions
+            # arrived in, hence bitwise identical to the single heap.
+            total = first.copy()
+            for r in ranks[1:]:
+                total = total + round_[r][1]
+            nwords = int(
+                np.asarray(total, dtype=np.complex128).view(np.float64).size
+            ) if np.iscomplexobj(total) else int(total.size)
+            duration = self.reduction_time(max(1, nwords))
+            t_complete = max(t for t, _v, _s in round_.values()) + duration
+            self.history.append(
+                CollectiveStats("sum", nwords, self.hops, duration, self.doubled)
+            )
+            for i, r in enumerate(ranks):
+                src_shard = round_[r][2]
+                emit = (
+                    {"nwords": nwords, "hops": self.hops, "dur": duration}
+                    if i == 0
+                    else None
+                )
+                self.router.coordinator_post(
+                    "gsum",
+                    src_shard,
+                    t_complete,
+                    (self.engine_id, gen, r),
+                    (total.copy(), emit),
+                )
+
+
+def _dispatch_gsum_note(router):
+    """The coordinator's ``"gsum"`` handler: route to the engine by id."""
+
+    def handle(note) -> None:
+        router.engines[note.data["engine"]]._coordinator_note(note)
+
+    return handle

@@ -75,6 +75,12 @@ class SerialLink:
         self.stuck = False
         #: frames that vanished into a dead cable
         self.frames_dropped = 0
+        #: ``(router, dst_shard, key)`` when this wire crosses a shard
+        #: boundary of a sharded simulator (set by
+        #: :meth:`repro.machine.network.MeshNetwork.bind_shards`):
+        #: deliveries are then posted through the window barrier instead
+        #: of scheduled directly.  ``None`` = same-shard (the seed path).
+        self.cross_shard = None
 
     # -- permanent faults --------------------------------------------------
     def fail(self, mode: str = "dead") -> None:
@@ -177,11 +183,16 @@ class SerialLink:
         done = self.sim.event()
         self.sim.schedule(serialised - self.sim.now, done.succeed)
         if self.alive:
-            self.sim.schedule(
-                serialised - self.sim.now + self.asic.wire_latency,
-                self._deliver,
-                frame,
-            )
+            arrival = serialised - self.sim.now + self.asic.wire_latency
+            if self.cross_shard is None:
+                self.sim.schedule(arrival, self._deliver, frame)
+            else:
+                # Crossing a shard boundary: batched into the window
+                # barrier.  ``arrival >= shard_lookahead`` always (at
+                # minimum one bare header + time of flight), so the
+                # delivery lands beyond the current window's horizon.
+                router, dst_shard, key = self.cross_shard
+                router.post_frame(dst_shard, self.sim.now + arrival, key, frame)
         else:
             # Dead cable: the sender clocks the bits out normally (it has
             # no way to know) but nothing arrives at the far end.
@@ -202,6 +213,28 @@ class SerialLink:
                 nwords=frame.nwords,
             )
         self._receiver(frame)  # type: ignore[misc]
+
+    # -- fork-executor state transfer ---------------------------------------
+    #: plain-value attributes a forked shard worker owns and ships home
+    _SNAPSHOT_ATTRS = (
+        "trained",
+        "_busy_until",
+        "frames_sent",
+        "bits_sent",
+        "faults_injected",
+        "busy_seconds",
+        "alive",
+        "stuck",
+        "frames_dropped",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Picklable wire state/counters (fork-executor gather)."""
+        return {name: getattr(self, name) for name in self._SNAPSHOT_ATTRS}
+
+    def restore_state(self, state: dict) -> None:
+        for name, value in sorted(state.items()):
+            setattr(self, name, value)
 
     # -- idle keepalive ---------------------------------------------------------
     def send_idle(self) -> Event:

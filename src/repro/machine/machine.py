@@ -14,20 +14,23 @@ interrupt controllers, and offers the operations the rest of the library
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.machine.asic import MachineConfig
 from repro.machine.faults import FAULT_IRQ_BIT
-from repro.machine.globalops import GlobalOpsEngine
+from repro.machine.globalops import GlobalOpsEngine, ShardedGlobalOps
 from repro.machine.interrupts import GlobalClock, InterruptController, safe_period
 from repro.machine.network import MeshNetwork
 from repro.machine.node import Node
 from repro.machine.topology import Partition, TorusTopology
 from repro.sim.core import Event, Process, Simulator
-from repro.sim.trace import Trace
-from repro.util.errors import FaultError, MachineError
+from repro.sim.shard import ShardedSimulator
+from repro.sim.sync import conservative_lookahead
+from repro.sim.trace import Trace, TraceRecord
+from repro.util.errors import ConfigError, FaultError, MachineError
 from repro.util.rng import rng_stream
 
 
@@ -64,6 +67,18 @@ class QCDOCMachine:
         receiver holds the idle-receive window, so watchdogs are only
         meaningful on machines whose host daemon handles LINK_DOWN
         escalation.
+    shards:
+        Partition the event simulation into this many window-synchronised
+        shards (:mod:`repro.sim.shard`).  ``1`` (default) uses the
+        single-heap engine unchanged; ``>= 2`` assigns contiguous node
+        ranges to shard lanes and exchanges cross-shard HSSL traffic at
+        conservative window barriers.  Observables (counters, residuals,
+        trace multisets) are bit-identical across shard counts.
+    shard_workers:
+        ``"serial"`` (default) runs all shard lanes in this process;
+        ``"fork"`` runs each shard in a forked OS worker during
+        :meth:`run_partition` (POSIX only), merging per-shard machine
+        state back from snapshots at the end of the run.
     """
 
     def __init__(
@@ -77,10 +92,27 @@ class QCDOCMachine:
         trace_maxlen: Optional[int] = None,
         sanitizer: Optional["HaloRaceSanitizer"] = None,
         watchdog: bool = False,
+        shards: int = 1,
+        shard_workers: str = "serial",
     ):
         self.config = config
         self.asic = config.asic
-        self.sim = Simulator()
+        if shards < 1:
+            raise ConfigError(f"need >= 1 shard, got {shards}")
+        if shard_workers not in ("serial", "fork"):
+            raise ConfigError(
+                f"shard_workers must be 'serial' or 'fork', got {shard_workers!r}"
+            )
+        if shard_workers == "fork" and not hasattr(os, "fork"):
+            raise ConfigError("shard_workers='fork' needs POSIX os.fork")
+        self.shards = int(shards)
+        self.shard_workers = shard_workers
+        if self.shards > 1:
+            self.sim: Simulator = ShardedSimulator(
+                self.shards, conservative_lookahead(self.asic)
+            )
+        else:
+            self.sim = Simulator()
         self.trace = Trace(self.sim, maxlen=trace_maxlen) if trace else None
         #: machine-wide halo-buffer race sanitizer (see
         #: :mod:`repro.analysis.sanitizer`); ``None`` = off, and every hook
@@ -132,6 +164,9 @@ class QCDOCMachine:
             )
             for i in self.nodes
         }
+        if self.shards > 1:
+            self.network.bind_shards(self.sim.router, self.shard_of)
+            self.sim.router.note_handlers["link_down"] = self._link_down_note
         self._booted = False
         #: LINK_DOWN reports collected from SCU watchdogs: (node, direction,
         #: reason), in detection order.  The host daemon reads this after a
@@ -142,10 +177,35 @@ class QCDOCMachine:
             node.scu.watchdog_enabled = self.watchdog
             node.scu.on_link_down = self._handle_link_down
 
+    # -- sharding ------------------------------------------------------------
+    def shard_of(self, node_id: int) -> int:
+        """The shard lane owning ``node_id``: contiguous node ranges.
+
+        ``shards > n_nodes`` is legal (the surplus lanes own no nodes and
+        simply idle at every window), so shard-count sweeps need no
+        machine-size guards.
+        """
+        return node_id * self.shards // self.n_nodes
+
+    def quiesce(self) -> None:
+        """Drain every pending event (all shard lanes, all windows).
+
+        The sharded engine commits whole windows, so mid-run state can
+        differ from the single-heap engine by events inside one lookahead.
+        After a full drain the engines agree bit-for-bit — compare
+        counters/traces only after calling this.
+        """
+        self.sim.run()
+
     # -- bring-up -----------------------------------------------------------
     def bring_up(self) -> None:
-        """Train every HSSL link (run to completion)."""
-        done = self.network.train_all()
+        """Train every HSSL link (run to completion).
+
+        Sharded machines use the batched trainer: one completion event for
+        the whole mesh instead of 3 heap operations per link, identical
+        observables (see :meth:`MeshNetwork.train_all`).
+        """
+        done = self.network.train_all(batched=self.shards > 1)
         self.sim.run(until=done)
         self._booted = True
 
@@ -182,7 +242,8 @@ class QCDOCMachine:
 
     def global_ops(self, partition: Partition, doubled: bool = True) -> GlobalOpsEngine:
         """A global-sum/broadcast engine for one partition."""
-        return GlobalOpsEngine(
+        cls = ShardedGlobalOps if self.shards > 1 else GlobalOpsEngine
+        return cls(
             self.sim,
             self.asic,
             partition.logical_dims,
@@ -236,6 +297,10 @@ class QCDOCMachine:
 
         if not self._booted:
             raise MachineError("bring_up() the machine before running programs")
+        if self.shards > 1:
+            return self._run_partition_sharded(
+                partition, program, max_time, program_kwargs
+            )
         engine = self.global_ops(partition)
         part_nodes = [
             self.nodes[partition.physical_node(r)] for r in range(partition.n_nodes)
@@ -291,6 +356,200 @@ class QCDOCMachine:
                 node.memory.free(name)
             node.scu.finish_drain()
 
+    # -- sharded program execution ------------------------------------------
+    def _run_partition_sharded(
+        self,
+        partition: Partition,
+        program: Callable[..., object],
+        max_time: float,
+        program_kwargs: dict,
+    ) -> List[object]:
+        """:meth:`run_partition` on the sharded engine.
+
+        No cross-shard ``AllOf``/``AnyOf`` (conditions would couple lanes
+        mid-window): ranks announce completion and hard faults as window
+        notifications, and the coordinator's stop predicate ends the run
+        at the first barrier where every rank has reported or any rank
+        faulted.  Under ``shard_workers="fork"`` the same notifications
+        travel over the worker pipes; rank return values and
+        :class:`FaultError` instances must then be picklable.
+        """
+        from repro.comms.api import CommsAPI  # local import: layering
+
+        engine = self.global_ops(partition)
+        n = partition.n_nodes
+        part_nodes = [self.nodes[partition.physical_node(r)] for r in range(n)]
+        pre_buffers = {
+            nd.node_id: set(nd.memory.buffer_names()) for nd in part_nodes
+        }
+        router = self.sim.router
+        done: Dict[int, Any] = {}
+        faults: List[BaseException] = []
+        router.note_handlers["rank_done"] = lambda note: done.__setitem__(
+            note.data["rank"], note.data["value"]
+        )
+        router.note_handlers["rank_fault"] = lambda note: faults.append(
+            note.data["exc"]
+        )
+
+        def guarded(api):
+            try:
+                result = yield from program(api, **program_kwargs)
+            except FaultError as exc:
+                router.notify("rank_fault", rank=api.rank, exc=exc)
+                return None
+            router.notify("rank_done", rank=api.rank, value=result)
+            return result
+
+        shard_of_rank = [self.shard_of(nd.node_id) for nd in part_nodes]
+        processes: List[Process] = []
+        for rank in range(n):
+            api = CommsAPI(self, partition, engine, rank, part_nodes[rank])
+            with self.sim.context(shard_of_rank[rank]):
+                processes.append(
+                    self.sim.process(guarded(api), name=f"rank{rank}")
+                )
+
+        def stop() -> bool:
+            return bool(faults) or len(done) == n
+
+        forked = self.shard_workers == "fork"
+        if forked:
+            self._install_fork_hooks(processes, part_nodes, shard_of_rank)
+            try:
+                self.sim.run_forked(
+                    stop,
+                    max_time=max_time,
+                    ctrl_for_stop=lambda: ["abort"] if faults else [],
+                )
+            finally:
+                self.sim.fork_hooks.clear()
+        else:
+            self.sim.run(stop=stop, max_time=max_time)
+        if not faults:
+            return [done[r] for r in range(n)]
+        if forked:
+            # The abort control hook already interrupted surviving ranks
+            # and cancelled transfers *inside* the workers, and the run
+            # drained before the state merge — only the parent-side
+            # buffer/bookkeeping cleanup remains.
+            for node in part_nodes:
+                for name in sorted(
+                    set(node.memory.buffer_names()) - pre_buffers[node.node_id]
+                ):
+                    node.memory.free(name)
+                node.scu.finish_drain()
+        else:
+            self._abort_partition(part_nodes, processes, pre_buffers)
+        raise faults[0]
+
+    def _install_fork_hooks(
+        self,
+        processes: List[Process],
+        part_nodes: List[Node],
+        shard_of_rank: List[int],
+    ) -> None:
+        """Wire this machine's state transfer into ``sim.run_forked``.
+
+        The abort hook runs *worker-side*: each worker interrupts only the
+        ranks whose home shard it owns (interrupting a copy-on-write image
+        of a foreign rank would double-execute its cleanup) and cancels
+        transfers on its own nodes.
+        """
+        watermark = self.trace.emitted if self.trace is not None else 0
+
+        def snapshot(shard: int) -> dict:
+            return self._shard_snapshot(shard, watermark)
+
+        def abort_ctrl(shard: int) -> None:
+            for proc, home in zip(processes, shard_of_rank):
+                if home == shard and proc.is_alive:
+                    proc.interrupt("partition abort")
+            for node in part_nodes:
+                if self.shard_of(node.node_id) == shard:
+                    node.scu.cancel_active_transfers()
+
+        self.sim.fork_hooks.update(
+            snapshot=snapshot,
+            apply=self._apply_shard_snapshots,
+            ctrl={"abort": abort_ctrl},
+        )
+
+    def _shard_snapshot(self, shard: int, trace_watermark: int) -> dict:
+        """Picklable machine state owned by one shard (runs in the worker).
+
+        Covers exactly what the parent's observables read after a run:
+        node memory (buffers, regions, DMA byte counters), CPU accounting,
+        SCU unit state/counters, interrupt latches, per-link wire
+        counters, and the trace records this worker emitted since the
+        pre-fork watermark.  LINK_DOWN reports are *not* snapshotted —
+        they reach the parent as window notifications during the run.
+        """
+        nodes: Dict[int, dict] = {}
+        for node_id in sorted(self.nodes):
+            if self.shard_of(node_id) != shard:
+                continue
+            node = self.nodes[node_id]
+            ic = self.interrupts[node_id]
+            nodes[node_id] = {
+                "buffers": dict(node.memory._buffers),
+                "regions": dict(node.memory._regions),
+                "read_bytes": dict(node.memory.read_bytes),
+                "write_bytes": dict(node.memory.write_bytes),
+                "flops_charged": node.flops_charged,
+                "compute_time": node.compute_time,
+                "kernel_flops": dict(node.kernel_flops),
+                "supervisor_events": list(node.supervisor_events),
+                "scu": node.scu.snapshot_state(),
+                "irq": (ic.seen_bits, ic.latched_bits, ic.presented_bits),
+            }
+        links = {
+            key: link.snapshot_state()
+            for key, link in sorted(self.network.links.items())
+            if self.shard_of(key[0]) == shard
+        }
+        trace_records: List[TraceRecord] = []
+        if self.trace is not None:
+            trace_records = [
+                r for r in self.trace.records if r.seq >= trace_watermark
+            ]
+        return {"nodes": nodes, "links": links, "trace": trace_records}
+
+    def _apply_shard_snapshots(self, snaps: List[Tuple[int, dict, float]]) -> None:
+        """Merge per-shard worker snapshots back into the parent machine.
+
+        Trace records are re-emitted in the global ``(time, seq, shard)``
+        order — the same total order the serial executor produces — so a
+        forked run's trace multiset *and* sequence match the serial one.
+        """
+        merged_trace: List[Tuple[float, int, int, TraceRecord]] = []
+        for shard, snap, _lane_now in snaps:
+            for node_id, st in sorted(snap["nodes"].items()):
+                node = self.nodes[node_id]
+                node.memory._buffers = st["buffers"]
+                node.memory._regions = st["regions"]
+                node.memory.read_bytes = st["read_bytes"]
+                node.memory.write_bytes = st["write_bytes"]
+                node.flops_charged = st["flops_charged"]
+                node.compute_time = st["compute_time"]
+                node.kernel_flops = st["kernel_flops"]
+                node.supervisor_events = st["supervisor_events"]
+                node.scu.restore_state(st["scu"])
+                ic = self.interrupts[node_id]
+                ic.seen_bits, ic.latched_bits, ic.presented_bits = st["irq"]
+                ic._presentation_scheduled = False
+            for key, link_state in sorted(snap["links"].items()):
+                self.network.links[key].restore_state(link_state)
+            for r in snap["trace"]:
+                merged_trace.append((r.time, r.seq, shard, r))
+        if self.trace is not None:
+            merged_trace.sort(key=lambda item: (item[0], item[1], item[2]))
+            for _t, _s, _k, r in merged_trace:
+                self.trace.records.append(
+                    TraceRecord(r.time, r.tag, r.fields, self.trace.emitted)
+                )
+                self.trace.emitted += 1
+
     # -- machine-wide services ---------------------------------------------------
     def raise_partition_interrupt(self, node_id: int, bits: int) -> None:
         self.interrupts[node_id].raise_irq(bits)
@@ -302,9 +561,24 @@ class QCDOCMachine:
         from the detecting node; the torus-redundant interrupt flood
         reaches the host even with one cable gone.  Repeat reports re-raise
         the same bit, which the controllers dedup (``seen_bits``).
+
+        On a sharded machine the interrupt flood stays in-lane (it rides
+        the mesh) but the host-daemon report crosses to the coordinator
+        as a window notification — under fork the detecting node's log
+        would otherwise die with the worker.
         """
-        self.link_down_log.append((node_id, direction, reason))
+        if self.shards > 1:
+            self.sim.router.notify(
+                "link_down", node=node_id, direction=direction, reason=reason
+            )
+        else:
+            self.link_down_log.append((node_id, direction, reason))
         self.interrupts[node_id].raise_irq(FAULT_IRQ_BIT)
+
+    def _link_down_note(self, note) -> None:
+        """Coordinator side of the sharded LINK_DOWN report path."""
+        d = note.data
+        self.link_down_log.append((d["node"], d["direction"], d["reason"]))
 
     def audit_checksums(self) -> List[str]:
         """End-of-run link checksum comparison (empty list = clean)."""

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.machine.asic import ASICConfig
-from repro.machine.hssl import SerialLink
+from repro.machine.hssl import TRAINING_BYTES, SerialLink
 from repro.machine.node import Node
 from repro.machine.packets import Frame
 from repro.machine.topology import TorusTopology
@@ -62,17 +62,61 @@ class MeshNetwork:
 
         return deliver
 
+    # -- sharding ------------------------------------------------------------
+    def bind_shards(self, router, shard_of) -> None:
+        """Wire the mesh into a sharded simulator's cross-shard router.
+
+        Every link registers under its ``(src, direction)`` key (the
+        fork executor resolves posted frames by key on the target side);
+        links whose endpoints live on different shards get their
+        deliveries routed through the window barrier.  Each
+        ``SerialLink`` is written only by its source node's units (ACK/
+        RESEND control frames travel on the *receiver's own* out-link),
+        so source-shard ownership partitions all link state cleanly.
+        """
+        for (src, direction), link in sorted(self.links.items()):
+            router.register_link((src, direction), link)
+            dst = self.topology.neighbour_by_direction(src, direction)
+            dst_shard = shard_of(dst)
+            if shard_of(src) != dst_shard:
+                link.cross_shard = (router, dst_shard, (src, direction))
+
     # -- bring-up ------------------------------------------------------------
-    def train_all(self) -> Event:
+    def train_all(self, batched: bool = False) -> Event:
         """Train every *live* HSSL link; the returned event completes when
         all are usable (they train concurrently, as after power-on).
 
         Links already known dead are skipped: a dead cable's training event
         never fires, so including one would hang bring-up forever — the
         daemon quarantines bad cables before calling this.
+
+        ``batched=True`` collapses the concurrent per-link training
+        events (plus the AllOf callback per link) into a *single* event
+        marking every live link trained at the common completion time —
+        identical observables (``trained`` flags, ``link.trained`` trace
+        records and times), O(1) instead of O(3·links) heap traffic.
+        The sharded machine boots this way; a 12,288-node mesh has
+        ~147k links.
         """
-        events = [link.train() for link in self.links.values() if link.alive]
-        return self.sim.all_of(events)
+        if not batched:
+            events = [link.train() for link in self.links.values() if link.alive]
+            return self.sim.all_of(events)
+        done = self.sim.event()
+        keys = sorted(k for k, link in self.links.items() if link.alive)
+        t_train = TRAINING_BYTES * 8 / self.asic.clock_hz
+
+        def finish_all():
+            for key in keys:
+                link = self.links[key]
+                if not link.alive:
+                    continue  # died while training
+                link.trained = True
+                if link.trace is not None:
+                    link.trace.emit("link.trained", link=link.name)
+            done.succeed()
+
+        self.sim.schedule(t_train, finish_all)
+        return done
 
     # -- permanent faults ------------------------------------------------------
     def fail_link(self, src: int, direction: int, mode: str = "dead") -> None:

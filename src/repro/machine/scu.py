@@ -311,6 +311,31 @@ class SendUnit:
         if done is not None and not done.triggered:
             done.fail(FaultError(f"send transfer cancelled: {reason}"))
 
+    # -- fork-executor state transfer --------------------------------------
+    #: plain-value attributes a forked shard worker owns and ships home
+    #: (transfer-transient state — ``words``/``done``/``_proc`` — is not
+    #: carried: the fork coordinator only snapshots quiesced shards)
+    _SNAPSHOT_ATTRS = (
+        "checksum",
+        "resends",
+        "payload_words",
+        "wire_words",
+        "acks_received",
+        "transfers_completed",
+        "watchdog_trips",
+        "backoff_waits",
+        "base",
+        "next",
+        "active",
+    )
+
+    def snapshot_state(self) -> dict:
+        return {name: getattr(self, name) for name in self._SNAPSHOT_ATTRS}
+
+    def restore_state(self, state: dict) -> None:
+        for name, value in sorted(state.items()):
+            setattr(self, name, value)
+
 
 class RecvUnit:
     """One direction's receive DMA engine, with idle-receive holding."""
@@ -566,6 +591,33 @@ class RecvUnit:
         done, self.done = self.done, None
         if done is not None and not done.triggered:
             done.fail(exc)
+
+    # -- fork-executor state transfer --------------------------------------
+    #: see :attr:`SendUnit._SNAPSHOT_ATTRS`
+    _SNAPSHOT_ATTRS = (
+        "checksum",
+        "expected",
+        "held_words",
+        "payload_words",
+        "parity_errors",
+        "resend_requests",
+        "acks_sent",
+        "idle_held_words_total",
+        "idle_hold_events",
+        "transfers_completed",
+        "watchdog_trips",
+        "backoff_waits",
+        "total",
+        "stored",
+        "write_cursor",
+    )
+
+    def snapshot_state(self) -> dict:
+        return {name: getattr(self, name) for name in self._SNAPSHOT_ATTRS}
+
+    def restore_state(self, state: dict) -> None:
+        for name, value in sorted(state.items()):
+            setattr(self, name, value)
 
 
 class SCU:
@@ -846,6 +898,30 @@ class SCU:
             if u.done is not None
         )
         return sender + receiver
+
+    # -- fork-executor state transfer -------------------------------------
+    def snapshot_state(self) -> dict:
+        """Picklable unit/protocol state for the fork-executor gather."""
+        return {
+            "send_units": {
+                d: u.snapshot_state() for d, u in sorted(self.send_units.items())
+            },
+            "recv_units": {
+                d: u.snapshot_state() for d, u in sorted(self.recv_units.items())
+            },
+            "links_down": dict(self.links_down),
+            "drained_frames": self.drained_frames,
+            "supervisor_reg": dict(self.supervisor_reg),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for d, unit_state in sorted(state["send_units"].items()):
+            self.send_units[d].restore_state(unit_state)
+        for d, unit_state in sorted(state["recv_units"].items()):
+            self.recv_units[d].restore_state(unit_state)
+        self.links_down = dict(state["links_down"])
+        self.drained_frames = state["drained_frames"]
+        self.supervisor_reg = dict(state["supervisor_reg"])
 
     # -- supervisor packets ---------------------------------------------------
     def send_supervisor(self, direction: int, word: int) -> Event:

@@ -14,10 +14,23 @@ are broken by a monotone sequence number, never by hash order or id().
 
 from repro.sim.core import AllOf, AnyOf, Event, Interrupt, Process, Simulator, Timeout
 from repro.sim.channel import Channel, Resource
+from repro.sim.shard import ShardedSimulator, ShardLane
+from repro.sim.sync import (
+    CrossShardRouter,
+    Notification,
+    ShardPost,
+    conservative_lookahead,
+)
 from repro.sim.trace import Trace
 
 __all__ = [
     "Simulator",
+    "ShardedSimulator",
+    "ShardLane",
+    "CrossShardRouter",
+    "ShardPost",
+    "Notification",
+    "conservative_lookahead",
     "Event",
     "Timeout",
     "Process",

@@ -37,6 +37,11 @@ class Channel:
         self.sim = sim
         self.capacity = capacity
         self.latency = latency
+        #: home shard lane (sharded engine): arrival events are pinned to
+        #: the lane the channel was built in, so a producer on another
+        #: lane cannot drag the consumer's wake-ups across shards.  On the
+        #: single-heap engine this is always 0 and ``context`` is a no-op.
+        self.home = sim.current_shard
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()  # (done-event, item)
@@ -67,7 +72,8 @@ class Channel:
     # -- internals ----------------------------------------------------------
     def _accept(self, item: Any) -> None:
         self._in_flight += 1
-        self.sim.schedule(self.latency, self._arrive, item)
+        with self.sim.context(self.home):
+            self.sim.schedule(self.latency, self._arrive, item)
 
     def _arrive(self, item: Any) -> None:
         self._items.append(item)

@@ -239,8 +239,36 @@ class AllOf(_Condition):
             self.succeed([ev._value for ev in self.events])
 
 
+class _NullShardContext:
+    """``Simulator.context()`` no-op (single-shard engines have one lane)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullShardContext":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
 class Simulator:
-    """Deterministic event loop over a (time, seq) heap."""
+    """Deterministic event loop over a (time, seq) heap.
+
+    Tie order: simultaneous events execute in ``seq`` (schedule) order —
+    ``seq`` is unique, so the heap never compares the callback objects.
+    The sharded engine (:mod:`repro.sim.shard`) extends this to a
+    ``(time, seq, shard)`` total order: per-lane heaps keep ``(time,
+    seq)`` and cross-shard deliveries are pinned by the barrier's
+    ``(time, src_shard, src_seq)`` flush order.
+    """
+
+    #: single-shard identity (the sharded subclass overrides these, so
+    #: machine code can be written against one shard-addressing API)
+    n_shards = 1
+    current_shard = 0
+    #: callbacks executed (instance attr from the first step; the
+    #: sharded subclass overrides this with a sum over its lanes)
+    events_processed = 0
 
     def __init__(self):
         self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
@@ -251,6 +279,14 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    def context(self, shard: int) -> _NullShardContext:
+        """Shard-routing context; a no-op on the single-heap engine."""
+        if shard != 0:
+            raise SimulationError(
+                f"single-shard simulator has no shard {shard}"
+            )
+        return _NullShardContext()
 
     # -- scheduling ---------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -280,6 +316,7 @@ class Simulator:
         """Execute the single next scheduled callback."""
         time, _seq, fn, args = heapq.heappop(self._heap)
         self._now = time
+        self.events_processed += 1
         fn(*args)
 
     def peek(self) -> float:

@@ -23,7 +23,12 @@ simulator's equivalent observability layer:
 """
 
 from repro.telemetry.chrometrace import chrome_trace_events, export_chrome_trace
-from repro.telemetry.counters import Counter, CounterBank, bank_for_machine
+from repro.telemetry.counters import (
+    Counter,
+    CounterBank,
+    bank_for_machine,
+    merge_samples,
+)
 from repro.telemetry.report import CrosscheckEntry, CrosscheckResult, MachineReport
 from repro.telemetry.schema import TRACE_SCHEMA, validate_record, validate_trace
 
@@ -31,6 +36,7 @@ __all__ = [
     "Counter",
     "CounterBank",
     "bank_for_machine",
+    "merge_samples",
     "MachineReport",
     "CrosscheckEntry",
     "CrosscheckResult",

@@ -30,9 +30,25 @@ and are merged into the same namespace at sampling time.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 Sample = Dict[str, float]
+
+
+def merge_samples(samples: Iterable[Sample]) -> Sample:
+    """Sum flat dotted-path samples into one (sharded-machine merge path).
+
+    Per-shard :meth:`CounterBank.sample` snapshots — or per-shard subsets
+    of one machine-wide bank — combine by plain addition because every
+    counter in the hierarchy is a sum (words, bytes, flops, seconds);
+    paths missing from a shard contribute zero.  Key order of the result
+    follows first appearance, so merging sorted inputs stays sorted.
+    """
+    out: Sample = {}
+    for sample in samples:
+        for path, value in sample.items():
+            out[path] = out.get(path, 0) + value
+    return out
 
 
 class Counter:

@@ -45,6 +45,13 @@ class LinkDownError(FaultError):
         self.direction = int(direction)
         self.reason = reason
 
+    def __reduce__(self):
+        # Default exception pickling replays ``cls(*args)`` with the
+        # formatted message as the only arg — wrong arity here.  Faults
+        # cross process boundaries as sharded-run notifications, so spell
+        # the constructor call out.
+        return (LinkDownError, (self.node, self.direction, self.reason))
+
 
 class DegradedMachineError(MachineError):
     """No healthy partition of the requested shape exists.
@@ -67,3 +74,12 @@ class DegradedMachineError(MachineError):
         self.requested = requested
         self.failed_nodes = tuple(failed_nodes)
         self.dead_links = tuple(dead_links)
+        self.detail = detail
+
+    def __reduce__(self):
+        # See LinkDownError.__reduce__: custom-arity ctor, must pickle
+        # by explicit reconstruction.
+        return (
+            DegradedMachineError,
+            (self.requested, self.failed_nodes, self.dead_links, self.detail),
+        )

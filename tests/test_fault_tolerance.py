@@ -649,6 +649,109 @@ class TestGlobalSumDtypeRegression:
 
 
 # ---------------------------------------------------------------------------
+# hard faults across a shard boundary (E16)
+# ---------------------------------------------------------------------------
+class TestCrossShardFaults:
+    """A dead cable *between* shards of the sharded event engine.
+
+    The fault machinery above all runs on the single-heap simulator;
+    these tests pin the sharded equivalents: the watchdog trip happens on
+    the lane that owns the cable, the LINK_DOWN escalation reaches the
+    machine log through the window barrier (not a cross-lane callback),
+    and detection still lands within the ASIC's declared budget plus at
+    most one conservative window of barrier latency.
+    """
+
+    def test_boundary_cable_trips_within_budget_plus_window(self):
+        m = QCDOCMachine(
+            MachineConfig(dims=(2, 2, 2, 1, 1, 1)),
+            watchdog=True,
+            trace=True,
+            shards=2,
+        )
+        m.bring_up()
+        d = m.topology.direction(0, +1)
+        dst = m.topology.neighbour_by_direction(0, d)
+        assert m.shard_of(0) == 0 and m.shard_of(dst) == 1  # boundary cable
+
+        nwords = 2000
+        m.nodes[0].memory.alloc("tx", np.arange(1, nwords + 1, dtype=np.uint64))
+        m.nodes[dst].memory.alloc("rx", np.zeros(nwords, dtype=np.uint64))
+        with m.sim.context(1):
+            recv = m.nodes[dst].scu.recv(
+                m.topology.opposite(d), DmaDescriptor("rx", block_len=nwords)
+            )
+        with m.sim.context(0):
+            send = m.nodes[0].scu.send(d, DmaDescriptor("tx", block_len=nwords))
+            t_kill = m.sim.now + 5e-6
+            m.sim.schedule(5e-6, m.network.fail_link, 0, d, "dead")
+
+        with pytest.raises(LinkDownError) as exc:
+            m.sim.run(until=m.sim.all_of([send, recv]), max_time=1.0)
+        assert exc.value.reason in ("no-ack-progress", "recv-stall", "resend-storm")
+        m.quiesce()  # flush the barrier so escalations reach the log
+
+        budget = m.config.asic.watchdog_detection_budget
+        window = m.sim.lookahead
+        trips = [r for r in m.trace.records if r.tag == "scu.link_down"]
+        assert trips, "watchdog never escalated across the boundary"
+        for r in trips:
+            assert r.time - t_kill <= (
+                budget + m.config.asic.watchdog_timeout + window
+            )
+        # the LINK_DOWN escalation crossed the barrier into the machine log
+        assert m.link_down_log
+        assert all(node in (0, dst) for node, _d, _r in m.link_down_log)
+        counters = [n.scu.transfer_counters() for n in m.nodes.values()]
+        assert sum(c["watchdog_trips"] for c in counters) >= 1
+        assert sum(c["link_down"] for c in counters) >= 1
+
+    def test_sharded_remap_resume_bit_identical(self, chaos_baseline):
+        """Kill a *boundary* cable mid-CG on a 2-shard chaos machine; the
+        daemon must diagnose, remap off the broken hyperplane, and resume
+        to the unsharded baseline's exact residual history and answer."""
+        m = QCDOCMachine(
+            MachineConfig(dims=DIMS),
+            word_batch=4096,
+            watchdog=True,
+            trace=True,
+            shards=2,
+        )
+        d = Qdaemon(m)
+        ok = d.boot()
+        assert all(ok.values())
+        gauge, b = chaos_problem()
+        # cable (0, 0) leaves node 0 along axis 0: its far end lives on
+        # the other shard of the id-contiguous split
+        far = m.topology.neighbour_by_direction(0, 0)
+        assert m.shard_of(0) != m.shard_of(far)
+        t_fault = m.sim.now + 0.4 * chaos_baseline["duration"]
+        sched = FaultSchedule(
+            [FaultEvent(time=t_fault, kind="link-dead", node=0, direction=0)]
+        )
+        sched.arm(m, d)
+        report = solve_resilient(
+            d, gauge, b, mass=0.3, groups=GROUPS, extents=EXTENTS,
+            tol=1e-8, max_time=1e9, checkpoint_every=10,
+        )
+        res = report.result
+        assert res.converged
+        assert report.n_restarts == 1
+        assert res.iterations == chaos_baseline["iterations"]
+        assert tuple(res.residuals) == chaos_baseline["residuals"]
+        assert res.x.tobytes() == chaos_baseline["x"]
+        ev = report.recoveries[0]
+        assert ev.partition_nodes != chaos_baseline["nodes"]
+        # detection budget holds with one window of barrier latency
+        budget = m.config.asic.watchdog_detection_budget
+        trips = [r.time for r in m.trace.records if r.tag == "scu.link_down"]
+        assert trips
+        assert min(trips) - t_fault <= (
+            budget + m.config.asic.watchdog_timeout + m.sim.lookahead
+        )
+
+
+# ---------------------------------------------------------------------------
 # the transient/permanent boundary (property-based)
 # ---------------------------------------------------------------------------
 class TestTransientPermanentBoundary:

@@ -118,6 +118,33 @@ class TestDeterminismRules:
         result = lint(tmp_path, "repro/comms/x.py", src, ["REPRO103"])
         assert result.clean
 
+    def test_cross_shard_buffer_iteration_fires(self, tmp_path):
+        # E16: a bare walk over a cross-shard message buffer delivers in
+        # append order, which differs between the serial and forked
+        # executors — only the (time, src_shard, src_seq) sort is legal
+        src = (
+            "class R:\n"
+            "    def flush(self):\n"
+            "        for post in self._outbox:\n"
+            "            post.deliver()\n"
+            "        return [n.kind for n in self.mailboxes]\n"
+        )
+        result = lint(tmp_path, "repro/sim/x.py", src, ["REPRO104"])
+        assert len(result.findings) == 2  # the for-loop and the listcomp
+        assert rules_fired(result) == ["REPRO104"]
+
+    def test_cross_shard_buffer_sorted_passes(self, tmp_path):
+        src = (
+            "class R:\n"
+            "    def flush(self):\n"
+            "        for post in sorted(self._outbox, key=lambda p: p.order):\n"
+            "            post.deliver()\n"
+            "        for item in self.queue:\n"  # not a cross-shard buffer
+            "            item.go()\n"
+        )
+        result = lint(tmp_path, "repro/sim/x.py", src, ["REPRO104"])
+        assert result.clean
+
 
 class TestProtocolRules:
     def test_dropped_completion_fires(self, tmp_path):
