@@ -2,7 +2,7 @@ PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test protocol overlap bench bench-smoke verify verify-telemetry \
-        lint verify-sanitizer verify-faults verify-sharding
+        lint verify-sanitizer verify-faults verify-sharding verify-hotpath
 
 ## tier-1: the full unit/integration/property suite
 test:
@@ -61,7 +61,13 @@ verify-faults:
 verify-sharding:
 	$(PYTEST) -m sharding -q
 
+## hot path: face-batch/replay bit-identity (protocol equivalence,
+## fault recovery, CG under shards) + the zero-allocation steady state
+verify-hotpath:
+	$(PYTEST) tests/test_replay_hotpath.py tests/test_hotpath_alloc.py -q
+
 ## what CI gates a merge on: tier-1 + overlap bit-exactness + static
-## analysis + the race sanitizer + the hard-fault + sharding suites
-verify: test overlap lint verify-sanitizer verify-faults verify-sharding
-	@echo "verify: tier-1 + overlap + lint + sanitizer + faults + sharding green"
+## analysis + the race sanitizer + the hard-fault + sharding + hot-path
+## suites
+verify: test overlap lint verify-sanitizer verify-faults verify-sharding verify-hotpath
+	@echo "verify: tier-1 + overlap + lint + sanitizer + faults + sharding + hotpath green"

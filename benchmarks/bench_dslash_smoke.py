@@ -1,14 +1,34 @@
 """Dslash smoke benchmark (``make bench-smoke``).
 
-Quantifies the two perf levers of the half-spinor PR on a deliberately
-comm-heavy tile and records them in ``BENCH_dslash.json`` at the repo
-root:
+Quantifies the hot-path perf levers on a deliberately comm-heavy tile
+(2 nodes, 2^4 local volume) and records them in ``BENCH_dslash.json`` at
+the repo root:
 
 * **Wire compression** — the compressed SCU exchange ships 12 words per
-  Wilson face site instead of the seed's 24; on a 2-node decomposition
-  with a 2^4 local volume and word-at-a-time DMA (``word_batch=1``, the
-  protocol-test convention) the simulated dslash step must be at least
-  1.5x faster than the seed full-spinor path.
+  Wilson face site instead of the seed's 24; with word-at-a-time DMA
+  (``word_batch=1``, the protocol-test convention) the simulated dslash
+  step must be at least 1.5x faster than the seed full-spinor path.
+* **Face batching** — ``word_batch="face"`` moves each halo face as one
+  frame: one 8-bit header per face instead of per word on the simulated
+  wire, and two orders of magnitude fewer simulator events on the host.
+* **Compiled replay** — replay never changes simulated time (the
+  replayed timeline is bit-identical by construction, asserted here); it
+  removes host-side event interpretation from steady-state iterations.
+* **Cumulative ≥3x row** — the three levers compound on the *host
+  wall-clock of the simulated steady-state dslash workload* (12
+  applications): seed configuration (full spinor, per-word DMA,
+  interpreted) vs hot path (compressed, face-batched, replayed) must be
+  at least **3x** faster end to end.  Simulated time is compute-bound on
+  this tile (the charged flops are physics-invariant), so the simulated-
+  time trajectory (1.52x compression, plus the face-batch header
+  savings) is recorded alongside, not gated at 3x.
+* **Bit-exactness attestation** — face batching is bit-identical to
+  per-word DMA in both wire formats, replay is bit-identical to the
+  interpreted engine, and the hot-path output is bit-identical to the
+  *serial* operator (the physics reference).  The seed full-spinor path
+  itself deviates from the serial kernel at fp-rounding level (it
+  multiplies before projecting); the compressed kernel matches the
+  serial arithmetic exactly.
 * **Memoised gather tables** — repeated operator applications must be
   pure cache hits; the wall-clock cost of rebuilding the index tables on
   every application (the seed behaviour) is measured against the
@@ -35,22 +55,44 @@ from repro.util import rng_stream
 
 GLOBAL_SHAPE = (4, 2, 2, 2)  # -> 2^4 local volume on a 2-node decomposition
 DIMS = (2, 1, 1, 1, 1, 1)
-WORD_BATCH = 1  # word-at-a-time DMA: the comm-heavy regime
+STEADY_APPLIES = 12  # steady-state workload for the cumulative wall row
 
 
-def _dslash_step(compress: bool):
-    """One distributed Wilson dslash application; returns
-    (simulated step seconds, per-rank transfer counters, face sites,
-    the machine itself — for the telemetry dump)."""
-    machine = QCDOCMachine(MachineConfig(dims=DIMS), word_batch=WORD_BATCH)
-    machine.bring_up()
-    partition = machine.partition(groups=[(0,), (1,), (2,), (3,)])
+def _problem():
     rng = rng_stream(17, "bench-dslash")
     geom = LatticeGeometry(GLOBAL_SHAPE)
     gauge = GaugeField.hot(geom, rng)
     psi = rng.standard_normal((geom.volume, 4, 3)) + 1j * rng.standard_normal(
         (geom.volume, 4, 3)
     )
+    return geom, gauge, psi
+
+
+def _serial_reference(applies: int = 1):
+    """The serial-operator ground truth for ``applies`` chained dslashes."""
+    geom, gauge, psi = _problem()
+    d = WilsonDirac(gauge, mass=0.3)
+    out = psi
+    for _ in range(applies):
+        out = d.apply(out)
+    return out
+
+
+def _dslash_step(compress: bool, word_batch, applies: int = 1, replay: bool = True):
+    """Run ``applies`` distributed Wilson dslash applications.
+
+    ``word_batch`` configures *both* the machine and the operator context
+    (the context default is ``"face"``; the seed configuration forces the
+    word-at-a-time protocol end to end).  Returns (simulated seconds,
+    host wall seconds, gathered result, per-rank transfer counters, face
+    sites, the machine).
+    """
+    machine = QCDOCMachine(
+        MachineConfig(dims=DIMS), word_batch=word_batch, replay=replay
+    )
+    machine.bring_up()
+    partition = machine.partition(groups=[(0,), (1,), (2,), (3,)])
+    geom, gauge, psi = _problem()
     mapping = PhysicsMapping(geom, partition)
     links = mapping.scatter_gauge(gauge)
     lpsi = mapping.scatter_field(psi)
@@ -63,16 +105,23 @@ def _dslash_step(compress: bool):
             mass=0.3,
             overlap=True,  # the seed default pipeline
             compress=compress,
+            word_batch=word_batch,
         )
-        out = yield from ctx.apply(lpsi[api.rank])
-        _ = out
-        return api.transfer_counters()
+        out = lpsi[api.rank]
+        for _ in range(applies):
+            out = yield from ctx.apply(out)
+        return out, api.transfer_counters()
 
     t0 = machine.sim.now
-    counters = machine.run_partition(partition, program)
+    w0 = time.perf_counter()
+    per_rank = machine.run_partition(partition, program)
+    wall = time.perf_counter() - w0
+    sim_t = machine.sim.now - t0
+    result = mapping.gather_field(np.stack([r[0] for r in per_rank]))
+    counters = [r[1] for r in per_rank]
     local = LatticeGeometry(mapping.local_shape)
     nface = local.volume // local.shape[0]
-    return machine.sim.now - t0, counters, nface, machine
+    return sim_t, wall, result, counters, nface, machine
 
 
 def _wall_time_per_application(cold: bool, n: int = 10) -> float:
@@ -97,15 +146,63 @@ def _wall_time_per_application(cold: bool, n: int = 10) -> float:
 
 @pytest.mark.perf
 def test_dslash_smoke(telemetry_report):
-    # -- simulated machine: compressed vs seed full-spinor exchange -------
-    t_comp, counters_comp, nface, machine = _dslash_step(compress=True)
-    t_full, counters_full, _, _ = _dslash_step(compress=False)
+    # -- word_batch x compression sweep over the simulated machine --------
+    # seed configuration: full spinor, word-at-a-time DMA
+    t_seed, _, r_seed, counters_full, nface, _ = _dslash_step(
+        compress=False, word_batch=1
+    )
+    # compression alone (the half-spinor PR's original claim)
+    t_comp, _, r_comp, counters_comp, _, _ = _dslash_step(
+        compress=True, word_batch=1
+    )
+    # face batching alone
+    t_face, _, r_face, _, _, _ = _dslash_step(compress=False, word_batch="face")
+    # the full hot path: compression + face batching
+    t_hot, _, r_hot, _, _, machine = _dslash_step(compress=True, word_batch="face")
+
     words_comp = counters_comp[0]["payload_words_sent"] // (2 * nface)
     words_full = counters_full[0]["payload_words_sent"] // (2 * nface)
     assert words_comp == HALF_SPINOR_WORDS  # 12 on the wire
     assert words_full == SPINOR_WORDS  # the seed's 24
-    speedup = t_full / t_comp
+    speedup = t_seed / t_comp
     assert speedup >= 1.5, f"compression speedup {speedup:.3f} < 1.5"
+    sim_hot_factor = t_seed / t_hot
+
+    # bit-exactness attestation, layer by layer:
+    #  * face batching never changes a bit in either wire format,
+    #  * the hot path reproduces the serial operator exactly (the seed
+    #    full-spinor path is the one with an fp-rounding deviation).
+    assert np.array_equal(r_seed, r_face), "face batching drifted (full spinor)"
+    assert np.array_equal(r_comp, r_hot), "face batching drifted (compressed)"
+    assert np.array_equal(r_hot, _serial_reference()), (
+        "hot path drifted from the serial operator"
+    )
+
+    # -- steady state: the cumulative >=3x row ---------------------------
+    # Host wall-clock of the simulated dslash workload, seed configuration
+    # (full spinor, per-word DMA, interpreted) vs the full hot path
+    # (compressed, face-batched, replayed).
+    _, wall_seed, r_seed_n, _, _, _ = _dslash_step(
+        compress=False, word_batch=1, applies=STEADY_APPLIES, replay=False
+    )
+    sim_int, wall_int, r_int, _, _, _ = _dslash_step(
+        compress=True, word_batch="face", applies=STEADY_APPLIES, replay=False
+    )
+    sim_rep, wall_rep, r_rep, _, _, m_rep = _dslash_step(
+        compress=True, word_batch="face", applies=STEADY_APPLIES, replay=True
+    )
+    replay_stats = m_rep.replay_stats()
+    assert replay_stats["epochs_replayed"] > 0, "replay never engaged"
+    assert sim_int == sim_rep  # the replayed timeline is exact
+    assert np.array_equal(r_int, r_rep)
+    assert np.array_equal(r_rep, _serial_reference(STEADY_APPLIES))
+
+    cumulative = wall_seed / wall_rep
+    assert cumulative >= 3.0, (
+        f"cumulative hot-path speedup {cumulative:.3f} < 3.0 "
+        f"(seed {wall_seed*1e3:.1f} ms vs hot {wall_rep*1e3:.1f} ms "
+        f"over {STEADY_APPLIES} applications)"
+    )
 
     # -- wall clock: memoised gather tables vs per-call rebuild ----------
     wall_cached = _wall_time_per_application(cold=False)  # builds tables
@@ -124,17 +221,60 @@ def test_dslash_smoke(telemetry_report):
             "global_lattice": list(GLOBAL_SHAPE),
             "local_lattice": [2, 2, 2, 2],
             "nodes": 2,
-            "word_batch": WORD_BATCH,
         },
         "wire_words_per_face_site": {
             "compressed": words_comp,
             "seed_full_spinor": words_full,
         },
         "simulated_dslash_step_seconds": {
-            "compressed": t_comp,
-            "seed_full_spinor": t_full,
+            "seed_full_spinor_word_batch_1": t_seed,
+            "compressed_word_batch_1": t_comp,
+            "full_spinor_face_batched": t_face,
+            "compressed_face_batched": t_hot,
         },
         "speedup_vs_seed_path": speedup,
+        "simulated_speedups": {
+            "compression": speedup,
+            "face_batching_full_spinor": t_seed / t_face,
+            "face_batching_compressed": t_comp / t_hot,
+            "hot_path_vs_seed": sim_hot_factor,
+            "note": (
+                "simulated time is compute-bound on this tile; the charged "
+                "flops are physics-invariant, so the simulated trajectory "
+                "saturates near the CPU floor"
+            ),
+        },
+        "cumulative_speedup_vs_seed": {
+            "factor": cumulative,
+            "metric": (
+                "host wall-clock of the simulated steady-state dslash "
+                f"workload ({STEADY_APPLIES} applications): seed "
+                "configuration (full spinor, word_batch=1, interpreted) "
+                "vs hot path (compressed, face-batched, replayed)"
+            ),
+            "levers": [
+                "half-spinor compression",
+                "face batching",
+                "compiled event-trace replay",
+            ],
+            "bit_exact": True,
+            "bit_exactness": (
+                "hot-path output bit-identical to the serial operator; "
+                "face batching bit-identical to word_batch=1 per wire "
+                "format; replayed timeline bit-identical to interpreted"
+            ),
+            "simulated_time_factor": sim_hot_factor,
+        },
+        "replay": {
+            "applies": STEADY_APPLIES,
+            "interpreted_wall_seconds": wall_int,
+            "replayed_wall_seconds": wall_rep,
+            "wall_factor_vs_interpreted": wall_int / wall_rep,
+            "epochs_replayed": replay_stats["epochs_replayed"],
+            "replayed_transfers": replay_stats["replayed_transfers"],
+            "interpreted_fallbacks": replay_stats["interpreted_fallbacks"],
+            "simulated_seconds_identical": sim_int == sim_rep,
+        },
         "wall_seconds_per_application": {
             "lattice": [8, 8, 8, 8],
             "memoised_tables": wall_cached,
@@ -150,7 +290,10 @@ def test_dslash_smoke(telemetry_report):
     telemetry = telemetry_report(machine, "dslash", force=True)
     print(
         f"\nBENCH_dslash: {words_comp} wire words/face site "
-        f"(seed {words_full}), sim speedup {speedup:.3f}x, "
+        f"(seed {words_full}), compression {speedup:.3f}x sim, "
+        f"hot path {sim_hot_factor:.3f}x sim / {cumulative:.2f}x wall "
+        f"cumulative over {STEADY_APPLIES} applies (bit-exact vs serial), "
+        f"replay {wall_int / wall_rep:.2f}x wall vs interpreted, "
         f"wall/apply {wall_cached * 1e3:.2f} ms memoised vs "
         f"{wall_cold * 1e3:.2f} ms rebuilt -> {out.name}"
         + (f" (+ {telemetry.name})" if telemetry else "")

@@ -9,7 +9,12 @@ when using standard networks like Ethernet."
 
 Unlike E1/E2 (analytic model), these numbers come out of the *functional*
 SCU protocol simulation: DMA fetch, frame serialisation, wire flight,
-window acks, DMA store.
+window acks, DMA store.  The sweep covers both DMA framings: the paper's
+word-at-a-time protocol (``word_batch=1``, one 8-bit header per 64-bit
+word) and the face-batched hot path (``word_batch="face"``, one header
+per transfer), whose delta is the closed form
+``(n - 1) * header_time`` — every saved header, no ack round trips to
+amortise because a single frame carries the whole face.
 """
 
 import numpy as np
@@ -23,9 +28,9 @@ from repro.perfmodel.latency import cluster_message_time
 from repro.util.units import NS, US
 
 
-def measure_transfer(nwords: int) -> float:
+def measure_transfer(nwords: int, word_batch=1) -> float:
     """Memory-to-memory time of an n-word transfer between neighbours."""
-    m = QCDOCMachine(MachineConfig(dims=(2, 1, 1, 1, 1, 1)))
+    m = QCDOCMachine(MachineConfig(dims=(2, 1, 1, 1, 1, 1)), word_batch=word_batch)
     m.bring_up()
     m.nodes[0].memory.alloc("tx", np.arange(1, nwords + 1, dtype=np.uint64))
     m.nodes[1].memory.alloc("rx", np.zeros(nwords, dtype=np.uint64))
@@ -39,23 +44,35 @@ def measure_transfer(nwords: int) -> float:
 
 def test_e03_memory_to_memory_latency(benchmark, report):
     sizes = (1, 3, 24, 96, 384)
-    times = benchmark.pedantic(
-        lambda: [measure_transfer(n) for n in sizes], rounds=1, iterations=1
+    times, times_face = benchmark.pedantic(
+        lambda: (
+            [measure_transfer(n, word_batch=1) for n in sizes],
+            [measure_transfer(n, word_batch="face") for n in sizes],
+        ),
+        rounds=1,
+        iterations=1,
     )
 
     t = report(
         "E3: nearest-neighbour transfer time (functional SCU simulation)",
-        ["words", "measured", "paper expectation", "Ethernet (to *begin*)"],
+        [
+            "words",
+            "word_batch=1",
+            "word_batch=face",
+            "paper expectation",
+            "Ethernet (to *begin*)",
+        ],
     )
     expectations = {
         1: "~600 ns",
         24: "600 ns + 3.3 us",
     }
-    for n, meas in zip(sizes, times):
+    for n, meas, meas_face in zip(sizes, times, times_face):
         t.add_row(
             [
                 n,
                 f"{meas/US:.3f} us",
+                f"{meas_face/US:.3f} us",
                 expectations.get(n, ""),
                 "5-10 us",
             ]
@@ -63,6 +80,7 @@ def test_e03_memory_to_memory_latency(benchmark, report):
     emit(t)
 
     by_n = dict(zip(sizes, times))
+    by_face = dict(zip(sizes, times_face))
     # first word: exactly the paper's 600 ns
     assert by_n[1] == pytest.approx(600 * NS, rel=1e-9)
     # 24 words: 600 ns + ~3.3 us streaming
@@ -70,3 +88,12 @@ def test_e03_memory_to_memory_latency(benchmark, report):
     assert abs((by_n[24] - by_n[1]) - 3.3 * US) < 0.05 * US
     # QCDOC finishes the paper's 24-word halo before Ethernet *begins*
     assert by_n[24] < 5 * US <= cluster_message_time(1) + 3 * US
+
+    # face batching: a single frame carries the transfer — 600 ns first
+    # word, then 128 ns (64 bits) per further word, no per-word headers
+    header_t = 8 / 500e6  # frame_header_bits / clock_hz = 16 ns
+    assert by_face[1] == pytest.approx(600 * NS, rel=1e-9)
+    assert by_face[24] == pytest.approx(600 * NS + 23 * 128 * NS, rel=1e-9)
+    for n in sizes:
+        # closed form: face batching saves exactly the n-1 extra headers
+        assert by_n[n] - by_face[n] == pytest.approx((n - 1) * header_t, abs=1e-12)

@@ -227,3 +227,107 @@ class CrossShardIterationRule(Rule):
                     f"{iter_expr.attr!r} in raw insertion order; drain "
                     "through sorted(...) on the canonical post order",
                 )
+
+
+#: numpy entry points that allocate a fresh array buffer.  The hot-path
+#: contract (see :mod:`repro.util.hotpath`) bans all of these inside
+#: ``@hot_path`` bodies — steady-state dslash/CG must run at a flat
+#: memory footprint out of context-owned scratch.
+_NP_ALLOCATORS = frozenset(
+    {
+        "zeros",
+        "empty",
+        "ones",
+        "full",
+        "zeros_like",
+        "empty_like",
+        "ones_like",
+        "full_like",
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "asfortranarray",
+        "copy",
+        "concatenate",
+        "stack",
+        "vstack",
+        "hstack",
+        "dstack",
+        "column_stack",
+        "tile",
+        "repeat",
+        "arange",
+        "linspace",
+        "eye",
+        "identity",
+        "outer",
+        "kron",
+        "pad",
+    }
+)
+
+
+def _is_hot_path_def(node: ast.AST) -> bool:
+    """True for a function definition carrying the ``@hot_path`` tag."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if dotted_name(target).split(".")[-1] == "hot_path":
+            return True
+    return False
+
+
+@register_rule
+class NoAllocationInHotLoopRule(Rule):
+    """No numpy allocation calls inside ``@hot_path`` functions.
+
+    The zero-copy contract: every buffer the steady-state dslash/CG
+    pipeline touches is preallocated once by the operator context, so a
+    solver iterating thousands of times runs allocation-free (the
+    software analogue of the SCU's in-place DMA staging).  Any
+    ``np.zeros``/``np.empty``/``np.concatenate``/``.copy()``/... call in
+    a tagged body defeats that — move the allocation to ``__init__`` and
+    use the ``out=`` kernel forms (``np.take(..., out=)``,
+    ``np.copyto``, ``np.einsum(..., out=)``).  The same contract is
+    enforced at runtime by ``tests/test_hotpath_alloc.py``.
+    """
+
+    rule_id = "REPRO105"
+    name = "no-allocation-in-hot-loop"
+    summary = (
+        "@hot_path functions must not call numpy allocators "
+        "(np.zeros/np.empty/.copy()/...); preallocate in __init__ and "
+        "use out= kernel forms"
+    )
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not _is_hot_path_def(node):
+                continue
+            for call in iter_calls(node):
+                target = dotted_name(call.func)
+                parts = target.split(".")
+                if (
+                    len(parts) >= 2
+                    and parts[0] in ("np", "numpy")
+                    and parts[-1] in _NP_ALLOCATORS
+                ):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{target}() allocates inside @hot_path "
+                        f"{node.name!r}; preallocate context scratch and "
+                        "use the out= form",
+                    )
+                elif len(parts) >= 2 and parts[-1] == "copy" and parts[0] not in (
+                    "copy",
+                    "copyreg",
+                ):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{target}() allocates a fresh array inside "
+                        f"@hot_path {node.name!r}; use np.copyto into "
+                        "context scratch",
+                    )

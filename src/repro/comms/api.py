@@ -175,11 +175,18 @@ class CommsAPI:
             san.register_logical(self.node.node_id, direction, axis, sign)
 
     # -- point-to-point ---------------------------------------------------------
-    def send(self, axis: int, sign: int, descriptor: DmaDescriptor) -> Event:
-        """Start a DMA send toward the logical ``(axis, sign)`` neighbour."""
+    def send(
+        self, axis: int, sign: int, descriptor: DmaDescriptor, word_batch=None
+    ) -> Event:
+        """Start a DMA send toward the logical ``(axis, sign)`` neighbour.
+
+        ``word_batch`` overrides the machine-wide frame batch for this one
+        transfer; ``"face"`` ships the whole descriptor as a single frame
+        (the hot-path default used by the distributed operators).
+        """
         direction = self._direction(axis, sign)
         self._register_logical(direction, axis, sign)
-        return self.node.scu.send(direction, descriptor)
+        return self.node.scu.send(direction, descriptor, word_batch=word_batch)
 
     def recv(self, axis: int, sign: int, descriptor: DmaDescriptor) -> Event:
         """Post a DMA receive from the logical ``(axis, sign)`` neighbour."""
@@ -195,12 +202,27 @@ class CommsAPI:
 
     # -- persistent descriptors ---------------------------------------------------
     def store_send(
-        self, axis: int, sign: int, descriptor: DmaDescriptor, group: str = "default"
+        self,
+        axis: int,
+        sign: int,
+        descriptor: DmaDescriptor,
+        group: str = "default",
+        word_batch=None,
     ) -> None:
+        """Store a persistent send descriptor.
+
+        ``word_batch`` pins the frame batch used every time this
+        descriptor starts (``"face"`` = whole face per frame).  The batch
+        is a property of the *send* side only — the receive protocol is
+        batch-agnostic, so there is no matching knob on
+        :meth:`store_recv` and no way to configure a mismatched pair.
+        """
         direction = self._direction(axis, sign)
         self._stored_logical[("send", direction)] = (axis, sign)
         self._register_logical(direction, axis, sign)
-        self.node.scu.store_descriptor("send", direction, descriptor, group=group)
+        self.node.scu.store_descriptor(
+            "send", direction, descriptor, group=group, word_batch=word_batch
+        )
 
     def store_recv(
         self, axis: int, sign: int, descriptor: DmaDescriptor, group: str = "default"
@@ -242,6 +264,22 @@ class CommsAPI:
     def transfer_counters(self) -> Dict[str, int]:
         """This node's cumulative SCU payload/wire word counters."""
         return self.node.scu.transfer_counters()
+
+    # -- hot-epoch replay (see repro.machine.replay) ---------------------------
+    def begin_hot_epoch(self, tag: str) -> None:
+        """Bracket the start of one steady-state operator application.
+
+        The first epoch of a ``tag`` runs interpreted while the SCU's
+        :class:`~repro.machine.replay.ReplayEngine` learns the stored
+        -descriptor schedule; subsequent epochs replay the compiled trace
+        (bit-identical results, counters, and trace records).  A no-op
+        when the engine is disabled.
+        """
+        self.node.scu.replay.begin_epoch(tag)
+
+    def end_hot_epoch(self, tag: str) -> None:
+        """Close the epoch opened by :meth:`begin_hot_epoch` (same tag)."""
+        self.node.scu.replay.end_epoch(tag)
 
     # -- supervisor ------------------------------------------------------------
     def send_supervisor(self, axis: int, sign: int, word: int) -> Event:

@@ -67,9 +67,17 @@ def sigma_munu(mu: int, nu: int) -> np.ndarray:
     return 0.5j * (GAMMA[mu] @ GAMMA[nu] - GAMMA[nu] @ GAMMA[mu])
 
 
-def apply_spin_matrix(m: np.ndarray, psi: np.ndarray) -> np.ndarray:
-    """Apply a 4x4 spin matrix to a field ``(..., 4, 3)``."""
-    return np.einsum("st,...tc->...sc", m, psi)
+def apply_spin_matrix(
+    m: np.ndarray, psi: np.ndarray, out: "np.ndarray | None" = None
+) -> np.ndarray:
+    """Apply a 4x4 spin matrix to a field ``(..., 4, 3)``.
+
+    ``out`` (which must not alias ``psi``) makes the call allocation-free
+    for the zero-copy hot path; the einsum arithmetic is identical.
+    """
+    if out is None:
+        return np.einsum("st,...tc->...sc", m, psi)
+    return np.einsum("st,...tc->...sc", m, psi, out=out)
 
 
 #: ``_PARTNER[mu, s]`` — the single column where ``GAMMA[mu]`` row ``s``
@@ -142,6 +150,10 @@ def spin_reconstruct(
     return out
 
 
-def gamma5_sandwich(psi: np.ndarray) -> np.ndarray:
-    """``gamma_5 psi`` for fields ``(..., 4, 3)``."""
-    return apply_spin_matrix(GAMMA5, psi)
+def gamma5_sandwich(psi: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
+    """``gamma_5 psi`` for fields ``(..., 4, 3)``.
+
+    ``out`` (which must not alias ``psi``) makes the call allocation-free
+    for the zero-copy hot-path ``D^+`` — identical einsum arithmetic.
+    """
+    return apply_spin_matrix(GAMMA5, psi, out=out)

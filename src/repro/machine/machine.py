@@ -41,7 +41,8 @@ class QCDOCMachine:
     ----------
     word_batch:
         SCU frame batching (1 = word-exact protocol; larger values
-        accelerate big error-free transfers, see :mod:`repro.machine.scu`).
+        accelerate big error-free transfers; ``"face"`` ships each whole
+        transfer as one frame, see :mod:`repro.machine.scu`).
     bit_error_rate:
         Per-wire-bit fault probability for resend-protocol experiments.
     compute_efficiency:
@@ -79,12 +80,20 @@ class QCDOCMachine:
         ``"fork"`` runs each shard in a forked OS worker during
         :meth:`run_partition` (POSIX only), merging per-shard machine
         state back from snapshots at the end of the run.
+    replay:
+        Enable the hot-epoch compiled event-trace replay engine
+        (:mod:`repro.machine.replay`): after the first dslash application
+        the per-application SCU schedule is memoized and subsequent
+        applications replay it with bit-identical results, counters, and
+        trace records.  On by default; it self-gates off wherever its
+        validity conditions (error-free, same-shard, watchdogs off) do
+        not hold.  ``False`` forces every transfer interpreted.
     """
 
     def __init__(
         self,
         config: MachineConfig,
-        word_batch: int = 1,
+        word_batch=1,
         bit_error_rate: float = 0.0,
         compute_efficiency: float = 1.0,
         seed: int = 0,
@@ -94,6 +103,7 @@ class QCDOCMachine:
         watchdog: bool = False,
         shards: int = 1,
         shard_workers: str = "serial",
+        replay: bool = True,
     ):
         self.config = config
         self.asic = config.asic
@@ -129,6 +139,7 @@ class QCDOCMachine:
                 word_batch=word_batch,
                 compute_efficiency=compute_efficiency,
                 sanitizer=sanitizer,
+                replay=replay,
             )
             for i in range(self.topology.n_nodes)
         }
@@ -269,6 +280,19 @@ class QCDOCMachine:
         from repro.telemetry.report import MachineReport  # local: layering
 
         return MachineReport.collect(self)
+
+    def replay_stats(self):
+        """Hot-epoch replay statistics summed over every node's engine.
+
+        ``epochs_replayed > 0`` is the benchmark's proof that the compiled
+        dslash event-trace path actually engaged (see
+        :mod:`repro.machine.replay`).
+        """
+        total: Dict[str, int] = {}
+        for node_id in sorted(self.nodes):
+            for key, value in self.nodes[node_id].scu.replay.stats().items():
+                total[key] = total.get(key, 0) + value
+        return total
 
     # -- program execution ------------------------------------------------------
     def run_partition(

@@ -52,6 +52,11 @@ class MeshNetwork:
             arrival = topology.opposite(direction)
             link.set_receiver(self._make_receiver(dst, arrival))
             nodes[src].scu.attach_link(direction, link)
+            # Replay delivery path: the sender's SCU can hand a compiled
+            # hot-epoch payload straight to the neighbour's engine (only
+            # ever used when the pair's links are same-shard, so both SCU
+            # objects are authoritative in this process).
+            nodes[src].scu.attach_peer(direction, nodes[dst].scu, arrival)
             self.links[(src, direction)] = link
 
     def _make_receiver(self, dst: int, arrival_direction: int):

@@ -135,9 +135,10 @@ class Node:
         asic: ASICConfig,
         node_id: int,
         trace: Optional[Trace] = None,
-        word_batch: int = 1,
+        word_batch=1,
         compute_efficiency: float = 1.0,
         sanitizer: Optional["HaloRaceSanitizer"] = None,
+        replay: bool = True,
     ):
         self.sim = sim
         self.asic = asic
@@ -152,6 +153,7 @@ class Node:
             trace=trace,
             word_batch=word_batch,
             sanitizer=sanitizer,
+            replay_enabled=replay,
         )
         self.trace = trace
         #: the halo-buffer race sanitizer shared with :attr:`scu` (``None``

@@ -88,6 +88,13 @@ def decode_header(header: int, payload_word: int = 0):
     return ptype, parity_ok
 
 
+#: shared zero-length payload for control frames (ACK/RESEND/IDLE/EOT) —
+#: read-only, so every control frame can alias it instead of allocating
+#: a fresh empty array per frame on the steady-state wire path.
+_NO_WORDS = np.empty(0, dtype=np.uint64)
+_NO_WORDS.setflags(write=False)
+
+
 @dataclass
 class Frame:
     """One link-level frame: a typed header plus payload words.
@@ -100,9 +107,7 @@ class Frame:
     """
 
     ptype: PacketType
-    words: np.ndarray = field(
-        default_factory=lambda: np.empty(0, dtype=np.uint64)
-    )
+    words: np.ndarray = field(default_factory=lambda: _NO_WORDS)
     seq: int = 0  # transfer-local sequence number of the first word
     #: corruption injected by the fault model: index of flipped bit, or None
     corrupt_bit: Optional[int] = None
@@ -115,17 +120,22 @@ class Frame:
         return int(self.words.size)
 
     def wire_bits(self, header_bits: int = 8, payload_bits: int = 64) -> int:
-        """Bits on the wire: one header per payload word (or bare header).
+        """Bits on the wire: one header per frame plus its payload words.
 
         Partition-interrupt packets carry only 8 payload bits (paper
         section 2.2 item 3); control frames (ACK/RESEND/IDLE/EOT) are a
-        bare header.
+        bare header.  A multi-word data frame amortises the header over
+        the batch — ``header + n*payload`` bits — which is the face-batch
+        wire accounting: ``bits(n, batch) = ceil(n/batch)*header +
+        n*payload`` for an error-free n-word transfer.  Single-word frames
+        (``word_batch=1``) cost exactly ``header + payload`` bits, so the
+        protocol suite's per-word timing closed forms are unchanged.
         """
         if self.ptype == PacketType.PARTITION_IRQ:
             return header_bits + 8
         if self.nwords == 0:
             return header_bits
-        return self.nwords * (header_bits + payload_bits)
+        return header_bits + self.nwords * payload_bits
 
     def is_corrupt(self) -> bool:
         return self.corrupt_bit is not None

@@ -1,0 +1,597 @@
+"""Compiled event-trace replay for steady-state stored-descriptor exchanges.
+
+The distributed operators apply the same dslash thousands of times per
+solve, and every application runs the *identical* SCU event schedule: the
+same stored descriptors start in the same groups, every face moves as one
+error-free frame (``word_batch="face"``), and the protocol interleaving is
+a pure function of the ASIC latency constants.  Interpreting that schedule
+through the full per-frame protocol machinery (send process, window
+bookkeeping, frame dispatch, ACK/EOT round trips) costs a dozen-plus heap
+events per transfer — pure simulator overhead once the schedule is known.
+
+This module memoizes the schedule.  Each operator application is bracketed
+as a **hot epoch** (:meth:`repro.comms.api.CommsAPI.begin_hot_epoch` /
+``end_hot_epoch``).  The first epoch of a tag runs fully interpreted while
+the engine *learns*: it validates that every stored transfer completed as
+a single error-free frame and records its descriptor signature.  From the
+second epoch on, ``start_stored`` transfers are *replayed*: the engine
+moves the payload directly from the sender's memory into the receiver's
+descriptor target and schedules the completion callbacks from the closed
+-form protocol timeline — the exact times the interpreted protocol would
+produce:
+
+* data frame clocked out after ``dma_fetch + scu_inject``, serialising
+  ``header + 64 n`` bits (queueing behind any busy wire, as
+  ``SerialLink.transmit`` would);
+* delivery ``wire_latency`` later; if no descriptor is posted yet the
+  payload parks in the engine's idle-hold slot (idle-receive counters
+  tick exactly as ``RecvUnit.on_data`` would);
+* on acceptance the receiver's ACK serialises on the reverse wire, data
+  becomes usable after ``scu_eject + dma_store``, and the sender clocks
+  its EOT out once the ACK lands.
+
+Everything observable is preserved bit-for-bit against the interpreted
+path: result buffers, per-unit transfer counters, link frame/bit/busy
+accounting, per-end checksums, sanitizer DMA claims, and the trace
+records — ``scu.send`` / ``scu.recv`` / ``scu.start_stored`` with their
+times and durations, plus the per-frame ``link.deliver`` records for the
+data, ACK and EOT frames (emitted only when tracing is on).  Six heap
+callbacks replace the interpreted protocol's process machinery, frame
+objects, and per-frame dispatch.
+
+Validity gate (one verdict per wire pair per epoch):
+
+* both wires of the pair alive, trained, not stuck, ``bit_error_rate == 0``
+  and not ``cross_shard`` (cross-shard pairs always interpret — sharded
+  runs stay bit-identical because replay only ever engages where the
+  interpreted schedule is deterministic and both SCUs are in-process);
+* hard-fault watchdogs disabled on both nodes (fault-tolerance machinery
+  must observe real protocol stalls, so watchdog-armed machines never
+  compile);
+* both engines hold a compiled record for the epoch tag.
+
+Because the two nodes of a pair reach the same logical epoch at
+*different simulation times* (the ranks skew by wire latencies), the gate
+is never evaluated twice: the first endpoint to touch a pair in its k-th
+epoch of a tag evaluates the gate once and writes the verdict into
+**both** engines' ledgers, keyed by (direction, tag, k); the other
+endpoint reads the stored verdict back.  A transfer's matched send and
+receive therefore always agree on replay-vs-interpret, even when one
+node is still learning epoch k while its neighbour has already compiled
+— the failure mode that otherwise deadlocks (a replayed send delivering
+into the engine while an interpreted receiver starves on the wire).
+Epoch indices line up across nodes because every rank runs the same
+program, and a node cannot finish epoch k before its neighbour has begun
+it (the epoch's receives rendezvous with the neighbour's sends).
+
+The compiled record is invalidated whenever its assumptions can have
+changed: a descriptor is (re)stored, active transfers are cancelled
+(partition abort), or a link goes down.  The next epoch then relearns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.util.errors import ProtocolError
+
+
+class _TransferSig:
+    """Learned identity of one stored transfer within an epoch."""
+
+    __slots__ = ("desc_id", "buffer", "nwords", "group", "batch", "indices")
+
+    def __init__(self, descriptor, group, batch):
+        self.desc_id = id(descriptor)
+        self.buffer = descriptor.buffer
+        self.nwords = descriptor.total_words
+        self.group = group
+        self.batch = batch
+        self.indices = descriptor.indices()
+
+
+class EpochRecord:
+    """What one learning epoch established about a tag's schedule."""
+
+    __slots__ = ("tag", "compiled", "uncompilable", "transfers", "pending")
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.compiled = False
+        #: reason this tag can never replay (``None`` = still eligible)
+        self.uncompilable: Optional[str] = None
+        self.transfers: Dict[Tuple[str, int], _TransferSig] = {}
+        #: learn-time transfers started but not yet completed
+        self.pending = 0
+
+
+class _SendCtx:
+    """Sender-side state threaded through a replayed transfer's callbacks."""
+
+    __slots__ = ("engine", "direction", "unit", "done", "t0", "nwords")
+
+    def __init__(self, engine, direction, unit, done, t0, nwords):
+        self.engine = engine
+        self.direction = direction
+        self.unit = unit
+        self.done = done
+        self.t0 = t0
+        self.nwords = nwords
+
+
+class _PendingRecv:
+    """A replayed receive posted and waiting for its payload."""
+
+    __slots__ = ("direction", "sig", "done", "t_post")
+
+    def __init__(self, direction, sig, done, t_post):
+        self.direction = direction
+        self.sig = sig
+        self.done = done
+        self.t_post = t_post
+
+
+class ReplayEngine:
+    """Per-SCU learn/replay state machine for hot-epoch transfers."""
+
+    def __init__(self, scu, enabled: bool = True):
+        self.scu = scu
+        self.enabled = enabled
+        self.records: Dict[str, EpochRecord] = {}
+        self.active_tag: Optional[str] = None
+        #: ``None`` (interpreted), ``"learn"`` or ``"replay"``
+        self.mode: Optional[str] = None
+        #: how many epochs of each tag this node has begun (the epoch
+        #: index k that lines up across nodes — see the verdict ledger)
+        self.epoch_seq: Dict[str, int] = {}
+        self.active_seq: int = 0
+        #: pair verdict ledger: (direction, tag, k) -> replay this pair's
+        #: epoch-k transfers?  Written by whichever endpoint of the pair
+        #: evaluates the gate first (into both engines), read by the other.
+        self._verdicts: Dict[Tuple[int, str, int], bool] = {}
+        #: replayed receives posted this epoch, awaiting delivery
+        self._pending: Dict[int, _PendingRecv] = {}
+        #: payload delivered before the receive was posted (idle hold)
+        self._held: Dict[int, Tuple[np.ndarray, _SendCtx]] = {}
+        # -- statistics (read by tests and benchmarks) ---------------------
+        self.epochs_learned = 0
+        self.epochs_replayed = 0
+        self.replayed_transfers = 0
+        self.interpreted_fallbacks = 0
+        self.invalidations = 0
+
+    # -- epoch bracketing ---------------------------------------------------
+    def begin_epoch(self, tag: str) -> None:
+        if not self.enabled:
+            return
+        if self.active_tag is not None:
+            raise ProtocolError(
+                f"node {self.scu.node_id}: hot epoch {self.active_tag!r} "
+                f"still active when {tag!r} begins"
+            )
+        self.active_tag = tag
+        self.active_seq = self.epoch_seq.get(tag, 0) + 1
+        self.epoch_seq[tag] = self.active_seq
+        if self._verdicts:
+            # Prune stale verdicts: anything older than the previous epoch
+            # of this tag can no longer be consulted by either endpoint
+            # (the neighbour is at most one epoch behind — rendezvous).
+            keep = self.active_seq - 1
+            self._verdicts = {
+                key: v
+                for key, v in self._verdicts.items()
+                if key[1] != tag or key[2] >= keep
+            }
+        rec = self.records.get(tag)
+        if rec is not None and rec.uncompilable is not None:
+            self.mode = None
+        elif rec is not None and rec.compiled:
+            self.mode = "replay"
+        else:
+            # no record, or a half-learned one from an aborted epoch
+            self.records[tag] = EpochRecord(tag)
+            self.mode = "learn"
+
+    def end_epoch(self, tag: str) -> None:
+        if not self.enabled:
+            return
+        if self.active_tag != tag:
+            raise ProtocolError(
+                f"node {self.scu.node_id}: end of hot epoch {tag!r} but "
+                f"{self.active_tag!r} is active"
+            )
+        if self.mode == "learn":
+            rec = self.records.get(tag)
+            if rec is not None:
+                if rec.pending:
+                    rec.uncompilable = "transfer outlived its learning epoch"
+                elif rec.uncompilable is None:
+                    rec.compiled = True
+                    self.epochs_learned += 1
+        elif self.mode == "replay":
+            if self._pending:
+                raise ProtocolError(
+                    f"node {self.scu.node_id}: replayed receives on "
+                    f"directions {sorted(self._pending)} never got their "
+                    "payload (replay causality violation)"
+                )
+            self.epochs_replayed += 1
+        self.active_tag = None
+        self.mode = None
+
+    def invalidate(self, reason: str) -> None:
+        """Drop every compiled record; the next epoch per tag relearns."""
+        if not self.enabled or (not self.records and self.active_tag is None):
+            return
+        self.records.clear()
+        self.invalidations += 1
+        # Mid-epoch invalidation: stop learning/replaying further transfers
+        # this epoch (already-scheduled replay completions still land).
+        self.mode = None
+        # Retract standing pair verdicts on both ends of every wire pair so
+        # neighbours re-evaluate against the cleared records (same-shard
+        # peers only — cross-shard pairs never hold verdicts).
+        self._verdicts.clear()
+        for direction, (peer_scu, arrival) in self.scu.peers.items():
+            link = self.scu.out_links.get(direction)
+            if link is None or link.cross_shard is not None:
+                continue  # never touch a cross-shard twin's state
+            eng = peer_scu.replay
+            if eng is not None and eng._verdicts:
+                eng._verdicts = {
+                    key: v
+                    for key, v in eng._verdicts.items()
+                    if key[0] != arrival
+                }
+
+    # -- learning -----------------------------------------------------------
+    def observe(self, kind, direction, descriptor, group, batch, event) -> None:
+        """Record one interpreted stored transfer of a learning epoch."""
+        if self.mode != "learn":
+            return
+        rec = self.records.get(self.active_tag)
+        if rec is None or rec.uncompilable is not None:
+            return
+        if kind == "send":
+            unit = self.scu.send_units[direction]
+            snap = (unit.payload_words, unit.acks_received, unit.resends)
+        else:
+            unit = self.scu.recv_units[direction]
+            snap = (
+                unit.payload_words,
+                unit.acks_sent,
+                unit.parity_errors + unit.resend_requests,
+            )
+        rec.pending += 1
+        event.add_callback(
+            lambda ev: self._learn_done(
+                rec, kind, direction, descriptor, group, batch, unit, snap, ev
+            )
+        )
+
+    def _learn_done(
+        self, rec, kind, direction, descriptor, group, batch, unit, snap, event
+    ) -> None:
+        rec.pending -= 1
+        if rec.uncompilable is not None:
+            return
+        if not event.ok:
+            rec.uncompilable = "transfer failed during learning epoch"
+            return
+        dp = unit.payload_words - snap[0]
+        da = (unit.acks_received if kind == "send" else unit.acks_sent) - snap[1]
+        if kind == "send":
+            derr = unit.resends - snap[2]
+        else:
+            derr = unit.parity_errors + unit.resend_requests - snap[2]
+        if derr != 0:
+            rec.uncompilable = "resends/parity errors during learning epoch"
+        elif da != 1:
+            rec.uncompilable = "multi-frame transfer (batch below face size)"
+        elif dp != descriptor.total_words:
+            rec.uncompilable = "partial transfer during learning epoch"
+        else:
+            rec.transfers[(kind, direction)] = _TransferSig(
+                descriptor, group, batch
+            )
+
+    # -- replay -------------------------------------------------------------
+    def try_transfer(self, kind, direction, descriptor, group, batch):
+        """Replay one stored transfer, or return ``None`` to interpret it."""
+        if self.mode != "replay":
+            return None
+        rec = self.records[self.active_tag]
+        sig = rec.transfers.get((kind, direction))
+        if sig is None:
+            # the learning epoch never saw this transfer: schedule changed
+            # without an invalidation — engine invariant broken
+            raise ProtocolError(
+                f"node {self.scu.node_id}: compiled epoch "
+                f"{self.active_tag!r} has no ({kind}, {direction}) transfer"
+            )
+        if (
+            sig.desc_id != id(descriptor)
+            or sig.group != group
+            or sig.batch != batch
+        ):
+            raise ProtocolError(
+                f"node {self.scu.node_id}: stored ({kind}, {direction}) "
+                "descriptor changed without invalidating the compiled epoch"
+            )
+        peer = self._pair_verdict(direction)
+        if peer is None:
+            self.interpreted_fallbacks += 1
+            return None
+        if kind == "send":
+            return self._replay_send(direction, sig, peer)
+        return self._replay_recv(direction, sig)
+
+    def _pair_verdict(self, direction):
+        """One replay-vs-interpret verdict per wire pair per epoch index.
+
+        The two nodes of a pair reach the same logical epoch at different
+        simulation times, so any gate evaluated independently at each end
+        can disagree (one neighbour may still be learning when the other
+        starts replaying — an asymmetry that deadlocks).  Instead, the
+        first endpoint to touch the pair in its k-th epoch evaluates the
+        gate once and stores the verdict in *both* engines' ledgers; the
+        other endpoint reads it back.  A transfer's matched send and
+        receive therefore always agree.
+        """
+        scu = self.scu
+        pair = scu.peers.get(direction)
+        if pair is None:
+            return None
+        peer_scu, arrival = pair
+        # Structural screen before touching any ledger: cross-shard pairs
+        # never replay and their peer objects are stale fork twins whose
+        # state must not be written.
+        my_link = scu.out_links.get(direction)
+        peer_link = peer_scu.out_links.get(arrival)
+        if (
+            my_link is None
+            or my_link.cross_shard is not None
+            or peer_link is None
+            or peer_link.cross_shard is not None
+        ):
+            return None
+        peer_engine = peer_scu.replay
+        if peer_engine is None:
+            return None
+        key = (direction, self.active_tag, self.active_seq)
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            verdict = self._evaluate_pair(
+                peer_scu, peer_engine, my_link, peer_link
+            )
+            self._verdicts[key] = verdict
+            peer_engine._verdicts[
+                (arrival, self.active_tag, self.active_seq)
+            ] = verdict
+        if not verdict:
+            return None
+        return peer_engine, arrival
+
+    def _evaluate_pair(self, peer_scu, peer_engine, my_link, peer_link) -> bool:
+        """The gate proper, evaluated once per (pair, tag, epoch index)."""
+        if self.scu.watchdog_enabled or peer_scu.watchdog_enabled:
+            return False
+        if not peer_engine.enabled:
+            return False
+        peer_rec = peer_engine.records.get(self.active_tag)
+        if peer_rec is None or not peer_rec.compiled or peer_rec.uncompilable:
+            return False
+        for link in (my_link, peer_link):
+            if (
+                not link.healthy
+                or not link.trained
+                or link.bit_error_rate > 0.0
+            ):
+                return False
+        return True
+
+    def _replay_send(self, direction, sig, peer):
+        scu, sim, asic = self.scu, self.scu.sim, self.scu.asic
+        unit = scu.send_units[direction]
+        if unit.active:
+            return None  # interpreted path reports the protocol error
+        peer_engine, arrival = peer
+        # Exactly what SendUnit.start captures (a view when already
+        # contiguous uint64 — identical aliasing semantics to interpreted).
+        words = np.ascontiguousarray(
+            scu.memory_read(sig.buffer, sig.indices), dtype=np.uint64
+        )
+        n = len(words)
+        unit.checksum.update(words)
+        unit.wire_words += n
+        done = sim.event()
+        ctx = _SendCtx(self, direction, unit, done, sim.now, n)
+        san = scu.sanitizer
+        if san is not None:
+            claim = san.dma_begin(scu.node_id, sig.buffer, "send", direction, n)
+            done.add_callback(lambda _e, c=claim, s=san: s.dma_end(c))
+        sim.schedule(
+            asic.dma_fetch_latency + asic.scu_inject_latency,
+            self._tx_data,
+            ctx,
+            words,
+            peer_engine,
+            arrival,
+        )
+        self.replayed_transfers += 1
+        return done
+
+    def _replay_recv(self, direction, sig):
+        scu, sim = self.scu, self.scu.sim
+        unit = scu.recv_units[direction]
+        if unit.descriptor is not None or unit.done is not None:
+            return None  # interpreted path reports the protocol error
+        done = sim.event()
+        san = scu.sanitizer
+        if san is not None:
+            claim = san.dma_begin(
+                scu.node_id, sig.buffer, "recv", direction, sig.nwords
+            )
+            done.add_callback(lambda _e, c=claim, s=san: s.dma_end(c))
+        pending = _PendingRecv(direction, sig, done, sim.now)
+        held = self._held.pop(direction, None)
+        if held is not None:
+            words, ctx = held
+            self._replay_accept(pending, words, ctx)
+        else:
+            self._pending[direction] = pending
+        self.replayed_transfers += 1
+        return done
+
+    # -- the closed-form protocol timeline ----------------------------------
+    def _clock_out(self, direction: int, bits: int) -> float:
+        """Serialise ``bits`` on this node's out-wire; return finish time.
+
+        Mirrors :meth:`SerialLink.transmit` accounting exactly: queue
+        behind ``_busy_until``, charge ``bits / clock_hz`` of busy time.
+        """
+        link = self.scu.out_links[direction]
+        start = max(self.scu.sim.now, link._busy_until)
+        end = start + bits / self.scu.asic.clock_hz
+        link._busy_until = end
+        link.frames_sent += 1
+        link.bits_sent += bits
+        link.busy_seconds += end - start
+        return end
+
+    def _emit_deliver(self, link, ptype: str, seq: int, nwords: int) -> None:
+        """Emit the per-frame ``link.deliver`` record at delivery time.
+
+        Matches :meth:`SerialLink._deliver` field-for-field so traced
+        replayed runs produce the same trace multiset as interpreted ones.
+        """
+        link.trace.emit(
+            "link.deliver", link=link.name, ptype=ptype, seq=seq, nwords=nwords
+        )
+
+    def _tx_data(self, ctx, words, peer_engine, arrival) -> None:
+        """Clock the single data frame out; deliver it to the peer engine."""
+        asic = self.scu.asic
+        bits = asic.frame_header_bits + ctx.nwords * asic.frame_payload_bits
+        end = self._clock_out(ctx.direction, bits)
+        self.scu.sim.schedule(
+            end + asic.wire_latency - self.scu.sim.now,
+            peer_engine._replay_deliver,
+            arrival,
+            words,
+            ctx,
+        )
+
+    def _replay_deliver(self, direction, words, ctx) -> None:
+        """Payload lands on this node (receiver side of the pair)."""
+        data_link = ctx.engine.scu.out_links[ctx.direction]
+        if data_link.trace is not None:
+            self._emit_deliver(data_link, "NORMAL", 0, len(words))
+        unit = self.scu.recv_units[direction]
+        unit.checksum.update(words)
+        pending = self._pending.pop(direction, None)
+        if pending is not None:
+            self._replay_accept(pending, words, ctx)
+            return
+        if direction in self._held:
+            raise ProtocolError(
+                f"node {self.scu.node_id}: replay idle-hold collision on "
+                f"direction {direction}"
+            )
+        # Idle receive: no descriptor posted yet — park the payload, tick
+        # the idle-hold counters as RecvUnit.on_data would.
+        unit.idle_hold_events += 1
+        unit.idle_held_words_total += len(words)
+        self._held[direction] = (words, ctx)
+
+    def _replay_accept(self, pending, words, ctx) -> None:
+        """Accept the payload: store it, ACK it, schedule completions."""
+        scu, sim, asic = self.scu, self.scu.sim, self.scu.asic
+        sig = pending.sig
+        unit = scu.recv_units[pending.direction]
+        scu.memory_write(sig.buffer, sig.indices, words)
+        unit.payload_words += len(words)
+        unit.acks_sent += 1
+        # The ACK serialises on this node's out-wire toward the sender.
+        ack_end = self._clock_out(pending.direction, asic.frame_header_bits)
+        ack_link = scu.out_links[pending.direction]
+        if ack_link.trace is not None:
+            sim.schedule(
+                ack_end + asic.wire_latency - sim.now,
+                self._emit_deliver,
+                ack_link,
+                "ACK",
+                sig.nwords,
+                0,
+            )
+        # Data usable after the eject + DMA-store pipeline.
+        sim.schedule(
+            asic.scu_eject_latency + asic.dma_store_latency,
+            self._finish_recv,
+            pending,
+        )
+        # The sender clocks its EOT out once the ACK lands there.
+        sim.schedule(
+            ack_end + asic.wire_latency - sim.now, ctx.engine._tx_eot, ctx
+        )
+
+    def _finish_recv(self, pending) -> None:
+        unit = self.scu.recv_units[pending.direction]
+        unit.transfers_completed += 1
+        if self.scu.trace is not None:
+            self.scu.trace.emit(
+                "scu.recv",
+                node=self.scu.node_id,
+                direction=pending.direction,
+                words=pending.sig.nwords,
+                dur=self.scu.sim.now - pending.t_post,
+            )
+        pending.done.succeed(pending.sig.nwords)
+
+    def _tx_eot(self, ctx) -> None:
+        """ACK landed back at the sender: clock out the trailing EOT."""
+        ctx.unit.acks_received += 1
+        end = self._clock_out(ctx.direction, self.scu.asic.frame_header_bits)
+        eot_link = self.scu.out_links[ctx.direction]
+        if eot_link.trace is not None:
+            self.scu.sim.schedule(
+                end + self.scu.asic.wire_latency - self.scu.sim.now,
+                self._emit_deliver,
+                eot_link,
+                "EOT",
+                ctx.nwords,
+                0,
+            )
+        self.scu.sim.schedule(
+            end - self.scu.sim.now, ctx.engine._finish_send, ctx
+        )
+
+    def _finish_send(self, ctx) -> None:
+        unit = ctx.unit
+        unit.payload_words += ctx.nwords
+        unit.transfers_completed += 1
+        if self.scu.trace is not None:
+            self.scu.trace.emit(
+                "scu.send",
+                node=self.scu.node_id,
+                direction=ctx.direction,
+                words=ctx.nwords,
+                resends=0,
+                dur=self.scu.sim.now - ctx.t0,
+            )
+        ctx.done.succeed(ctx.nwords)
+
+    # -- statistics ----------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "epochs_learned": self.epochs_learned,
+            "epochs_replayed": self.epochs_replayed,
+            "replayed_transfers": self.replayed_transfers,
+            "interpreted_fallbacks": self.interpreted_fallbacks,
+            "invalidations": self.invalidations,
+            "compiled_tags": sum(
+                1 for r in self.records.values() if r.compiled
+            ),
+        }

@@ -33,7 +33,14 @@ large error-free transfers the unit can batch ``word_batch`` words per
 frame; the handshake then operates at batch granularity with the window
 scaled to one batch — semantics identical for error-free runs (used by the
 distributed-physics layer for speed; protocol tests run with
-``word_batch=1``).
+``word_batch=1``).  ``word_batch="face"`` resolves the batch per transfer
+to the full descriptor length, so a whole lattice face moves as one frame
+event with vectorised checksum/parity bookkeeping — the hot-path
+configuration for the distributed operators, which inherit the machine's
+setting by default.  The batch is a property of the *sender's
+transfer*: the receive unit is batch-agnostic (it accepts whatever frame
+granularity arrives, holding at most one in-flight batch while idle), so a
+mismatched send/recv batch is impossible by construction.
 """
 
 from __future__ import annotations
@@ -47,9 +54,31 @@ from repro.machine.asic import ASICConfig
 from repro.machine.faults import encode_link_down
 from repro.machine.hssl import SerialLink
 from repro.machine.packets import Frame, LinkChecksum, PacketType, decode_header, encode_header
+from repro.machine.replay import ReplayEngine
 from repro.sim.core import Event, Simulator
 from repro.sim.trace import Trace
 from repro.util.errors import FaultError, LinkDownError, ProtocolError
+
+#: sentinel ``word_batch`` value: resolve the batch per transfer to the
+#: whole descriptor length (one frame per face)
+FACE_BATCH = "face"
+
+
+def normalise_word_batch(word_batch) -> "int | str":
+    """Validate a ``word_batch`` config value (positive int or ``"face"``)."""
+    if word_batch == FACE_BATCH:
+        return FACE_BATCH
+    batch = int(word_batch)
+    if batch < 1:
+        raise ProtocolError(f"word_batch must be >= 1 or 'face', got {word_batch!r}")
+    return batch
+
+
+def resolve_word_batch(word_batch, nwords: int) -> int:
+    """Concrete frame batch for one transfer of ``nwords`` words."""
+    if word_batch == FACE_BATCH:
+        return max(1, nwords)
+    return max(1, int(word_batch))
 
 
 @dataclass(frozen=True)
@@ -113,7 +142,8 @@ class SendUnit:
         self.scu = scu
         self.direction = direction
         self.checksum = LinkChecksum()
-        self.word_batch = 1
+        #: resolved frame batch of the *active* transfer (words per frame)
+        self._batch = 1
         self.active = False
         self.words: Optional[np.ndarray] = None
         self.base = 0  # oldest unacknowledged word
@@ -149,17 +179,40 @@ class SendUnit:
         return link
 
     @property
-    def window(self) -> int:
-        return max(self.asic.ack_window_words, self.word_batch)
+    def word_batch(self):
+        """The unit's configured batch — always the owning SCU's setting.
 
-    def start(self, words: np.ndarray, region: str = "edram") -> Event:
-        """Begin a DMA transfer of ``words`` (uint64) to the neighbour."""
+        A read-only delegate (no setter): every send and receive unit of a
+        node reports the same configured ``word_batch``, so a mismatched
+        per-unit batch cannot be created by any code path.
+        """
+        return self.scu.word_batch
+
+    @property
+    def window(self) -> int:
+        return max(self.asic.ack_window_words, self._batch)
+
+    def start(
+        self,
+        words: np.ndarray,
+        region: str = "edram",
+        word_batch=None,
+    ) -> Event:
+        """Begin a DMA transfer of ``words`` (uint64) to the neighbour.
+
+        ``word_batch`` overrides the SCU-wide batch for this one transfer
+        (``"face"`` resolves to the whole transfer in a single frame).
+        """
         if self.active:
             raise ProtocolError(
                 f"send unit {self.direction} already has an active transfer"
             )
         self.active = True
         self.words = np.ascontiguousarray(words, dtype=np.uint64)
+        self._batch = resolve_word_batch(
+            self.scu.word_batch if word_batch is None else word_batch,
+            len(self.words),
+        )
         self.base = 0
         self.next = 0
         self.resends = 0
@@ -184,7 +237,7 @@ class SendUnit:
         while self.base < n:
             in_flight = self.next - self.base
             if self.next < n and in_flight < self.window:
-                batch = min(self.word_batch, n - self.next, self.window - in_flight)
+                batch = min(self._batch, n - self.next, self.window - in_flight)
                 chunk = self.words[self.next : self.next + batch]
                 frame = Frame(PacketType.NORMAL, chunk, seq=self.next)
                 self.next += batch
@@ -355,7 +408,6 @@ class RecvUnit:
         self.stored = 0
         self.write_cursor = 0
         self.done: Optional[Event] = None
-        self.word_batch = 1
         #: payload words accepted into local memory (sum over transfers)
         self.payload_words = 0
         #: corrupt data frames detected (header code / parity bits)
@@ -379,6 +431,16 @@ class RecvUnit:
         #: no-progress probes taken on the backoff ladder
         self.backoff_waits = 0
         self._wd_gen = 0
+
+    @property
+    def word_batch(self):
+        """See :attr:`SendUnit.word_batch` — a read-only SCU delegate.
+
+        The receive protocol itself is batch-agnostic (frame granularity
+        is the sender's choice); this exists only so introspection always
+        agrees with the paired send unit.
+        """
+        return self.scu.word_batch
 
     def post(self, descriptor: DmaDescriptor) -> Event:
         """Give the unit a destination; drains any idle-held words."""
@@ -435,12 +497,21 @@ class RecvUnit:
         self.checksum.update(frame.words)
         if self.descriptor is None:
             # Idle receive: hold without acknowledging; the sender's
-            # window (3 words) stalls it until a descriptor is posted.
-            hold_cap = max(self.asic.idle_hold_words, self.word_batch)
-            if self.held_words + frame.nwords > hold_cap:
+            # unacknowledged window stalls it until a descriptor is
+            # posted.  Batch-agnostic invariant: the first held frame of
+            # any size is legal (the sender's window is exactly one batch,
+            # so at most one unacked batch can be in flight); beyond that,
+            # holding is capped at the idle_hold_words registers — which
+            # for single-word frames reproduces the paper's "first three
+            # words held" rule exactly.
+            if (
+                self.held_words
+                and self.held_words + frame.nwords > self.asic.idle_hold_words
+            ):
                 raise ProtocolError(
                     f"idle-receive overflow on direction {self.direction}: "
-                    f"{self.held_words + frame.nwords} > {hold_cap} words; "
+                    f"{self.held_words + frame.nwords} > "
+                    f"{self.asic.idle_hold_words} words; "
                     "the sender violated the ack window"
                 )
             self.held.append(frame.words)
@@ -631,8 +702,9 @@ class SCU:
         memory_read: Callable[[str, np.ndarray], np.ndarray],
         memory_write: Callable[[str, np.ndarray, np.ndarray], None],
         trace: Optional[Trace] = None,
-        word_batch: int = 1,
+        word_batch=1,
         sanitizer: Optional["HaloRaceSanitizer"] = None,
+        replay_enabled: bool = True,
     ):
         self.sim = sim
         self.asic = asic
@@ -646,7 +718,9 @@ class SCU:
         self.out_links: Dict[int, SerialLink] = {}
         self.send_units: Dict[int, SendUnit] = {}
         self.recv_units: Dict[int, RecvUnit] = {}
-        self.word_batch = max(1, int(word_batch))
+        #: node-wide frame batch: positive int, or ``"face"`` to resolve
+        #: per transfer to the whole descriptor (one frame per face)
+        self.word_batch = normalise_word_batch(word_batch)
         self.supervisor_reg: Dict[int, int] = {}
         self.on_supervisor: Optional[Callable[[int, int], None]] = None
         self.on_partition_irq: Optional[Callable[[int, int], None]] = None
@@ -665,18 +739,27 @@ class SCU:
         #: in_direction -> (out_directions, store_callback or None)
         self._global_routes: Dict[int, Tuple[Tuple[int, ...], Optional[Callable]]] = {}
         #: stored ("persistent") descriptors:
-        #: (kind, direction) -> (descriptor, start-group)
-        self._stored: Dict[Tuple[str, int], Tuple[DmaDescriptor, str]] = {}
+        #: (kind, direction) -> (descriptor, start-group, word_batch or None)
+        self._stored: Dict[Tuple[str, int], Tuple] = {}
+        #: direction -> (neighbour SCU, arrival direction there), wired by
+        #: :class:`repro.machine.network.MeshNetwork` for replay delivery
+        self.peers: Dict[int, Tuple["SCU", int]] = {}
+        #: hot-epoch learn/replay engine (see :mod:`repro.machine.replay`)
+        self.replay = ReplayEngine(self, enabled=replay_enabled)
 
     # -- wiring ---------------------------------------------------------------
     def attach_link(self, direction: int, link: SerialLink) -> None:
         self.out_links[direction] = link
+        # Units read ``word_batch`` through a read-only property on the
+        # SCU, so there is no per-unit copy to fall out of sync.
         if direction not in self.send_units:
             self.send_units[direction] = SendUnit(self.sim, self.asic, self, direction)
-            self.send_units[direction].word_batch = self.word_batch
         if direction not in self.recv_units:
             self.recv_units[direction] = RecvUnit(self.sim, self.asic, self, direction)
-            self.recv_units[direction].word_batch = self.word_batch
+
+    def attach_peer(self, direction: int, peer: "SCU", arrival: int) -> None:
+        """Register the neighbour SCU behind ``direction`` (replay wiring)."""
+        self.peers[direction] = (peer, arrival)
 
     def on_frame(self, direction: int, frame: Frame) -> None:
         """Dispatch a frame arriving from the neighbour in ``direction``."""
@@ -725,10 +808,14 @@ class SCU:
         return unit
 
     # -- data transfers -----------------------------------------------------
-    def send(self, direction: int, descriptor: DmaDescriptor) -> Event:
-        """Start a zero-copy DMA send of the described local memory."""
+    def send(self, direction: int, descriptor: DmaDescriptor, word_batch=None) -> Event:
+        """Start a zero-copy DMA send of the described local memory.
+
+        ``word_batch`` overrides the SCU-wide batch for this transfer
+        (``"face"`` ships the whole descriptor as one frame).
+        """
         words = self.memory_read(descriptor.buffer, descriptor.indices())
-        done = self._send(direction).start(words)
+        done = self._send(direction).start(words, word_batch=word_batch)
         san = self.sanitizer
         if san is not None:
             claim = san.dma_begin(
@@ -761,6 +848,7 @@ class SCU:
         direction: int,
         descriptor: DmaDescriptor,
         group: str = "default",
+        word_batch=None,
     ) -> None:
         """Store a DMA instruction in the SCU for repeated reuse.
 
@@ -769,10 +857,19 @@ class SCU:
         group — the start register has per-unit enable bits), which the
         overlapped Dirac pipeline uses to fire its raw-face transfers
         before the sender-side products are staged.
+
+        ``word_batch`` (send descriptors only) overrides the SCU-wide
+        batch every time this descriptor starts — the distributed
+        operators store their halo sends with ``word_batch="face"``.
         """
         if kind not in ("send", "recv"):
             raise ProtocolError(f"descriptor kind must be send/recv, got {kind!r}")
-        self._stored[(kind, direction)] = (descriptor, group)
+        if word_batch is not None:
+            word_batch = normalise_word_batch(word_batch)
+        self._stored[(kind, direction)] = (descriptor, group, word_batch)
+        # A (re)stored descriptor changes the hot-epoch schedule: any
+        # compiled replay trace is stale, so the next epoch relearns.
+        self.replay.invalidate("descriptor stored")
 
     def start_stored(self, group: Optional[str] = None) -> Dict[Tuple[str, int], Event]:
         """One write starts every stored transfer ("start up to 24
@@ -784,13 +881,21 @@ class SCU:
         that group start (one register write per group).
         """
         events = {}
-        for (kind, direction), (desc, g) in self._stored.items():
+        replay = self.replay
+        for (kind, direction), (desc, g, batch) in self._stored.items():
             if group is not None and g != group:
                 continue
-            if kind == "send":
-                events[(kind, direction)] = self.send(direction, desc)
-            else:
-                events[(kind, direction)] = self.recv(direction, desc)
+            # Inside a compiled hot epoch the transfer replays from the
+            # memoized schedule; otherwise it runs interpreted (and a
+            # learning epoch records it for compilation).
+            ev = replay.try_transfer(kind, direction, desc, g, batch)
+            if ev is None:
+                if kind == "send":
+                    ev = self.send(direction, desc, word_batch=batch)
+                else:
+                    ev = self.recv(direction, desc)
+                replay.observe(kind, direction, desc, g, batch, ev)
+            events[(kind, direction)] = ev
         if self.trace is not None:
             self.trace.emit(
                 "scu.start_stored",
@@ -815,6 +920,7 @@ class SCU:
         if direction in self.links_down:
             return
         self.links_down[direction] = reason
+        self.replay.invalidate("link down")
         if self.trace is not None:
             self.trace.emit(
                 "scu.link_down",
@@ -845,6 +951,7 @@ class SCU:
         for unit in self.recv_units.values():
             unit.cancel(reason)
         self._stored.clear()
+        self.replay.invalidate("transfers cancelled")
 
     def finish_drain(self) -> None:
         """Leave abort-drain mode (call once the event heap has drained)."""

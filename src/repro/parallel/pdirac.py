@@ -96,7 +96,9 @@ from repro.lattice.gauge import cmatvec
 from repro.lattice.geometry import LatticeGeometry
 from repro.lattice.halos import halo_exchange_plan, interior_boundary_sites
 from repro.lattice.su3 import dagger
+from repro.machine.scu import normalise_word_batch
 from repro.util.errors import ConfigError
+from repro.util.hotpath import hot_path
 
 #: 64-bit words per Wilson spinor site (12 complex doubles) — the single
 #: source of truth is :mod:`repro.fermions.flops`.
@@ -143,8 +145,18 @@ class DistributedWilsonContext:
         clover_tensor: Optional[np.ndarray] = None,
         overlap: bool = True,
         compress: Optional[bool] = None,
+        word_batch=None,
     ):
         self.api = api
+        #: DMA framing of the stored halo exchanges.  ``None`` (default)
+        #: inherits the machine's configured ``word_batch`` — the one
+        #: knob propagates consistently to every unit; ``"face"`` is the
+        #: hot-path configuration, ``1`` the seed's word-at-a-time
+        #: protocol (mandatory on lossy links, where go-back-N must
+        #: rewind words, not whole faces).
+        self.word_batch = (
+            None if word_batch is None else normalise_word_batch(word_batch)
+        )
         self.geometry = LatticeGeometry(local_shape)
         v = self.geometry.volume
         ndim = self.geometry.ndim
@@ -239,6 +251,7 @@ class DistributedWilsonContext:
                     -1,
                     full_descriptor(api.node, f"stage_fwd{mu}"),
                     group="proj",
+                    word_batch=self.word_batch,
                 )
             else:
                 #  raw low face of `work` -> the -mu neighbour,
@@ -247,10 +260,15 @@ class DistributedWilsonContext:
                     -1,
                     face_descriptor("work", local_shape, mu, -1, WORDS_PER_SITE),
                     group="early",
+                    word_batch=self.word_batch,
                 )
             #  U^+ (projected) products from my high face -> +mu neighbour,
             api.store_send(
-                mu, +1, full_descriptor(api.node, f"stage_bwd{mu}"), group="staged"
+                mu,
+                +1,
+                full_descriptor(api.node, f"stage_bwd{mu}"),
+                group="staged",
+                word_batch=self.word_batch,
             )
             #  (half) spinors arriving from the +mu neighbour,
             api.store_recv(
@@ -260,6 +278,46 @@ class DistributedWilsonContext:
             api.store_recv(
                 mu, -1, full_descriptor(api.node, f"halo_bwd{mu}"), group="early"
             )
+
+        # ---- zero-copy hot-path scratch -------------------------------
+        # Every buffer the steady-state pipeline touches is allocated
+        # exactly once here and reused across applications (DESIGN.md §12
+        # buffer-ownership contract): arrays returned by hopping/apply are
+        # owned by the context and valid until its next application.
+        dt = self.work.dtype
+        self._gather = np.empty((v, 4, 3), dtype=dt)
+        self._half = np.empty((v, 2, 3), dtype=dt) if self.compress else None
+        self._fwd = [np.empty((v, spin_rows, 3), dtype=dt) for _ in range(ndim)]
+        self._bwd = [np.empty((v, spin_rows, 3), dtype=dt) for _ in range(ndim)]
+        self._hop_out = np.empty((v, 4, 3), dtype=dt)
+        self._apply_out = np.empty((v, 4, 3), dtype=dt)
+        self._rot_in = np.empty((v, 4, 3), dtype=dt)
+        self._rot_out = np.empty((v, 4, 3), dtype=dt)
+        if clover_tensor is not None:
+            self._clover_scratch = np.empty((v, 4, 3), dtype=dt)
+        # merge scratch (sliced per call to the site-set length)
+        self._merge_acc = np.empty((v, 4, 3), dtype=dt)
+        self._merge_f = np.empty((v, spin_rows, 3), dtype=dt)
+        self._merge_b = np.empty((v, spin_rows, 3), dtype=dt)
+        self._merge_t = np.empty((v, 4, 3), dtype=dt)
+        self._merge_rec = np.empty((v, 4, 3), dtype=dt)
+        # per-axis face scratch + constant gauge-face gathers (links are
+        # immutable for the context's lifetime, so the per-application
+        # fancy-index/dagger of the seed path is hoisted here once)
+        self._face_gather = {}
+        self._face_half = {}
+        self._face_patch = {}
+        self._links_dagger_high = {}
+        self._links_fwd_face = {}
+        for mu in self.comm_axes:
+            plan = self.plans[mu]
+            nface = len(plan.send_low)
+            self._face_gather[mu] = np.empty((nface, 4, 3), dtype=dt)
+            if self.compress:
+                self._face_half[mu] = np.empty((nface, 2, 3), dtype=dt)
+            self._face_patch[mu] = np.empty((nface, spin_rows, 3), dtype=dt)
+            self._links_dagger_high[mu] = dagger(self.links[mu][plan.send_high])
+            self._links_fwd_face[mu] = self.links[mu][plan.fill_from_fwd].copy()
 
     @property
     def volume(self) -> int:
@@ -275,14 +333,21 @@ class DistributedWilsonContext:
 
         Dispatches to the overlapped two-phase pipeline or the serialized
         monolithic assembly according to ``self.overlap``; both are
-        bit-identical in output and total charged flops.
+        bit-identical in output and total charged flops.  Each application
+        is one hot epoch: the first learns the SCU transfer schedule, the
+        rest replay its compiled trace (:mod:`repro.machine.replay`).
         """
-        if self.overlap:
-            out = yield from self._hopping_overlapped(src)
-        else:
-            out = yield from self._hopping_monolithic(src)
+        self.api.begin_hot_epoch("pdirac.hopping")
+        try:
+            if self.overlap:
+                out = yield from self._hopping_overlapped(src)
+            else:
+                out = yield from self._hopping_monolithic(src)
+        finally:
+            self.api.end_hot_epoch("pdirac.hopping")
         return out
 
+    @hot_path
     def _project_faces(self) -> None:
         """Compressed mode: spin-project the forward (low-face) halo into
         ``stage_fwd`` — ``(1 - gamma_mu) psi``, a half spinor per site.
@@ -296,11 +361,11 @@ class DistributedWilsonContext:
             return
         for mu in self.comm_axes:
             self.api.cpu_write(f"stage_fwd{mu}")
-            np.copyto(
-                self.stage_fwd[mu],
-                spin_project(mu, +1, self.work[self.plans[mu].send_low]),
-            )
+            face = self._face_gather[mu]
+            np.take(self.work, self.plans[mu].send_low, axis=0, out=face)
+            spin_project(mu, +1, face, out=self.stage_fwd[mu])
 
+    @hot_path
     def _stage_products(self) -> int:
         """Sender-side staging for every communicated axis; returns the
         staged site count (for flop charging).
@@ -309,26 +374,22 @@ class DistributedWilsonContext:
         Compressed: the backward product fuses the ``(1 + gamma_mu)``
         projection *before* the SU(3) multiply — half the colour
         arithmetic, half the wire (the forward halo is projected
-        separately in :meth:`_project_faces`).
+        separately in :meth:`_project_faces`).  The ``U^+`` face gathers
+        are hoisted to context creation (``_links_dagger_high``).
         """
         staged_sites = 0
         for mu in self.comm_axes:
             plan = self.plans[mu]
             high = plan.send_high
             self.api.cpu_write(f"stage_bwd{mu}")
+            face = self._face_gather[mu]
+            np.take(self.work, high, axis=0, out=face)
             if self.compress:
-                np.copyto(
-                    self.stage_bwd[mu],
-                    cmatvec(
-                        dagger(self.links[mu][high]),
-                        spin_project(mu, -1, self.work[high]),
-                    ),
-                )
+                half = self._face_half[mu]
+                spin_project(mu, -1, face, out=half)
+                cmatvec(self._links_dagger_high[mu], half, out=self.stage_bwd[mu])
             else:
-                np.copyto(
-                    self.stage_bwd[mu],
-                    cmatvec(dagger(self.links[mu][high]), self.work[high]),
-                )
+                cmatvec(self._links_dagger_high[mu], face, out=self.stage_bwd[mu])
             staged_sites += len(high)
         return staged_sites
 
@@ -389,27 +450,52 @@ class DistributedWilsonContext:
         )
         return out
 
+    @hot_path
     def _merge(self, out, fwd_arr, bwd_arr, sites: np.ndarray) -> None:
         """Per-``mu`` spin accumulate on ``sites``.
 
-        Row-for-row the same two-statement, mu-ascending sequence as the
-        monolithic assembly, so the merged rows are bit-identical.
+        Row-for-row the same mu-ascending accumulation sequence as the
+        monolithic assembly, so the merged rows are bit-identical: the
+        site rows are gathered once into context scratch, every per-mu
+        term is added in the monolithic order, and the accumulated rows
+        scatter back — per element exactly ``((x + t_0) + t_1) + ...``.
         """
+        n = len(sites)
+        acc = self._merge_acc[:n]
+        f = self._merge_f[:n]
+        b = self._merge_b[:n]
+        rec = self._merge_rec[:n]
+        np.take(out, sites, axis=0, out=acc)
         for mu in range(self.geometry.ndim):
-            f = fwd_arr[mu][sites]
-            b = bwd_arr[mu][sites]
+            np.take(fwd_arr[mu], sites, axis=0, out=f)
+            np.take(bwd_arr[mu], sites, axis=0, out=b)
             if self.compress:
                 # f, b are half products: reconstruct then accumulate —
                 # the exact per-row arithmetic of the serial kernel.
-                out[sites] += spin_reconstruct(mu, +1, f)
-                out[sites] += spin_reconstruct(mu, -1, b)
+                spin_reconstruct(mu, +1, f, out=rec)
+                acc += rec
+                spin_reconstruct(mu, -1, b, out=rec)
+                acc += rec
             else:
-                out[sites] += self.r * (f + b)
-                out[sites] -= apply_spin_matrix(GAMMA[mu], f - b)
+                t = self._merge_t[:n]
+                np.add(f, b, out=t)
+                np.multiply(t, self.r, out=t)
+                acc += t
+                np.subtract(f, b, out=t)
+                apply_spin_matrix(GAMMA[mu], t, out=rec)
+                acc -= rec
+        out[sites] = acc
 
+    @hot_path
     def _hopping_overlapped(self, src: np.ndarray):
         """Two-phase pipeline: interior compute under way while DMA flies,
-        per-axis boundary work as each axis's halo lands."""
+        per-axis boundary work as each axis's halo lands.
+
+        Steady-state allocation-free: every numpy result lands in context
+        scratch (``out=`` kernels, ``np.take(..., out=)`` gathers); the
+        returned hopping sum is the context-owned ``_hop_out`` buffer,
+        valid until the next application.
+        """
         g = self.geometry
         ndim = g.ndim
         v = self.volume
@@ -433,36 +519,33 @@ class DistributedWilsonContext:
 
         # ---- interior phase: every matvec that needs no halo data -------
         local_flops = 0.0
-        fwd_arr = []
-        bwd_arr = []
+        fwd_arr = self._fwd
+        bwd_arr = self._bwd
         for mu in range(ndim):
             # Forward hop: the full-volume gather/matvec; for comm axes the
             # face rows are placeholders until the halo lands (their
             # matvec is charged in the boundary phase instead).
+            np.take(self.work, g.hop(mu, +1), axis=0, out=self._gather)
             if self.compress:
-                fwd = cmatvec(
-                    self.links[mu],
-                    spin_project(mu, +1, self.work[g.hop(mu, +1)]),
-                )
+                spin_project(mu, +1, self._gather, out=self._half)
+                cmatvec(self.links[mu], self._half, out=fwd_arr[mu])
             else:
-                fwd = cmatvec(self.links[mu], self.work[g.hop(mu, +1)])
+                cmatvec(self.links[mu], self._gather, out=fwd_arr[mu])
             nface = len(self.plans[mu].fill_from_fwd) if mu in self.halo_fwd else 0
             local_flops += (v - nface) * MATVEC_SU3
             # Backward hop: the local matvec is always computed in full —
             # face rows are later *replaced* by the received products
             # (exactly as the monolithic path computes then overwrites).
+            np.take(self.work, g.hop(mu, -1), axis=0, out=self._gather)
             if self.compress:
-                bwd = cmatvec(
-                    self.links_dagger_bwd[mu],
-                    spin_project(mu, -1, self.work[g.hop(mu, -1)]),
-                )
+                spin_project(mu, -1, self._gather, out=self._half)
+                cmatvec(self.links_dagger_bwd[mu], self._half, out=bwd_arr[mu])
             else:
-                bwd = cmatvec(self.links_dagger_bwd[mu], self.work[g.hop(mu, -1)])
+                cmatvec(self.links_dagger_bwd[mu], self._gather, out=bwd_arr[mu])
             local_flops += v * MATVEC_SU3
-            fwd_arr.append(fwd)
-            bwd_arr.append(bwd)
 
-        out = np.zeros_like(self.work)
+        out = self._hop_out
+        out.fill(0)
         interior = self.interior_sites
         if len(interior):
             self._merge(out, fwd_arr, bwd_arr, interior)
@@ -481,12 +564,13 @@ class DistributedWilsonContext:
             plan = self.plans[mu]
             if sign == +1:
                 # Raw spinors from the +mu neighbour: one matvec per face
-                # site patches the forward-hop rows.
+                # site patches the forward-hop rows (gauge face rows were
+                # gathered once at context creation).
                 rows = plan.fill_from_fwd
                 api.cpu_read(f"halo_fwd{mu}")
-                fwd_arr[mu][rows] = cmatvec(
-                    self.links[mu][rows], self.halo_fwd[mu]
-                )
+                patch = self._face_patch[mu]
+                cmatvec(self._links_fwd_face[mu], self.halo_fwd[mu], out=patch)
+                fwd_arr[mu][rows] = patch
                 yield api.compute(len(rows) * MATVEC_SU3, kernel="dslash")
             else:
                 # Products from the -mu neighbour: pure row copy.
@@ -501,24 +585,45 @@ class DistributedWilsonContext:
             )
         return out
 
+    @hot_path
     def apply(self, src: np.ndarray):
-        """Distributed ``D src`` (Wilson or clover)."""
+        """Distributed ``D src`` (Wilson or clover).
+
+        Returns the context-owned ``_apply_out`` buffer (valid until the
+        next application); the arithmetic — ``diag*src - 0.5*hop`` plus
+        the clover einsum — is elementwise identical to the seed's
+        allocating expression.
+        """
         hop = yield from self.hopping(src)
-        out = self.diag * src - 0.5 * hop
+        out = self._apply_out
         flops = DIAG_AXPY_FLOPS * self.volume
         kernel = "diag"
         if self.clover_tensor is not None:
-            out += np.einsum("xsatb,xtb->xsa", self.clover_tensor, src)
+            # site-local term evaluated before ``out`` is written, so a
+            # caller passing the context's previous output still reads
+            # the pre-overwrite source
+            np.einsum(
+                "xsatb,xtb->xsa",
+                self.clover_tensor,
+                src,
+                out=self._clover_scratch,
+            )
             flops += CLOVER_TERM_FLOPS * self.volume
             kernel = "clover_term"
+        np.multiply(src, self.diag, out=out)
+        np.multiply(hop, 0.5, out=hop)
+        np.subtract(out, hop, out=out)
+        if self.clover_tensor is not None:
+            np.add(out, self._clover_scratch, out=out)
         yield self.api.compute(flops, kernel=kernel)
         return out
 
+    @hot_path
     def apply_dagger(self, src: np.ndarray):
         """``D^+ src = gamma_5 D gamma_5 src`` (distributed)."""
-        rotated = gamma5_sandwich(src)
+        rotated = gamma5_sandwich(src, out=self._rot_in)
         applied = yield from self.apply(rotated)
-        return gamma5_sandwich(applied)
+        return gamma5_sandwich(applied, out=self._rot_out)
 
     def normal(self, src: np.ndarray):
         """``D^+ D src`` — one CG iteration's operator work."""

@@ -57,7 +57,9 @@ from repro.fermions.gamma import (
 from repro.lattice.geometry import LatticeGeometry
 from repro.lattice.halos import halo_exchange_plan, interior_boundary_sites
 from repro.lattice.su3 import dagger
+from repro.machine.scu import normalise_word_batch
 from repro.util.errors import ConfigError
+from repro.util.hotpath import hot_path
 
 #: per-(site, slice) flops of the halo-independent-of-matvec assembly: the
 #: 4D spin project/reconstruct + accumulate plus the two 5th-dim chiral
@@ -76,10 +78,13 @@ WORDS_PER_SITE = SPINOR_WORDS
 HALF_WORDS_PER_SITE = HALF_SPINOR_WORDS
 
 
-def _cmatvec5(u: np.ndarray, psi: np.ndarray) -> np.ndarray:
+def _cmatvec5(u: np.ndarray, psi: np.ndarray, out=None) -> np.ndarray:
     """Apply per-4D-site colour matrices to all Ls slices: ``(v,3,3) x
-    (Ls, v, 4, 3) -> (Ls, v, 4, 3)``."""
-    return np.einsum("xab,sxtb->sxta", u, psi)
+    (Ls, v, 4, 3) -> (Ls, v, 4, 3)``.  ``out`` reuses a caller-owned
+    buffer (allocation-free hot loops) with identical einsum arithmetic."""
+    if out is None:
+        return np.einsum("xab,sxtb->sxta", u, psi)
+    return np.einsum("xab,sxtb->sxta", u, psi, out=out)
 
 
 class DistributedDWFContext:
@@ -95,8 +100,14 @@ class DistributedDWFContext:
         mf: float = 0.1,
         overlap: bool = True,
         compress: bool = True,
+        word_batch=None,
     ):
         self.api = api
+        #: DMA framing of the stored halo exchanges (``None`` = inherit
+        #: the machine's ``word_batch``; ``"face"`` = the hot path)
+        self.word_batch = (
+            None if word_batch is None else normalise_word_batch(word_batch)
+        )
         self.geometry = LatticeGeometry(local_shape)
         g = self.geometry
         v, ndim = g.volume, g.ndim
@@ -153,6 +164,7 @@ class DistributedDWFContext:
                     -1,
                     full_descriptor(api.node, f"stage_fwd{mu}"),
                     group="proj",
+                    word_batch=self.word_batch,
                 )
             else:
                 api.store_send(
@@ -160,9 +172,14 @@ class DistributedDWFContext:
                     -1,
                     face_descriptor("work", shape5, mu + 1, -1, WORDS_PER_SITE),
                     group="early",
+                    word_batch=self.word_batch,
                 )
             api.store_send(
-                mu, +1, full_descriptor(api.node, f"stage_bwd{mu}"), group="staged"
+                mu,
+                +1,
+                full_descriptor(api.node, f"stage_bwd{mu}"),
+                group="staged",
+                word_batch=self.word_batch,
             )
             api.store_recv(
                 mu, +1, full_descriptor(api.node, f"halo_fwd{mu}"), group="early"
@@ -170,6 +187,45 @@ class DistributedDWFContext:
             api.store_recv(
                 mu, -1, full_descriptor(api.node, f"halo_bwd{mu}"), group="early"
             )
+
+        # ---- zero-copy hot-path scratch (see DESIGN.md §12) -----------
+        # Allocated once per context, reused every application; arrays
+        # returned by ``apply`` are context-owned and valid until the
+        # next application.
+        dt = self.work.dtype
+        Ls5 = self.Ls
+        self._gather5 = np.empty((Ls5, v, 4, 3), dtype=dt)
+        self._half5 = np.empty((Ls5, v, 2, 3), dtype=dt) if self.compress else None
+        self._fwd = [np.empty((Ls5, v, spin_rows, 3), dtype=dt) for _ in range(4)]
+        self._bwd = [np.empty((Ls5, v, spin_rows, 3), dtype=dt) for _ in range(4)]
+        self._out5 = np.empty((Ls5, v, 4, 3), dtype=dt)
+        self._rot_in = np.empty((Ls5, v, 4, 3), dtype=dt)
+        self._rot_out = np.empty((Ls5, v, 4, 3), dtype=dt)
+        self._merge_acc = np.empty((Ls5, v, 4, 3), dtype=dt)
+        self._merge_f = np.empty((Ls5, v, spin_rows, 3), dtype=dt)
+        self._merge_b = np.empty((Ls5, v, spin_rows, 3), dtype=dt)
+        self._merge_rec = np.empty((Ls5, v, 4, 3), dtype=dt)
+        if not self.compress:
+            self._merge_t = np.empty((Ls5, v, 4, 3), dtype=dt)
+        # 5th-dimension wall terms (-mf * edge slice) and merge gathers
+        self._wall_up = np.empty((v, 4, 3), dtype=dt)
+        self._wall_dn = np.empty((v, 4, 3), dtype=dt)
+        self._m5_up = np.empty((v, 4, 3), dtype=dt)
+        self._m5_rec = np.empty((v, 4, 3), dtype=dt)
+        self._face_gather5 = {}
+        self._face_half5 = {}
+        self._face_patch5 = {}
+        self._links_dagger_high = {}
+        self._links_fwd_face = {}
+        for mu in self.comm_axes:
+            plan = self.plans[mu]
+            nface = len(plan.send_low)
+            self._face_gather5[mu] = np.empty((Ls5, nface, 4, 3), dtype=dt)
+            if self.compress:
+                self._face_half5[mu] = np.empty((Ls5, nface, 2, 3), dtype=dt)
+            self._face_patch5[mu] = np.empty((Ls5, nface, spin_rows, 3), dtype=dt)
+            self._links_dagger_high[mu] = dagger(self.links[mu][plan.send_high])
+            self._links_fwd_face[mu] = self.links[mu][plan.fill_from_fwd].copy()
 
     @property
     def volume5(self) -> int:
@@ -181,14 +237,21 @@ class DistributedDWFContext:
 
         Dispatches to the overlapped two-phase pipeline or the serialized
         monolithic assembly according to ``self.overlap``; both are
-        bit-identical in output and total charged flops.
+        bit-identical in output and total charged flops.  Each application
+        is one hot epoch: the first learns the SCU transfer schedule, the
+        rest replay its compiled trace (:mod:`repro.machine.replay`).
         """
-        if self.overlap:
-            out = yield from self._apply_overlapped(src)
-        else:
-            out = yield from self._apply_monolithic(src)
+        self.api.begin_hot_epoch("pdwf.apply")
+        try:
+            if self.overlap:
+                out = yield from self._apply_overlapped(src)
+            else:
+                out = yield from self._apply_monolithic(src)
+        finally:
+            self.api.end_hot_epoch("pdwf.apply")
         return out
 
+    @hot_path
     def _project_faces(self) -> None:
         """Compressed mode: spin-project the forward (low-face) halo for
         every s slice — matvec-free adds, sent from group "proj" before
@@ -197,29 +260,28 @@ class DistributedDWFContext:
             return
         for mu in self.comm_axes:
             self.api.cpu_write(f"stage_fwd{mu}")
-            np.copyto(
-                self.stage_fwd[mu],
-                spin_project(mu, +1, self.work[:, self.plans[mu].send_low]),
-            )
+            face = self._face_gather5[mu]
+            np.take(self.work, self.plans[mu].send_low, axis=1, out=face)
+            spin_project(mu, +1, face, out=self.stage_fwd[mu])
 
+    @hot_path
     def _stage_products(self) -> int:
         staged = 0
         for mu in self.comm_axes:
             plan = self.plans[mu]
             high = plan.send_high
             self.api.cpu_write(f"stage_bwd{mu}")
+            face = self._face_gather5[mu]
+            np.take(self.work, high, axis=1, out=face)
             if self.compress:
-                np.copyto(
-                    self.stage_bwd[mu],
-                    _cmatvec5(
-                        dagger(self.links[mu][high]),
-                        spin_project(mu, -1, self.work[:, high]),
-                    ),
+                half = self._face_half5[mu]
+                spin_project(mu, -1, face, out=half)
+                _cmatvec5(
+                    self._links_dagger_high[mu], half, out=self.stage_bwd[mu]
                 )
             else:
-                np.copyto(
-                    self.stage_bwd[mu],
-                    _cmatvec5(dagger(self.links[mu][high]), self.work[:, high]),
+                _cmatvec5(
+                    self._links_dagger_high[mu], face, out=self.stage_bwd[mu]
                 )
             staged += self.Ls * len(high)
         return staged
@@ -281,37 +343,72 @@ class DistributedDWFContext:
         )
         return out
 
+    @hot_path
     def _merge(self, out, fwd_arr, bwd_arr, src, sites: np.ndarray) -> None:
         """Assemble the 4D merge and the 5th-dim chiral hops on ``sites``.
 
         Row-for-row the same statement sequence (mu ascending, then the
         s loop) as the monolithic assembly, so merged rows are
-        bit-identical.
+        bit-identical: the site rows are gathered once into context
+        scratch, accumulated in the monolithic order, and scattered back.
+        The wall terms ``-mf * src[edge]`` are precomputed per
+        application in ``_wall_up``/``_wall_dn``.
         """
+        n = len(sites)
+        acc = self._merge_acc[:, :n]
+        f = self._merge_f[:, :n]
+        b = self._merge_b[:, :n]
+        rec = self._merge_rec[:, :n]
+        np.take(out, sites, axis=1, out=acc)
         for mu in range(4):
-            f = fwd_arr[mu][:, sites]
-            b = bwd_arr[mu][:, sites]
+            np.take(fwd_arr[mu], sites, axis=1, out=f)
+            np.take(bwd_arr[mu], sites, axis=1, out=b)
             if self.compress:
-                out[:, sites] -= 0.5 * spin_reconstruct(mu, +1, f)
-                out[:, sites] -= 0.5 * spin_reconstruct(mu, -1, b)
+                spin_reconstruct(mu, +1, f, out=rec)
+                np.multiply(rec, 0.5, out=rec)
+                acc -= rec
+                spin_reconstruct(mu, -1, b, out=rec)
+                np.multiply(rec, 0.5, out=rec)
+                acc -= rec
             else:
-                out[:, sites] -= 0.5 * (
-                    (f + b) - apply_spin_matrix(GAMMA[mu], f - b)
-                )
+                t = self._merge_t[:, :n]
+                np.subtract(f, b, out=rec)
+                t_spin = self._merge_rec[:, :n]
+                np.add(f, b, out=t)
+                apply_spin_matrix(GAMMA[mu], rec, out=t_spin)
+                np.subtract(t, t_spin, out=t)
+                np.multiply(t, 0.5, out=t)
+                acc -= t
         for s in range(self.Ls):
-            up = src[s + 1] if s + 1 < self.Ls else -self.mf * src[0]
-            dn = src[s - 1] if s - 1 >= 0 else -self.mf * src[self.Ls - 1]
-            out[s][sites] -= apply_spin_matrix(P_MINUS, up[sites])
-            out[s][sites] -= apply_spin_matrix(P_PLUS, dn[sites])
+            up = src[s + 1] if s + 1 < self.Ls else self._wall_up
+            dn = src[s - 1] if s - 1 >= 0 else self._wall_dn
+            up_g = self._m5_up[:n]
+            rec4 = self._m5_rec[:n]
+            np.take(up, sites, axis=0, out=up_g)
+            apply_spin_matrix(P_MINUS, up_g, out=rec4)
+            acc[s] -= rec4
+            np.take(dn, sites, axis=0, out=up_g)
+            apply_spin_matrix(P_PLUS, up_g, out=rec4)
+            acc[s] -= rec4
+        out[:, sites] = acc
 
+    @hot_path
     def _apply_overlapped(self, src: np.ndarray):
         """Two-phase pipeline: interior assembly while DMA flies, per-axis
-        boundary work as each axis's halo lands."""
+        boundary work as each axis's halo lands.  Steady state is
+        allocation-free: every gather, projection, and merge lands in
+        context-owned scratch preallocated by ``__init__``."""
         g = self.geometry
         v = g.volume
         api = self.api
         api.cpu_write("work")
         np.copyto(self.work, src)
+        # Wall terms and 5th-dim hop sources are read from ``self.work``
+        # (identical to ``src`` from here on, and never mutated during an
+        # application) so that passing the context's own output buffer
+        # back in as ``src`` stays well-defined.
+        np.multiply(self.work[0], -self.mf, out=self._wall_up)
+        np.multiply(self.work[self.Ls - 1], -self.mf, out=self._wall_dn)
 
         pending = dict(api.start_stored_events(group="early"))
         self._project_faces()
@@ -323,36 +420,35 @@ class DistributedDWFContext:
 
         # ---- interior phase ---------------------------------------------
         diag = (-self.M5 + 4.0) + 1.0
-        out = diag * self.work
+        out = self._out5
+        np.multiply(self.work, diag, out=out)
         local_flops = float(DIAG_AXPY_FLOPS * self.volume5)
-        fwd_arr = []
-        bwd_arr = []
+        fwd_arr = self._fwd
+        bwd_arr = self._bwd
         for mu in range(4):
+            np.take(self.work, g.hop(mu, +1), axis=1, out=self._gather5)
             if self.compress:
-                fwd = _cmatvec5(
-                    self.links[mu],
-                    spin_project(mu, +1, self.work[:, g.hop(mu, +1)]),
-                )
+                spin_project(mu, +1, self._gather5, out=self._half5)
+                _cmatvec5(self.links[mu], self._half5, out=fwd_arr[mu])
             else:
-                fwd = _cmatvec5(self.links[mu], self.work[:, g.hop(mu, +1)])
+                _cmatvec5(self.links[mu], self._gather5, out=fwd_arr[mu])
             nface = len(self.plans[mu].fill_from_fwd) if mu in self.plans else 0
             local_flops += self.Ls * (v - nface) * MATVEC_SU3
+            np.take(self.work, g.hop(mu, -1), axis=1, out=self._gather5)
             if self.compress:
-                bwd = _cmatvec5(
-                    self.links_dagger_bwd[mu],
-                    spin_project(mu, -1, self.work[:, g.hop(mu, -1)]),
+                spin_project(mu, -1, self._gather5, out=self._half5)
+                _cmatvec5(
+                    self.links_dagger_bwd[mu], self._half5, out=bwd_arr[mu]
                 )
             else:
-                bwd = _cmatvec5(
-                    self.links_dagger_bwd[mu], self.work[:, g.hop(mu, -1)]
+                _cmatvec5(
+                    self.links_dagger_bwd[mu], self._gather5, out=bwd_arr[mu]
                 )
             local_flops += self.Ls * v * MATVEC_SU3
-            fwd_arr.append(fwd)
-            bwd_arr.append(bwd)
 
         interior = self.interior_sites
         if len(interior):
-            self._merge(out, fwd_arr, bwd_arr, src, interior)
+            self._merge(out, fwd_arr, bwd_arr, self.work, interior)
             local_flops += self.Ls * len(interior) * MERGE5_FLOPS_PER_SITE
         yield api.compute(local_flops, kernel="dwf")
 
@@ -368,9 +464,9 @@ class DistributedDWFContext:
             if sign == +1:
                 rows = plan.fill_from_fwd
                 api.cpu_read(f"halo_fwd{mu}")
-                fwd_arr[mu][:, rows] = _cmatvec5(
-                    self.links[mu][rows], self.halo_fwd[mu]
-                )
+                patch = self._face_patch5[mu]
+                _cmatvec5(self._links_fwd_face[mu], self.halo_fwd[mu], out=patch)
+                fwd_arr[mu][:, rows] = patch
                 yield api.compute(self.Ls * len(rows) * MATVEC_SU3, kernel="dwf")
             else:
                 api.cpu_read(f"halo_bwd{mu}")
@@ -378,17 +474,22 @@ class DistributedDWFContext:
 
         boundary = self.boundary_sites
         if len(boundary):
-            self._merge(out, fwd_arr, bwd_arr, src, boundary)
+            self._merge(out, fwd_arr, bwd_arr, self.work, boundary)
             yield api.compute(
                 self.Ls * len(boundary) * MERGE5_FLOPS_PER_SITE, kernel="dwf"
             )
         return out
 
+    @hot_path
     def apply_dagger(self, src: np.ndarray):
-        """``D^+ = (Gamma_5 R) D (R Gamma_5)`` with R the s reflection."""
-        flipped = gamma5_sandwich(src[::-1])
+        """``D^+ = (Gamma_5 R) D (R Gamma_5)`` with R the s reflection.
+
+        Returns a context-owned buffer (``_rot_out``), valid until the
+        context's next application.
+        """
+        flipped = gamma5_sandwich(src[::-1], out=self._rot_in)
         applied = yield from self.apply(flipped)
-        return gamma5_sandwich(applied[::-1])
+        return gamma5_sandwich(applied[::-1], out=self._rot_out)
 
     def normal(self, src: np.ndarray):
         d_src = yield from self.apply(src)

@@ -49,7 +49,9 @@ from repro.lattice.gauge import cmatvec
 from repro.lattice.geometry import LatticeGeometry
 from repro.lattice.halos import halo_exchange_plan, interior_boundary_sites
 from repro.lattice.su3 import dagger
+from repro.machine.scu import normalise_word_batch
 from repro.util.errors import ConfigError
+from repro.util.hotpath import hot_path
 
 #: 64-bit words per staggered site (3 complex doubles).  A colour vector
 #: has no rank-2 spin structure, so — unlike Wilson/DWF — there is no
@@ -80,8 +82,14 @@ class DistributedStaggeredContext:
         mass: float,
         c_naik: float = -1.0 / 24.0,
         overlap: bool = True,
+        word_batch=None,
     ):
         self.api = api
+        #: DMA framing of the stored halo exchanges (``None`` = inherit
+        #: the machine's ``word_batch``; ``"face"`` = the hot path)
+        self.word_batch = (
+            None if word_batch is None else normalise_word_batch(word_batch)
+        )
         self.geometry = LatticeGeometry(local_shape)
         g = self.geometry
         v, ndim = g.volume, g.ndim
@@ -147,9 +155,14 @@ class DistributedStaggeredContext:
                 -1,
                 face_descriptor("work", local_shape, mu, -1, WORDS_PER_SITE, depth=3),
                 group="early",
+                word_batch=self.word_batch,
             )
             api.store_send(
-                mu, +1, full_descriptor(api.node, f"stage{mu}"), group="staged"
+                mu,
+                +1,
+                full_descriptor(api.node, f"stage{mu}"),
+                group="staged",
+                word_batch=self.word_batch,
             )
             api.store_recv(
                 mu, +1, full_descriptor(api.node, f"raw_halo{mu}"), group="early"
@@ -157,6 +170,38 @@ class DistributedStaggeredContext:
             api.store_recv(
                 mu, -1, full_descriptor(api.node, f"prod_halo{mu}"), group="early"
             )
+
+        # ---- zero-copy hot-path scratch (see DESIGN.md §12) -----------
+        # Preallocated once; reused every application.  Gauge-gather
+        # constants on the staging faces are hoisted (links immutable).
+        dt = self.work.dtype
+        self._fwd1 = [np.empty((v, 3), dtype=dt) for _ in range(ndim)]
+        self._fwd3 = [np.empty((v, 3), dtype=dt) for _ in range(ndim)]
+        self._bwd1 = [np.empty((v, 3), dtype=dt) for _ in range(ndim)]
+        self._bwd3 = [np.empty((v, 3), dtype=dt) for _ in range(ndim)]
+        self._gather = np.empty((v, 3), dtype=dt)
+        self._hop_out = np.empty((v, 3), dtype=dt)
+        self._apply_out = np.empty((v, 3), dtype=dt)
+        self._dagger_out = np.empty((v, 3), dtype=dt)
+        self._m_acc = np.empty((v, 3), dtype=dt)
+        self._m_term = np.empty((v, 3), dtype=dt)
+        self._m_tmp = np.empty((v, 3), dtype=dt)
+        self._m_vec = np.empty((v, 3), dtype=dt)
+        self._m_gauge = np.empty((v, 3, 3), dtype=dt)
+        self._m_ph = np.empty((v,), dtype=self.phases.dtype)
+        self._fat_dagger_high = {}
+        self._long_dagger_high3 = {}
+        self._stage_v1 = {}
+        self._stage_v3 = {}
+        self._raw_l0 = {}
+        for mu in self.comm_axes:
+            high1 = self.plan1[mu].send_high
+            high3 = self.plan3[mu].send_high
+            self._fat_dagger_high[mu] = dagger(self.fat[mu][high1])
+            self._long_dagger_high3[mu] = dagger(self.long[mu][high3])
+            self._stage_v1[mu] = np.empty((len(high1), 3), dtype=dt)
+            self._stage_v3[mu] = np.empty((len(high3), 3), dtype=dt)
+            self._raw_l0[mu] = np.empty((len(high1), 3), dtype=dt)
 
     @property
     def volume(self) -> int:
@@ -167,14 +212,21 @@ class DistributedStaggeredContext:
 
         Dispatches to the overlapped two-phase pipeline or the serialized
         monolithic assembly according to ``self.overlap``; both are
-        bit-identical in output and total charged flops.
+        bit-identical in output and total charged flops.  Each application
+        is one hot epoch: the first learns the SCU transfer schedule, the
+        rest replay its compiled trace (:mod:`repro.machine.replay`).
         """
-        if self.overlap:
-            out = yield from self._hopping_overlapped(src)
-        else:
-            out = yield from self._hopping_monolithic(src)
+        self.api.begin_hot_epoch("pstaggered.hopping")
+        try:
+            if self.overlap:
+                out = yield from self._hopping_overlapped(src)
+            else:
+                out = yield from self._hopping_monolithic(src)
+        finally:
+            self.api.end_hot_epoch("pstaggered.hopping")
         return out
 
+    @hot_path
     def _stage_products(self) -> int:
         """Sender-side backward products for every neighbour."""
         staged = 0
@@ -184,8 +236,10 @@ class DistributedStaggeredContext:
             n1 = len(high1)
             buf = self.stage[mu]
             self.api.cpu_write(f"stage{mu}")
-            buf[:n1] = cmatvec(dagger(self.fat[mu][high1]), self.work[high1])
-            buf[n1:] = cmatvec(dagger(self.long[mu][high3]), self.work[high3])
+            np.take(self.work, high1, axis=0, out=self._stage_v1[mu])
+            cmatvec(self._fat_dagger_high[mu], self._stage_v1[mu], out=buf[:n1])
+            np.take(self.work, high3, axis=0, out=self._stage_v3[mu])
+            cmatvec(self._long_dagger_high3[mu], self._stage_v3[mu], out=buf[n1:])
             staged += n1 + len(high3)
         return staged
 
@@ -225,26 +279,47 @@ class DistributedStaggeredContext:
         )
         return out
 
+    @hot_path
     def _merge(self, out, fwd1_arr, fwd3_arr, bwd1_arr, bwd3_arr, sites) -> None:
         """Forward matvecs + combine/phase accumulate on ``sites``.
 
         Row-for-row the same statement sequence (mu ascending) as the
-        monolithic assembly, so merged rows are bit-identical.
+        monolithic assembly, so merged rows are bit-identical: site rows
+        are gathered once into context scratch, accumulated in the
+        monolithic order, and scattered back.
         """
+        n = len(sites)
+        acc = self._m_acc[:n]
+        term = self._m_term[:n]
+        tmp = self._m_tmp[:n]
+        vec = self._m_vec[:n]
+        gauge = self._m_gauge[:n]
+        ph = self._m_ph[:n]
+        np.take(out, sites, axis=0, out=acc)
         for mu in range(self.geometry.ndim):
-            term = (
-                cmatvec(self.fat[mu][sites], fwd1_arr[mu][sites])
-                - bwd1_arr[mu][sites]
-            )
-            term += self.c_naik * (
-                cmatvec(self.long[mu][sites], fwd3_arr[mu][sites])
-                - bwd3_arr[mu][sites]
-            )
-            out[sites] += self.phases[mu][sites][:, None] * term
+            np.take(self.fat[mu], sites, axis=0, out=gauge)
+            np.take(fwd1_arr[mu], sites, axis=0, out=vec)
+            cmatvec(gauge, vec, out=term)
+            np.take(bwd1_arr[mu], sites, axis=0, out=vec)
+            term -= vec
+            np.take(self.long[mu], sites, axis=0, out=gauge)
+            np.take(fwd3_arr[mu], sites, axis=0, out=vec)
+            cmatvec(gauge, vec, out=tmp)
+            np.take(bwd3_arr[mu], sites, axis=0, out=vec)
+            np.subtract(tmp, vec, out=tmp)
+            np.multiply(tmp, self.c_naik, out=tmp)
+            term += tmp
+            np.take(self.phases[mu], sites, axis=0, out=ph)
+            np.multiply(term, ph[:, None], out=tmp)
+            acc += tmp
+        out[sites] = acc
 
+    @hot_path
     def _hopping_overlapped(self, src: np.ndarray):
         """Two-phase pipeline: interior assembly while DMA flies, per-axis
-        boundary row patches (pure copies) as each axis's halo lands."""
+        boundary row patches (pure copies) as each axis's halo lands.
+        Steady state is allocation-free: every gather and merge lands in
+        context-owned scratch preallocated by ``__init__``."""
         g = self.geometry
         v = self.volume
         api = self.api
@@ -259,20 +334,21 @@ class DistributedStaggeredContext:
 
         # ---- interior phase: raw forward gathers + local backward matvecs
         local_flops = 0.0
-        fwd1_arr = []
-        fwd3_arr = []
-        bwd1_arr = []
-        bwd3_arr = []
+        fwd1_arr = self._fwd1
+        fwd3_arr = self._fwd3
+        bwd1_arr = self._bwd1
+        bwd3_arr = self._bwd3
         for mu in range(g.ndim):
-            fwd1_arr.append(self.work[g.hop(mu, +1)])
-            fwd3_arr.append(self.work[g.hop(mu, +3)])
-            bwd1_arr.append(cmatvec(self.fat_dagger_bwd[mu], self.work[g.hop(mu, -1)]))
-            bwd3_arr.append(
-                cmatvec(self.long_dagger_bwd3[mu], self.work[g.hop(mu, -3)])
-            )
+            np.take(self.work, g.hop(mu, +1), axis=0, out=fwd1_arr[mu])
+            np.take(self.work, g.hop(mu, +3), axis=0, out=fwd3_arr[mu])
+            np.take(self.work, g.hop(mu, -1), axis=0, out=self._gather)
+            cmatvec(self.fat_dagger_bwd[mu], self._gather, out=bwd1_arr[mu])
+            np.take(self.work, g.hop(mu, -3), axis=0, out=self._gather)
+            cmatvec(self.long_dagger_bwd3[mu], self._gather, out=bwd3_arr[mu])
             local_flops += 2 * v * MATVEC_SU3
 
-        out = np.zeros_like(self.work)
+        out = self._hop_out
+        out.fill(0)
         interior = self.interior_sites
         if len(interior):
             self._merge(out, fwd1_arr, fwd3_arr, bwd1_arr, bwd3_arr, interior)
@@ -292,7 +368,8 @@ class DistributedStaggeredContext:
             if sign == +1:
                 api.cpu_read(f"raw_halo{mu}")
                 raw = self.raw_halo[mu]
-                fwd1_arr[mu][self.plan1[mu].fill_from_fwd] = raw[self.raw_layer0[mu]]
+                np.take(raw, self.raw_layer0[mu], axis=0, out=self._raw_l0[mu])
+                fwd1_arr[mu][self.plan1[mu].fill_from_fwd] = self._raw_l0[mu]
                 fwd3_arr[mu][self.plan3[mu].fill_from_fwd] = raw
             else:
                 api.cpu_read(f"prod_halo{mu}")
@@ -309,16 +386,28 @@ class DistributedStaggeredContext:
             )
         return out
 
+    @hot_path
     def apply(self, src: np.ndarray):
+        """Returns a context-owned buffer, valid until the next application."""
         hop = yield from self.hopping(src)
-        out = self.mass * src + 0.5 * hop
+        out = self._apply_out
+        np.multiply(src, self.mass, out=out)
+        np.multiply(hop, 0.5, out=hop)
+        np.add(out, hop, out=out)
         yield self.api.compute(STAGGERED_DIAG_FLOPS * self.volume, kernel="diag")
         return out
 
+    @hot_path
     def apply_dagger(self, src: np.ndarray):
-        """``D^+ = m - (1/2) hopping`` (anti-hermitian hopping)."""
+        """``D^+ = m - (1/2) hopping`` (anti-hermitian hopping).
+
+        Returns a context-owned buffer, valid until the next application.
+        """
         hop = yield from self.hopping(src)
-        out = self.mass * src - 0.5 * hop
+        out = self._dagger_out
+        np.multiply(src, self.mass, out=out)
+        np.multiply(hop, 0.5, out=hop)
+        np.subtract(out, hop, out=out)
         yield self.api.compute(STAGGERED_DIAG_FLOPS * self.volume, kernel="diag")
         return out
 

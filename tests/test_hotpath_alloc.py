@@ -1,0 +1,231 @@
+"""Runtime enforcement of the zero-copy hot-path contract (DESIGN.md §12).
+
+The static half lives in reprolint rule REPRO105 (no numpy allocator
+calls in ``@hot_path`` bodies).  This suite is the dynamic half: it
+patches every Python-level numpy allocation entry point with a counting
+wrapper, runs each distributed operator to steady state on a live
+2-node machine, and asserts that **zero** allocations are attributed to
+the operator layer (``parallel/``, the spin/colour kernels) during the
+steady-state window.  Warmup applications and context construction are
+exempt — that is exactly where the scratch buffers are *supposed* to be
+allocated — as is the machine wire-sim layer (frames, checksums,
+global-op staging), which is the simulator, not the simulated hot path.
+"""
+
+import traceback
+
+import numpy as np
+import pytest
+
+from repro.fermions import WilsonDirac
+from repro.lattice import GaugeField, LatticeGeometry
+from repro.machine.asic import MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.parallel import PhysicsMapping
+from repro.parallel.pdirac import DistributedWilsonContext
+from repro.parallel.pdwf import DistributedDWFContext
+from repro.parallel.pstaggered import DistributedStaggeredContext
+from repro.util import rng_stream
+from repro.util.hotpath import is_hot_path
+
+#: numpy entry points whose call means "a fresh array buffer" (the same
+#: catalogue REPRO105 checks statically)
+ALLOCATORS = (
+    "zeros",
+    "empty",
+    "ones",
+    "full",
+    "zeros_like",
+    "empty_like",
+    "ones_like",
+    "full_like",
+    "array",
+    "asarray",
+    "ascontiguousarray",
+    "concatenate",
+    "stack",
+    "vstack",
+    "hstack",
+)
+
+#: allocation is a violation when the nearest repro frame on the stack
+#: is operator-layer code (the simulated hot path); machine/sim/comms
+#: frames are the simulator itself and are out of contract scope
+WATCHED = (
+    "parallel/pdirac.py",
+    "parallel/pdwf.py",
+    "parallel/pstaggered.py",
+    "fermions/gamma.py",
+    "lattice/gauge.py",
+)
+
+
+class AllocationTracker:
+    """Count allocator calls attributed to the operator layer."""
+
+    def __init__(self, monkeypatch):
+        self.armed = False
+        self.violations = []
+        for name in ALLOCATORS:
+            real = getattr(np, name)
+
+            def wrapper(*args, _real=real, _name=name, **kwargs):
+                if self.armed:
+                    self._record(_name)
+                return _real(*args, **kwargs)
+
+            monkeypatch.setattr(np, name, wrapper)
+
+    def _record(self, name):
+        for frame in reversed(traceback.extract_stack()[:-2]):
+            if "/repro/" not in frame.filename:
+                continue
+            for watched in WATCHED:
+                if frame.filename.endswith(watched):
+                    self.violations.append(
+                        f"np.{name} from {watched}:{frame.lineno}"
+                    )
+                    return
+            return  # nearest repro frame is simulator code: in contract
+
+
+@pytest.fixture
+def tracker(monkeypatch):
+    return AllocationTracker(monkeypatch)
+
+
+def make_machine():
+    m = QCDOCMachine(MachineConfig(dims=(2, 1, 1, 1, 1, 1)), word_batch="face")
+    m.bring_up()
+    part = m.partition(groups=[(0,), (1,), (2,), (3,)])
+    return m, part
+
+
+def steady_state_program(ctx_factory, src_of, tracker, warmup=2, steady=3):
+    """Program template: warmup applies, barrier, counted applies.
+
+    The barrier guarantees every rank is past warmup before the tracker
+    arms; outputs are fed back as inputs so buffer recycling (the
+    context-owned return buffers) is exercised under counting.
+    """
+
+    def program(api):
+        ctx = ctx_factory(api)
+        out = src_of(api)
+        for _ in range(warmup):
+            out = yield from ctx.apply(out)
+        yield api.barrier()
+        tracker.armed = True
+        for _ in range(steady):
+            out = yield from ctx.apply(out)
+        d_out = yield from ctx.apply_dagger(out)
+        return d_out
+
+    return program
+
+
+def run_and_check(machine, part, program, tracker):
+    machine.run_partition(part, program)
+    tracker.armed = False
+    assert tracker.violations == [], (
+        "steady-state dslash allocated in the operator layer:\n  "
+        + "\n  ".join(sorted(set(tracker.violations)))
+    )
+
+
+class TestSteadyStateAllocationFree:
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_wilson(self, tracker, compress):
+        rng = rng_stream(91, "hotpath-wilson")
+        m, part = make_machine()
+        geom = LatticeGeometry((4, 2, 2, 2))
+        mapping = PhysicsMapping(geom, part)
+        gauge = GaugeField.hot(geom, rng)
+        links = mapping.scatter_gauge(gauge)
+        psi = rng.standard_normal((geom.volume, 4, 3)) + 0j
+        lpsi = mapping.scatter_field(psi)
+
+        program = steady_state_program(
+            lambda api: DistributedWilsonContext(
+                api,
+                mapping.local_shape,
+                links[api.rank],
+                mass=0.3,
+                compress=compress,
+            ),
+            lambda api: lpsi[api.rank],
+            tracker,
+        )
+        run_and_check(m, part, program, tracker)
+
+    def test_dwf(self, tracker):
+        Ls = 4
+        rng = rng_stream(92, "hotpath-dwf")
+        m, part = make_machine()
+        geom = LatticeGeometry((4, 2, 2, 2))
+        mapping = PhysicsMapping(geom, part)
+        gauge = GaugeField.hot(geom, rng)
+        links = mapping.scatter_gauge(gauge)
+        psi = rng.standard_normal((Ls, geom.volume, 4, 3)) + 0j
+        lpsi = np.stack(
+            [mapping.scatter_field(psi[s]) for s in range(Ls)], axis=1
+        )
+
+        program = steady_state_program(
+            lambda api: DistributedDWFContext(
+                api, mapping.local_shape, links[api.rank], Ls=Ls, M5=1.8, mf=0.1
+            ),
+            lambda api: lpsi[api.rank],
+            tracker,
+        )
+        run_and_check(m, part, program, tracker)
+
+    def test_staggered(self, tracker):
+        from repro.fermions.staggered import fat_links, long_links
+
+        rng = rng_stream(93, "hotpath-stag")
+        m, part = make_machine()
+        geom = LatticeGeometry((6, 2, 2, 2))
+        mapping = PhysicsMapping(geom, part)
+        gauge = GaugeField.hot(geom, rng)
+        fat = fat_links(gauge)
+        lng = long_links(gauge)
+        ndim = geom.ndim
+        v = mapping.tiling.local_volume
+        lfat = np.empty((mapping.n_ranks, ndim, v, 3, 3), dtype=np.complex128)
+        llong = np.empty_like(lfat)
+        for mu in range(ndim):
+            lfat[:, mu] = mapping.tiling.scatter(fat[mu])
+            llong[:, mu] = mapping.tiling.scatter(lng[mu])
+        chi = rng.standard_normal((geom.volume, 3)) + 0j
+        lchi = mapping.scatter_field(chi)
+
+        program = steady_state_program(
+            lambda api: DistributedStaggeredContext(
+                api, mapping.local_shape, lfat[api.rank], llong[api.rank],
+                mass=0.1,
+            ),
+            lambda api: lchi[api.rank],
+            tracker,
+        )
+        run_and_check(m, part, program, tracker)
+
+
+class TestHotPathTags:
+    """The contract only bites if the steady-state entry points are tagged."""
+
+    def test_operator_hot_paths_tagged(self):
+        from repro.parallel import pdirac, pdwf, pstaggered
+
+        assert is_hot_path(pdirac.DistributedWilsonContext._hopping_overlapped)
+        assert is_hot_path(pdirac.DistributedWilsonContext._merge)
+        assert is_hot_path(pdirac.DistributedWilsonContext.apply)
+        assert is_hot_path(pdwf.DistributedDWFContext._apply_overlapped)
+        assert is_hot_path(pdwf.DistributedDWFContext._merge)
+        assert is_hot_path(pstaggered.DistributedStaggeredContext._merge)
+        assert is_hot_path(
+            pstaggered.DistributedStaggeredContext._hopping_overlapped
+        )
+
+    def test_untagged_serial_reference(self):
+        assert not is_hot_path(WilsonDirac.apply)

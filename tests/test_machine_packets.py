@@ -76,8 +76,13 @@ class TestParity:
 
 class TestFrame:
     def test_wire_bits_data(self):
+        # one word per frame: the paper's 72-bit serialisation
+        f = Frame(PacketType.NORMAL, np.arange(1, dtype=np.uint64))
+        assert f.wire_bits() == 72
+        # a batched frame carries ONE 8-bit header for all its words —
+        # the face-batching wire saving (DESIGN.md §12)
         f = Frame(PacketType.NORMAL, np.arange(3, dtype=np.uint64))
-        assert f.wire_bits() == 3 * 72
+        assert f.wire_bits() == 8 + 3 * 64
 
     def test_wire_bits_control(self):
         assert Frame(PacketType.ACK, seq=5).wire_bits() == 8

@@ -145,6 +145,37 @@ class TestDeterminismRules:
         result = lint(tmp_path, "repro/sim/x.py", src, ["REPRO104"])
         assert result.clean
 
+    def test_hot_path_allocation_fires(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "from repro.util.hotpath import hot_path\n\n"
+            "@hot_path\n"
+            "def merge(ctx, sites):\n"
+            "    acc = np.zeros((len(sites), 4, 3))\n"
+            "    tmp = ctx.work.copy()\n"
+            "    return np.concatenate([acc, tmp])\n"
+        )
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO105"])
+        assert rules_fired(result) == ["REPRO105"]
+        assert len(result.findings) == 3  # np.zeros, .copy(), np.concatenate
+        assert "hot_path" in result.findings[0].message
+
+    def test_hot_path_out_forms_pass(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "from repro.util.hotpath import hot_path\n\n"
+            "@hot_path\n"
+            "def merge(ctx, sites):\n"
+            "    np.take(ctx.work, sites, axis=0, out=ctx.scratch)\n"
+            "    np.copyto(ctx.acc, ctx.scratch)\n"
+            "    np.einsum('xab,xb->xa', ctx.links, ctx.scratch, out=ctx.acc)\n"
+            "    return ctx.acc\n\n"
+            "def cold_setup(n):\n"
+            "    return np.zeros((n, 4, 3))\n"  # untagged: allowed
+        )
+        result = lint(tmp_path, "repro/parallel/x.py", src, ["REPRO105"])
+        assert result.clean
+
 
 class TestProtocolRules:
     def test_dropped_completion_fires(self, tmp_path):
