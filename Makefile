@@ -2,7 +2,8 @@ PY      ?= python
 PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test protocol overlap bench bench-smoke verify verify-telemetry \
-        lint verify-sanitizer verify-faults verify-sharding verify-hotpath
+        lint verify-sanitizer verify-faults verify-sharding verify-hotpath \
+        verify-service
 
 ## tier-1: the full unit/integration/property suite
 test:
@@ -66,8 +67,13 @@ verify-sharding:
 verify-hotpath:
 	$(PYTEST) tests/test_replay_hotpath.py tests/test_hotpath_alloc.py -q
 
+## machine-as-a-service: scheduler property suite, chaos campaigns,
+## sub-torus remap unit tests, quarantine-atomicity regressions
+verify-service:
+	$(PYTEST) -m service -q
+
 ## what CI gates a merge on: tier-1 + overlap bit-exactness + static
 ## analysis + the race sanitizer + the hard-fault + sharding + hot-path
 ## suites
-verify: test overlap lint verify-sanitizer verify-faults verify-sharding verify-hotpath
-	@echo "verify: tier-1 + overlap + lint + sanitizer + faults + sharding + hotpath green"
+verify: test overlap lint verify-sanitizer verify-faults verify-sharding verify-hotpath verify-service
+	@echo "verify: tier-1 + overlap + lint + sanitizer + faults + sharding + hotpath + service green"

@@ -38,6 +38,10 @@ LAYER_RANKS: Dict[str, int] = {
     "host": 8,
     "kernel": 8,
     "analysis": 9,
+    # the job-service layer sits on top of everything it orchestrates
+    # (host daemon, machine, solvers, telemetry); nothing below may
+    # depend back on it
+    "service": 10,
 }
 
 

@@ -71,10 +71,13 @@ class Qdaemon:
         faulty_nodes: Sequence[int] = (),
         silent_nodes: Sequence[int] = (),
         boot_timeout: float = 50e-3,
+        rpc_timeout: float = 5e-3,
     ):
         self.machine = machine
         self.sim = machine.sim
         self.boot_timeout = float(boot_timeout)
+        #: host-side deadline on a bounded (non-draining) RPC ping sweep
+        self.rpc_timeout = float(rpc_timeout)
         self.fabric = EthernetFabric(
             self.sim, machine.n_nodes, host_links=host_links
         )
@@ -99,6 +102,10 @@ class Qdaemon:
         self.failed: Dict[int, str] = {}
         #: cables the daemon has quarantined: sorted-unique (node, direction)
         self.quarantined_cables: List[Tuple[int, int]] = []
+        #: how much of ``machine.link_down_log`` has been ingested — the
+        #: cursor that makes quarantine atomic with allocation (see
+        #: :meth:`ingest_link_down`)
+        self._link_down_seen = 0
         self._ping_nonce = 0
         self.fabric.attach("host", self._on_datagram)
 
@@ -233,15 +240,57 @@ class Qdaemon:
         return self.machine.topology.dims
 
     # -- health monitoring -------------------------------------------------------
-    def health_check(self) -> Dict[int, bool]:
+    def ingest_link_down(self) -> List[Tuple[int, int]]:
+        """Quarantine cables implicated by new LINK_DOWN reports.
+
+        The SCU watchdogs append to ``machine.link_down_log`` whenever
+        they escalate; the daemon keeps a cursor and folds every report it
+        has not yet seen into :attr:`quarantined_cables` — both ends of
+        each implicated cable, including links the network layer still
+        thinks healthy (a resend-storm trip on a flaky wire).  Called at
+        the top of :meth:`allocate` / :meth:`adopt_partition` /
+        :meth:`health_check`, so a report that arrives between a sweep
+        and a placement can never leak a bad cable into an allocation —
+        quarantine is atomic with allocation.  Returns the newly
+        quarantined cables (sorted).
+        """
+        new = self.machine.link_down_log[self._link_down_seen:]
+        self._link_down_seen = len(self.machine.link_down_log)
+        if not new:
+            return []
+        known = set(self.quarantined_cables)
+        topo = self.machine.topology
+        fresh = set()
+        for node, direction, _reason in new:
+            # the other end of the same neighbour pair carries the acks
+            neighbour = topo.neighbour_by_direction(node, direction)
+            for cable in ((node, direction), (neighbour, topo.opposite(direction))):
+                if cable not in known:
+                    fresh.add(cable)
+                    known.add(cable)
+        for src, direction in sorted(fresh):
+            if self.machine.network.link_ok(src, direction):
+                self.machine.network.fail_link(src, direction, mode="dead")
+        self.quarantined_cables = sorted(known)
+        return sorted(fresh)
+
+    def health_check(self, drain: bool = True) -> Dict[int, bool]:
         """RPC-ping every non-failed node; mark the non-responders failed.
 
         Post-boot, "all communication between the host and QCDOC is done
         via remote procedure calls" (section 3.1) — a node that stops
         answering its RPC port is dead as far as the host can observe.
-        The sweep drains the service network, so a missing reply is a
-        genuine timeout, not an in-flight race.
+        With ``drain=True`` (the default) the sweep drains the whole
+        event heap, so a missing reply is a genuine timeout, not an
+        in-flight race.  ``drain=False`` bounds the sweep at
+        :attr:`rpc_timeout` of simulated time instead — the mode a job
+        service uses while *other* partitions are mid-solve (a full
+        drain would run them to completion).  LINK_DOWN reports are
+        ingested both before and after the sweep, so anything that
+        arrives while the pings are in flight is quarantined before the
+        verdict returns.
         """
+        self.ingest_link_down()
         self._ping_nonce += 1
         nonce = self._ping_nonce
         candidates = [i for i in sorted(self.agents) if i not in self.failed]
@@ -250,7 +299,10 @@ class Qdaemon:
             self.fabric.send(
                 UdpDatagram("host", i, RPC_UDP_PORT, ("ping", nonce), nbytes=64)
             )
-        self.sim.run()  # drain the fabric: every reply that will come, came
+        if drain:
+            self.sim.run()  # drain the fabric: every reply that will come, came
+        else:
+            self.sim.run(until=self.sim.timeout(self.rpc_timeout))
         verdict: Dict[int, bool] = {}
         expect = f"rpc-ok:{nonce}"
         for i in candidates:
@@ -258,29 +310,22 @@ class Qdaemon:
             verdict[i] = ok
             if not ok:
                 self.mark_failed(i, "rpc-timeout")
+        self.ingest_link_down()
         return verdict
 
-    def handle_fault(self) -> Dict[str, list]:
+    def handle_fault(self, drain: bool = True) -> Dict[str, list]:
         """Diagnose and contain hardware loss after a FAULT interrupt.
 
         Reads the LINK_DOWN reports the SCU watchdogs escalated,
         quarantines both ends of each implicated cable (a stuck-at wire
         must not be retrained into the next allocation), RPC-sweeps for
         dead nodes, and acknowledges the partition interrupt.  Returns a
-        diagnosis summary for the job log.
+        diagnosis summary for the job log.  ``drain=False`` uses the
+        bounded sweep (see :meth:`health_check`) so concurrent healthy
+        partitions keep their in-flight state.
         """
-        cables = set(self.quarantined_cables)
-        topo = self.machine.topology
-        for node, direction, _reason in self.machine.link_down_log:
-            cables.add((node, direction))
-            # the other end of the same neighbour pair carries the acks
-            neighbour = topo.neighbour_by_direction(node, direction)
-            cables.add((neighbour, topo.opposite(direction)))
-        for src, direction in sorted(cables - set(self.quarantined_cables)):
-            if self.machine.network.link_ok(src, direction):
-                self.machine.network.fail_link(src, direction, mode="dead")
-        self.quarantined_cables = sorted(cables)
-        verdict = self.health_check()
+        self.ingest_link_down()
+        verdict = self.health_check(drain=drain)
         newly_dead = sorted(i for i, ok in verdict.items() if not ok)
         for i in newly_dead:
             self.machine.network.fail_node(i)
@@ -326,24 +371,14 @@ class Qdaemon:
         """
         if not self.booted:
             raise MachineError("machine not booted")
+        self.ingest_link_down()  # quarantine atomically with placement
         partition = self.machine.partition(
             groups, origin=origin, extents=extents, require_periodic=require_periodic
         )
         new_nodes = {
             partition.physical_node(r) for r in range(partition.n_nodes)
         }
-        for alloc in self.allocations:
-            if not alloc.active:
-                continue
-            held = {
-                alloc.partition.physical_node(r)
-                for r in range(alloc.partition.n_nodes)
-            }
-            if held & new_nodes:
-                raise MachineError(
-                    f"allocation overlaps active job {alloc.job_id} "
-                    f"({len(held & new_nodes)} shared nodes)"
-                )
+        self._check_no_overlap(new_nodes)
         unusable = set(self.failed_nodes()) | set(self.failed)
         if not partition_is_healthy(self.machine, partition, unusable):
             if not remap:
@@ -365,6 +400,50 @@ class Qdaemon:
         alloc = Allocation(self._job_counter, user, partition)
         self.allocations.append(alloc)
         return alloc
+
+    def adopt_partition(self, user: str, partition: Partition) -> Allocation:
+        """Register an externally-computed placement as an allocation.
+
+        The job-service scheduler picks placements itself (it packs many
+        concurrent partitions and must control the exclusion set); the
+        daemon still owns the books, so adoption re-checks what
+        :meth:`allocate` would have: fresh LINK_DOWN ingestion, no
+        overlap with active jobs, and no dead hardware under the
+        placement.
+        """
+        if not self.booted:
+            raise MachineError("machine not booted")
+        self.ingest_link_down()  # quarantine atomically with placement
+        new_nodes = {
+            partition.physical_node(r) for r in range(partition.n_nodes)
+        }
+        self._check_no_overlap(new_nodes)
+        unusable = set(self.failed_nodes()) | set(self.failed)
+        if not partition_is_healthy(self.machine, partition, unusable):
+            raise DegradedMachineError(
+                requested=partition.extents,
+                failed_nodes=sorted(unusable),
+                dead_links=self.machine.network.dead_links(),
+                detail="adopted placement touches dead hardware",
+            )
+        self._job_counter += 1
+        alloc = Allocation(self._job_counter, user, partition)
+        self.allocations.append(alloc)
+        return alloc
+
+    def _check_no_overlap(self, new_nodes: set) -> None:
+        for alloc in self.allocations:
+            if not alloc.active:
+                continue
+            held = {
+                alloc.partition.physical_node(r)
+                for r in range(alloc.partition.n_nodes)
+            }
+            if held & new_nodes:
+                raise MachineError(
+                    f"allocation overlaps active job {alloc.job_id} "
+                    f"({len(held & new_nodes)} shared nodes)"
+                )
 
     def release(self, alloc: Allocation) -> None:
         alloc.active = False

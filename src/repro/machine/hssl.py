@@ -75,6 +75,12 @@ class SerialLink:
         self.stuck = False
         #: frames that vanished into a dead cable
         self.frames_dropped = 0
+        #: frames clocked out but not yet handed to the receiver — the
+        #: wire's contribution to quiescence (a cancelled transfer's
+        #: frames are still *on the wire* after the units reset, and a
+        #: partition must not be reallocated until they have landed and
+        #: been discarded by the drain filter)
+        self.in_transit = 0
         #: ``(router, dst_shard, key)`` when this wire crosses a shard
         #: boundary of a sharded simulator (set by
         #: :meth:`repro.machine.network.MeshNetwork.bind_shards`):
@@ -184,6 +190,7 @@ class SerialLink:
         self.sim.schedule(serialised - self.sim.now, done.succeed)
         if self.alive:
             arrival = serialised - self.sim.now + self.asic.wire_latency
+            self.in_transit += 1
             if self.cross_shard is None:
                 self.sim.schedule(arrival, self._deliver, frame)
             else:
@@ -200,6 +207,7 @@ class SerialLink:
         return done
 
     def _deliver(self, frame: Frame) -> None:
+        self.in_transit -= 1
         if not self.alive:
             # The cable died while this frame was in flight.
             self.frames_dropped += 1

@@ -34,6 +34,146 @@ from repro.util.errors import ConfigError, FaultError, MachineError
 from repro.util.rng import rng_stream
 
 
+class PartitionRun:
+    """One partition's rank programs, launched without blocking the sim.
+
+    :meth:`QCDOCMachine.launch_partition` returns one of these instead of
+    driving the event loop itself, so several partitions can execute
+    concurrently on one machine (the job-service layer) while the
+    blocking :meth:`QCDOCMachine.run_partition` stays a thin wrapper.
+
+    Lifecycle: ranks report into :attr:`done` / :attr:`faults` as their
+    generators finish; :attr:`settled` flips once every rank returned or
+    any rank died of a :class:`FaultError`.  To tear a run down (fault
+    recovery, preemption) call :meth:`abort`, advance the simulation
+    until :meth:`quiesced` holds, then :meth:`finalize` to free the
+    buffers the run allocated and leave the SCUs reusable.
+    """
+
+    def __init__(self, machine: "QCDOCMachine", partition: Partition, tag: str = ""):
+        self.machine = machine
+        self.partition = partition
+        self.tag = tag
+        self.n_ranks = partition.n_nodes
+        self.part_nodes: List[Node] = [
+            machine.nodes[partition.physical_node(r)] for r in range(self.n_ranks)
+        ]
+        # Snapshot node memory so teardown can free what this run allocates
+        # (the next job on these nodes re-allocates the same buffer names).
+        self.pre_buffers = {
+            n.node_id: set(n.memory.buffer_names()) for n in self.part_nodes
+        }
+        # Every wire touching this run's nodes: quiescence must also see
+        # these empty, or frames of a cancelled transfer still in flight
+        # would land on (and poison) the next job allocated here.
+        ids = {n.node_id for n in self.part_nodes}
+        topo = machine.topology
+        self._watch_links = [
+            link
+            for (src, d), link in sorted(machine.network.links.items())
+            if src in ids or topo.neighbour_by_direction(src, d) in ids
+        ]
+        self.processes: List[Process] = []
+        #: rank -> return value, filled as rank generators finish
+        self.done: Dict[int, Any] = {}
+        #: hard faults in detection order (first one is the diagnosis)
+        self.faults: List[BaseException] = []
+        self.aborted = False
+        self.finalized = False
+        self.launched_at = machine.sim.now
+        #: host-side callback fired (synchronously, from inside the event
+        #: that settled the run) the moment :attr:`settled` flips — the
+        #: service layer's wake-up signal
+        self.on_settled: Optional[Callable[["PartitionRun"], None]] = None
+
+    @property
+    def settled(self) -> bool:
+        """Every rank returned, or any rank died of a hard fault."""
+        return bool(self.faults) or len(self.done) == self.n_ranks
+
+    def results(self) -> List[Any]:
+        """Per-rank return values (rank order); only valid once settled
+        without faults."""
+        if self.faults:
+            raise self.faults[0]
+        return [self.done[r] for r in range(self.n_ranks)]
+
+    def node_ids(self) -> List[int]:
+        return sorted(n.node_id for n in self.part_nodes)
+
+    # -- teardown ------------------------------------------------------------
+    def abort(self) -> None:
+        """Interrupt surviving ranks and cancel their SCU transfers.
+
+        Purely state-changing (interrupts are scheduled, cancellations
+        discard in-flight frames as they arrive): the caller keeps the
+        simulation running until :meth:`quiesced` holds.
+        """
+        self.aborted = True
+        for proc in self.processes:
+            if proc.is_alive:
+                proc.interrupt("partition abort")
+        for node in self.part_nodes:
+            node.scu.cancel_active_transfers()
+
+    def quiesced(self) -> bool:
+        """No rank process alive, no word in an SCU pipeline, and no frame
+        still clocking down any wire touching the run's nodes."""
+        return (
+            all(p.triggered for p in self.processes)
+            and all(
+                node.scu.in_flight_words() == 0 for node in self.part_nodes
+            )
+            and all(link.in_transit == 0 for link in self._watch_links)
+        )
+
+    def finalize(self) -> None:
+        """Free run-allocated buffers; after an abort, end SCU drain mode.
+
+        Idempotent.  Call only once the run settled (or aborted and
+        quiesced) — it returns the nodes to the pre-launch buffer
+        namespace so the next job can reuse them.
+        """
+        if self.finalized:
+            return
+        self.finalized = True
+        for node in self.part_nodes:
+            for name in sorted(
+                set(node.memory.buffer_names()) - self.pre_buffers[node.node_id]
+            ):
+                node.memory.free(name)
+            if self.aborted:
+                node.scu.finish_drain()
+
+    # -- rank callbacks (wired by launch_partition) ---------------------------
+    def _rank_done(self, rank: int, value: Any) -> None:
+        self.done[rank] = value
+        if self.settled:
+            self._notify()
+
+    def _rank_fault(self, rank: int, exc: BaseException) -> None:
+        first = not self.faults
+        self.faults.append(exc)
+        if first:
+            self._notify()
+
+    def _notify(self) -> None:
+        if self.on_settled is not None:
+            self.on_settled(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "finalized"
+            if self.finalized
+            else "aborted"
+            if self.aborted
+            else "settled"
+            if self.settled
+            else "running"
+        )
+        return f"PartitionRun({self.tag or self.n_ranks} ranks, {state})"
+
+
 class QCDOCMachine:
     """A functional QCDOC machine of ``config.n_nodes`` simulated nodes.
 
@@ -295,6 +435,61 @@ class QCDOCMachine:
         return total
 
     # -- program execution ------------------------------------------------------
+    def launch_partition(
+        self,
+        partition: Partition,
+        program: Callable[..., object],
+        tag: str = "",
+        **program_kwargs,
+    ) -> PartitionRun:
+        """Start ``program(api)`` on every rank of a partition, non-blocking.
+
+        Creates the rank processes and returns a :class:`PartitionRun`
+        immediately — the caller drives the simulation (``sim.run(stop=
+        lambda: run.settled)``, or a service loop multiplexing several
+        runs).  Multiple live runs on disjoint partitions share the
+        machine; each gets its own per-partition global-ops engine, so
+        collectives never cross job boundaries.
+
+        Sharded machines are supported with the **serial** executor only:
+        rank completion reports are direct host-side callbacks, which the
+        forked executor's worker processes cannot deliver (those runs go
+        through :meth:`run_partition`'s window-notification protocol).
+        """
+        from repro.comms.api import CommsAPI  # local import: layering
+
+        if not self._booted:
+            raise MachineError("bring_up() the machine before running programs")
+        if self.shards > 1 and self.shard_workers != "serial":
+            raise ConfigError(
+                "launch_partition needs shard_workers='serial' (rank "
+                "completion is reported by direct callback, not over "
+                "worker pipes)"
+            )
+        engine = self.global_ops(partition)
+        run = PartitionRun(self, partition, tag=tag)
+
+        def guarded(api):
+            try:
+                result = yield from program(api, **program_kwargs)
+            except FaultError as exc:
+                run._rank_fault(api.rank, exc)
+                return None
+            run._rank_done(api.rank, result)
+            return result
+
+        for rank in range(run.n_ranks):
+            node = run.part_nodes[rank]
+            api = CommsAPI(self, partition, engine, rank, node)
+            shard = self.shard_of(node.node_id) if self.shards > 1 else 0
+            with self.sim.context(shard):
+                run.processes.append(
+                    self.sim.process(
+                        guarded(api), name=f"{tag or 'rank'}:{rank}"
+                    )
+                )
+        return run
+
     def run_partition(
         self,
         partition: Partition,
@@ -317,47 +512,20 @@ class QCDOCMachine:
         then reusable: a host daemon can remap the job onto healthy
         hardware and resume from a checkpoint.
         """
-        from repro.comms.api import CommsAPI  # local import: layering
-
         if not self._booted:
             raise MachineError("bring_up() the machine before running programs")
         if self.shards > 1:
             return self._run_partition_sharded(
                 partition, program, max_time, program_kwargs
             )
-        engine = self.global_ops(partition)
-        part_nodes = [
-            self.nodes[partition.physical_node(r)] for r in range(partition.n_nodes)
-        ]
-        # Snapshot node memory so an abort can free what this run allocates
-        # (resumed jobs re-allocate the same buffer names on reused nodes).
-        pre_buffers = {n.node_id: set(n.memory.buffer_names()) for n in part_nodes}
-
-        abort = self.sim.event()
-        first_fault: List[BaseException] = []
-
-        def guarded(api):
-            try:
-                result = yield from program(api, **program_kwargs)
-            except FaultError as exc:
-                if not first_fault:
-                    first_fault.append(exc)
-                if not abort.triggered:
-                    abort.succeed(exc)
-                return None
-            return result
-
-        processes: List[Process] = []
-        for rank in range(partition.n_nodes):
-            api = CommsAPI(self, partition, engine, rank, part_nodes[rank])
-            processes.append(self.sim.process(guarded(api), name=f"rank{rank}"))
-        done = self.sim.all_of(processes)
-        outcome = self.sim.any_of([done, abort])
-        self.sim.run(until=outcome, max_time=max_time)
-        if not abort.triggered:
-            return done.value
-        self._abort_partition(part_nodes, processes, pre_buffers)
-        raise first_fault[0]
+        run = self.launch_partition(partition, program, **program_kwargs)
+        self.sim.run(stop=lambda: run.settled, max_time=max_time)
+        if not run.faults:
+            return run.results()
+        run.abort()
+        self.sim.run()  # drain: cancellations, interrupts, in-flight frames
+        run.finalize()
+        raise run.faults[0]
 
     def _abort_partition(self, part_nodes, processes, pre_buffers) -> None:
         """Tear a faulted partition down to a reusable machine state.

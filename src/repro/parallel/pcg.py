@@ -138,20 +138,26 @@ def _cg_checkpoint(api, store, it, x, resid, p, rr, bb, residuals):
         api.trace.emit("cg.checkpoint", rank=api.rank, iteration=it)
 
 
-def _cg_program(
+def cg_rank_program(
     api,
     mapping,
     local_links,
     local_b,
     mass,
-    r,
-    clover_locals,
-    tol,
-    maxiter,
+    r=1.0,
+    clover_locals=None,
+    tol=1e-8,
+    maxiter=2000,
     checkpoint=None,
     resume_states=None,
 ):
-    """The per-rank node program: Wilson/clover CGNE with machine collectives."""
+    """The per-rank node program: Wilson/clover CGNE with machine collectives.
+
+    Public so job-launching layers (the service scheduler) can hand it to
+    :meth:`~repro.machine.machine.QCDOCMachine.launch_partition` directly;
+    :func:`solve_on_machine` wraps it with scatter/gather for the blocking
+    single-job path.
+    """
     rank = api.rank
     ctx = DistributedWilsonContext(
         api,
@@ -221,7 +227,7 @@ def solve_on_machine(
     t0 = machine.sim.now
     results = machine.run_partition(
         partition,
-        _cg_program,
+        cg_rank_program,
         max_time=max_time,
         mapping=mapping,
         local_links=local_links,
@@ -237,10 +243,19 @@ def solve_on_machine(
     machine_time = machine.sim.now - t0
     flops = sum(n.flops_charged for n in machine.nodes.values()) - flops_before
 
-    return _gather_results(machine, mapping, results, machine_time, flops)
+    return gather_cg_results(machine, mapping, results, machine_time, flops)
 
 
-def _gather_results(machine, mapping, results, machine_time, flops):
+def gather_cg_results(
+    machine, mapping, results, machine_time, flops, audit=True
+):
+    """Assemble per-rank ``machine_cgne`` returns into one
+    :class:`DistributedSolveResult`.
+
+    ``audit=False`` skips the machine-wide link-checksum comparison —
+    the per-job path on a shared machine, where other jobs are still
+    mid-flight and the service audits once at drain.
+    """
     x_locals = np.stack([res[0] for res in results])
     x = mapping.gather_field(x_locals)
     # Control flow is driven by globally-summed residuals, so every rank
@@ -255,7 +270,7 @@ def _gather_results(machine, mapping, results, machine_time, flops):
         residuals=results[0][3],
         machine_time=machine_time,
         flops=flops,
-        checksum_mismatches=machine.audit_checksums(),
+        checksum_mismatches=machine.audit_checksums() if audit else [],
     )
 
 
@@ -396,4 +411,4 @@ def solve_staggered_on_machine(
     )
     machine_time = machine.sim.now - t0
     flops = sum(n.flops_charged for n in machine.nodes.values()) - flops_before
-    return _gather_results(machine, mapping, results, machine_time, flops)
+    return gather_cg_results(machine, mapping, results, machine_time, flops)

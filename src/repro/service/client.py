@@ -1,0 +1,110 @@
+"""Asyncio client API over :class:`~repro.service.service.QcdocService`.
+
+Tenants are naturally concurrent — each scripts its own submit/wait
+logic while the machine multiplexes everybody's partitions — so the
+client API is written as coroutines.  Determinism is preserved by
+construction: the event loop here is a *cooperative scheduler only*.
+Nothing ever awaits a timer or an I/O source; coroutines yield control
+exclusively through ``asyncio.sleep(0)``, so the interleaving is the
+loop's deterministic ready-queue order and no wall-clock value can leak
+into results (REPRO101 stays satisfied — simulated time comes from the
+machine's event heap alone).
+
+:func:`run_service` is the driver: it steps the tenants' coroutines and
+the service's pump/advance loop in strict alternation until every
+client script has returned.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.service.jobs import Job, JobResult, WilsonJobSpec
+from repro.service.service import QcdocService
+from repro.util.errors import MachineError
+
+
+class ServiceClient:
+    """One tenant's handle on the service (submit / wait / solve)."""
+
+    def __init__(self, service: QcdocService, tenant: str):
+        self.service = service
+        self.tenant = tenant
+
+    async def submit(
+        self, spec: WilsonJobSpec, priority: int = 0
+    ) -> Job:
+        """Admit one job (admission errors raise into the coroutine)."""
+        job = self.service.submit(spec, tenant=self.tenant, priority=priority)
+        await asyncio.sleep(0)
+        return job
+
+    async def wait(self, job: Job) -> JobResult:
+        """Suspend until ``job`` resolves; re-raise its error if it failed."""
+        while not job.terminal:
+            await asyncio.sleep(0)
+        if job.error is not None:
+            raise job.error
+        assert job.result is not None
+        return job.result
+
+    async def solve(
+        self, spec: WilsonJobSpec, priority: int = 0
+    ) -> JobResult:
+        """Submit and wait — the one-call path for a scripted tenant."""
+        job = await self.submit(spec, priority=priority)
+        return await self.wait(job)
+
+
+def run_service(
+    service: QcdocService,
+    *coros,
+    max_time: float = float("inf"),
+    idle_limit: int = 10_000,
+) -> list:
+    """Drive tenant coroutines against the service until all return.
+
+    Alternates one ready-queue pass of the asyncio loop with one service
+    round (reap + dispatch, then advance the machine simulation when
+    jobs are in flight).  Returns the coroutines' results in argument
+    order; a coroutine that raised re-raises here.
+
+    ``idle_limit`` bounds consecutive rounds in which neither the loop,
+    the service, nor the simulation made progress — a tenant awaiting
+    something that can never happen fails fast as a :class:`MachineError`
+    instead of spinning forever.
+    """
+    loop = asyncio.new_event_loop()
+    try:
+        tasks = [loop.create_task(c) for c in coros]
+
+        async def tick():
+            # one cooperative pass: every ready coroutine runs to its
+            # next suspension point before control returns here
+            await asyncio.sleep(0)
+
+        idle = 0
+        while not all(task.done() for task in tasks):
+            loop.run_until_complete(tick())
+            progressed = service.pump()
+            if not progressed and not all(task.done() for task in tasks):
+                if service._active or service.core.pending:
+                    progressed = service.advance(max_time)
+            idle = 0 if progressed else idle + 1
+            if idle > idle_limit:
+                for task in tasks:
+                    task.cancel()
+                loop.run_until_complete(tick())
+                raise MachineError(
+                    "service driver wedged: clients awaiting, no job "
+                    f"progress for {idle_limit} rounds (deadlocked "
+                    "tenant script?)"
+                )
+        for task in tasks:
+            if task.exception() is not None:
+                raise task.exception()
+        return [task.result() for task in tasks]
+    finally:
+        loop.close()
+        asyncio.set_event_loop(None)

@@ -1,0 +1,149 @@
+"""Job specifications and runtime records for the service layer.
+
+A :class:`WilsonJobSpec` is everything a tenant hands over: the physics
+(gauge field, source, mass, clover) and the machine shape it wants (the
+logical sub-torus ``groups``/``extents``).  The service wraps each
+accepted spec in a :class:`Job` — the host-side record that survives
+restarts, remaps, and preemptions — and resolves it to a
+:class:`JobResult` exactly once (zero lost jobs, zero double
+completions).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.solvers.checkpoint import CGCheckpointStore
+from repro.util.errors import ConfigError
+
+
+class JobState(enum.Enum):
+    """Host-side lifecycle of a submitted job.
+
+    ``QUEUED -> RUNNING -> DONE`` is the happy path.  ``PREEMPTING``
+    and ``RECOVERING`` are both "revocation in flight" (a checkpointed
+    drain for preemption, an abort-and-quarantine for a hard fault);
+    both return to ``QUEUED`` for re-dispatch.  ``FAILED`` is terminal
+    and always carries the error.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    PREEMPTING = "preempting"
+    RECOVERING = "recovering"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class WilsonJobSpec:
+    """One Wilson/clover CGNE solve, as a tenant submits it."""
+
+    gauge: Any
+    b: np.ndarray
+    mass: float
+    #: physical-axis folding groups for the requested logical machine
+    groups: Sequence[Sequence[int]]
+    #: physical extents of the requested sub-torus
+    extents: Tuple[int, ...]
+    r: float = 1.0
+    c_sw: Optional[float] = None
+    tol: float = 1e-8
+    maxiter: int = 2000
+    require_periodic: bool = True
+
+    @property
+    def n_nodes(self) -> int:
+        return int(np.prod(self.extents))
+
+    def validate(self) -> None:
+        if self.b.shape != (self.gauge.geometry.volume, 4, 3):
+            raise ConfigError(f"bad source shape {self.b.shape}")
+        if self.n_nodes < 1:
+            raise ConfigError(f"bad partition extents {self.extents}")
+
+
+@dataclass
+class JobResult:
+    """The resolved outcome of one job, with its service-level history."""
+
+    job_id: int
+    tenant: str
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residuals: List[float]
+    #: simulated seconds this job spent running (summed over attempts)
+    machine_time: float
+    #: flops charged on this job's nodes (summed over attempts)
+    flops: float
+    #: fault-driven restarts survived
+    restarts: int
+    #: preemption round-trips survived
+    preemptions: int
+    #: submit -> first launch, simulated seconds
+    queue_latency: float
+
+
+class Job:
+    """Host-side record of one submitted job (the service owns these)."""
+
+    def __init__(
+        self,
+        job_id: int,
+        tenant: str,
+        spec: WilsonJobSpec,
+        priority: int,
+        seq: int,
+        submit_time: float,
+        store: CGCheckpointStore,
+    ):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.spec = spec
+        self.priority = priority
+        self.seq = seq
+        self.submit_time = submit_time
+        #: host-side checkpoint store — survives every remap/preemption
+        self.store = store
+        self.state = JobState.QUEUED
+        #: live execution state (valid while RUNNING/PREEMPTING/RECOVERING)
+        self.run = None
+        self.alloc = None
+        self.mapping = None
+        #: counter snapshot of this attempt's nodes at launch
+        self.usage_baseline: Optional[Dict[str, float]] = None
+        self.restarts = 0
+        self.preemptions = 0
+        #: qdaemon diagnoses collected after each fault recovery
+        self.diagnoses: List[dict] = []
+        self.started_at: Optional[float] = None
+        self.last_start: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: simulated seconds spent running, summed over attempts
+        self.run_seconds = 0.0
+        #: attributed usage totals, summed over attempts
+        self.usage: Dict[str, float] = {}
+        self.result: Optional[JobResult] = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    @property
+    def queue_latency(self) -> float:
+        """Submit -> first launch, simulated seconds (0 until launched)."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.submit_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.job_id}, {self.tenant!r}, {self.state.value}, "
+            f"{self.spec.n_nodes} nodes)"
+        )

@@ -1,0 +1,570 @@
+"""Machine-as-a-service: the job service over one qdaemon-managed machine.
+
+The companion papers run QCDOC as a shared facility: the qdaemon boots
+the machine once and then carves independently bootable sub-torus
+partitions for users as jobs come and go.  :class:`QcdocService` is that
+operating mode for the software twin — a submission queue with admission
+control, the :class:`~repro.service.scheduler.SchedulerCore` packing
+concurrent congruent partitions, and a recovery loop that turns SCU
+watchdog LINK_DOWN escalations into quarantine + remap + resubmit with
+zero lost jobs.
+
+Concurrency model: jobs run as :class:`~repro.machine.machine
+.PartitionRun` launches on *one* shared event simulation; the service is
+the (host-side) coordinator that advances the simulation between
+scheduling decisions.  ``sim.run(stop=...)`` returns to the service
+whenever something it must act on happened — a run settled (direct
+callback) or a revocation ticker fired — so the host never busy-waits
+and never runs a foreign job to completion by accident.  Everything is
+deterministic: decisions happen at event boundaries, orderings are
+explicit, and no wall-clock or entropy source is consulted.
+
+Preemption protocol (satellite of DESIGN.md §13):
+
+1. the scheduler emits :class:`~repro.service.scheduler.Preempt`;
+2. the victim enters ``PREEMPTING`` but keeps running until its
+   host-side checkpoint store holds a *complete* generation — the
+   "always checkpoint before revoke" invariant is structural;
+3. the victim is aborted, drained to quiescence (no live rank process,
+   no in-flight word on its nodes), finalized, released, and requeued
+   with its original submission seq;
+4. its next launch resumes from the newest complete generation —
+   bit-identical to the run it would have had (PR 5's guarantee).
+
+Fault recovery is the same drain with abort-first (the partition is
+already dead) plus a bounded qdaemon diagnosis sweep
+(``handle_fault(drain=False)``) that quarantines cables/nodes without
+running healthy neighbours' jobs to completion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fermions.clover import CloverDirac
+from repro.host.qdaemon import Qdaemon
+from repro.host.remap import find_healthy_partition
+from repro.parallel.decomp import PhysicsMapping
+from repro.parallel.pcg import cg_rank_program, gather_cg_results
+from repro.service.jobs import Job, JobResult, JobState, WilsonJobSpec
+from repro.service.scheduler import (
+    Preempt,
+    SchedJob,
+    SchedulerCore,
+    Start,
+)
+from repro.service.telemetry import (
+    TenantRollup,
+    percentile,
+    usage_delta,
+    usage_totals,
+)
+from repro.solvers.checkpoint import CGCheckpointStore
+from repro.util.errors import (
+    ConfigError,
+    DegradedMachineError,
+    MachineError,
+)
+
+
+class QcdocService:
+    """Multi-tenant job service over one booted, qdaemon-managed machine.
+
+    Parameters
+    ----------
+    daemon:
+        A :class:`~repro.host.qdaemon.Qdaemon` whose :meth:`boot` has
+        succeeded.  The service adopts placements through it, so the
+        daemon's books (allocations, quarantine, failed nodes) stay the
+        single source of truth.
+    quotas:
+        Per-tenant cap on concurrently held nodes (admission refuses
+        wider jobs outright).  Tenants absent from the dict are
+        unlimited.
+    checkpoint_every:
+        Cadence (CG iterations) of each job's host-side checkpoint
+        store — the preemption/recovery granularity.
+    max_restarts:
+        Fault-driven restarts a single job may survive before it is
+        failed (a job repeatedly unlucky enough to sit on dying
+        hardware must not cycle forever).
+    poll_period:
+        Simulated seconds between revocation-ticker checks while a
+        victim drains.  Pure polling granularity — results are
+        identical for any value, only decision timestamps move.
+    """
+
+    def __init__(
+        self,
+        daemon: Qdaemon,
+        quotas: Optional[Dict[str, int]] = None,
+        max_queue: int = 256,
+        checkpoint_every: int = 5,
+        max_restarts: int = 3,
+        backfill: bool = True,
+        preemption: bool = True,
+        poll_period: float = 2e-6,
+    ):
+        if not daemon.booted:
+            raise MachineError("boot the machine before serving jobs")
+        machine = daemon.machine
+        if machine.shards > 1 and machine.shard_workers != "serial":
+            raise ConfigError(
+                "the job service multiplexes partitions in-process; "
+                "use shard_workers='serial'"
+            )
+        self.daemon = daemon
+        self.machine = machine
+        self.sim = machine.sim
+        self.checkpoint_every = int(checkpoint_every)
+        self.max_restarts = int(max_restarts)
+        self.poll_period = float(poll_period)
+        self.core = SchedulerCore(
+            self._place,
+            quotas=quotas,
+            max_queue=max_queue,
+            backfill=backfill,
+            preemption=preemption,
+        )
+        #: every job ever admitted, by id (terminal jobs included —
+        #: the zero-lost-jobs audit trail)
+        self.jobs: Dict[int, Job] = {}
+        #: jobs currently holding hardware (RUNNING/PREEMPTING/RECOVERING)
+        self._active: Dict[int, Job] = {}
+        self.rollups: Dict[str, TenantRollup] = {}
+        self._seq = 0
+        self._wake = False
+        self.started_serving: Optional[float] = None
+
+    # -- placement (the scheduler's injected place_fn) -----------------------
+    def _place(self, entry: SchedJob, held):
+        """First healthy congruent placement avoiding held/dead hardware."""
+        spec = self.jobs[entry.job_id].spec
+        exclude = sorted(
+            set(self.daemon.failed_nodes()) | set(self.daemon.failed) | set(held)
+        )
+        try:
+            partition = find_healthy_partition(
+                self.machine,
+                spec.groups,
+                spec.extents,
+                exclude_nodes=exclude,
+                require_periodic=spec.require_periodic,
+            )
+        except DegradedMachineError:
+            return None
+        nodes = frozenset(
+            partition.physical_node(r) for r in range(partition.n_nodes)
+        )
+        return partition, nodes
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self, spec: WilsonJobSpec, tenant: str = "default", priority: int = 0
+    ) -> Job:
+        """Admit one job (synchronous; raises on admission refusal)."""
+        spec.validate()
+        if spec.n_nodes > self.machine.n_nodes:
+            raise ConfigError(
+                f"job wants {spec.n_nodes} nodes; machine has "
+                f"{self.machine.n_nodes}"
+            )
+        self._seq += 1
+        job = Job(
+            job_id=self._seq,
+            tenant=tenant,
+            spec=spec,
+            priority=priority,
+            seq=self._seq,
+            submit_time=self.sim.now,
+            store=CGCheckpointStore(every=self.checkpoint_every),
+        )
+        self.core.submit(
+            SchedJob(
+                job_id=job.job_id,
+                tenant=tenant,
+                n_nodes=spec.n_nodes,
+                priority=priority,
+                seq=job.seq,
+            )
+        )
+        self.jobs[job.job_id] = job
+        if self.started_serving is None:
+            self.started_serving = self.sim.now
+        return job
+
+    # -- the service loop ----------------------------------------------------
+    @property
+    def drained(self) -> bool:
+        """No job holds hardware and none waits in the queue."""
+        return not self._active and not self.core.pending
+
+    def pump(self) -> bool:
+        """One host-side decision round: reap outcomes, then dispatch.
+
+        Returns True when anything changed (a job completed, started,
+        was revoked, requeued, or failed) — the caller keeps pumping
+        until a round is quiet, then advances the simulation.
+        """
+        progressed = self._reap()
+        if self._dispatch():
+            progressed = True
+        return progressed
+
+    def advance(
+        self,
+        max_time: float = float("inf"),
+        horizon: Optional[float] = None,
+    ) -> bool:
+        """Run the shared simulation until the service must act again.
+
+        ``horizon`` is a *soft* bound (simulated seconds from now): the
+        advance returns quietly when it elapses, so a driver can
+        interleave submissions with partial progress.  ``max_time`` stays
+        the engine's hard deadlock horizon (absolute; exceeding it
+        raises).
+        """
+        if self.sim.peek() == float("inf"):
+            if self._active:
+                raise MachineError(
+                    "service deadlock: jobs hold hardware but no event "
+                    "is scheduled"
+                )
+            return False
+        self._wake = False
+        until = None if horizon is None else self.sim.timeout(horizon)
+        self.sim.run(until=until, stop=self._woken, max_time=max_time)
+        return True
+
+    def _woken(self) -> bool:
+        return self._wake or not self._active
+
+    def run_until_drained(self, max_time: float = float("inf")) -> dict:
+        """Drive the queue to empty (synchronous clients), then report.
+
+        On return every submitted job is terminal (DONE or FAILED), the
+        machine holds zero allocated partitions, all in-flight words
+        have drained, and the link checksum audit has run.
+        """
+        while not self.drained:
+            if self.pump():
+                continue
+            self.advance(max_time)
+        self.machine.quiesce()
+        return self.report()
+
+    # -- reaping -------------------------------------------------------------
+    def _reap(self) -> bool:
+        progressed = False
+        for job_id in sorted(self._active):
+            job = self._active.get(job_id)
+            if job is None:
+                continue
+            run = job.run
+            if run.faults and not run.aborted:
+                self._begin_recovery(job)
+                progressed = True
+            elif run.settled and not run.faults and not run.aborted:
+                self._complete(job)
+                progressed = True
+            elif (
+                job.state is JobState.PREEMPTING
+                and not run.aborted
+                and job.store.has_complete_generation(run.n_ranks)
+            ):
+                # the checkpoint-before-revoke gate just opened
+                run.abort()
+                progressed = True
+            elif run.aborted and run.quiesced():
+                self._finish_revoke(job)
+                progressed = True
+        return progressed
+
+    # -- dispatching ---------------------------------------------------------
+    def _dispatch(self) -> bool:
+        self.daemon.ingest_link_down()
+        progressed = False
+        for action in self.core.dispatch():
+            if isinstance(action, Start):
+                if self._start(self.jobs[action.job_id], action.placement):
+                    progressed = True
+            elif isinstance(action, Preempt):
+                self._revoke(action)
+                progressed = True
+        if not progressed and not self._active and self.core.pending:
+            progressed = self._fail_unplaceable()
+        return progressed
+
+    def _start(self, job: Job, partition) -> bool:
+        """Launch (or resume) one job on an adopted placement."""
+        spec = job.spec
+        try:
+            alloc = self.daemon.adopt_partition(job.tenant, partition)
+        except MachineError:
+            # A LINK_DOWN ingested at adoption invalidated the placement
+            # between the scheduler's decision and now; requeue at the
+            # original position and let the next round re-place it.
+            self.core.job_ended(job.job_id, 0.0, requeue=True)
+            return False
+        resume_states = None
+        if job.restarts or job.preemptions:
+            resume_states = job.store.latest_complete_states(
+                partition.n_nodes
+            )
+        mapping = PhysicsMapping(spec.gauge.geometry, partition)
+        local_links = mapping.scatter_gauge(spec.gauge)
+        local_b = mapping.scatter_field(spec.b)
+        clover_locals = None
+        if spec.c_sw is not None:
+            serial = CloverDirac(
+                spec.gauge, mass=spec.mass, c_sw=spec.c_sw, r=spec.r
+            )
+            clover_locals = mapping.scatter_field(serial.clover_tensor)
+        run = self.machine.launch_partition(
+            partition,
+            cg_rank_program,
+            tag=f"job{job.job_id}",
+            mapping=mapping,
+            local_links=local_links,
+            local_b=local_b,
+            mass=spec.mass,
+            r=spec.r,
+            clover_locals=clover_locals,
+            tol=spec.tol,
+            maxiter=spec.maxiter,
+            checkpoint=job.store,
+            resume_states=resume_states,
+        )
+        run.on_settled = self._on_settled
+        job.run = run
+        job.alloc = alloc
+        job.mapping = mapping
+        job.state = JobState.RUNNING
+        if job.started_at is None:
+            job.started_at = self.sim.now
+        job.last_start = self.sim.now
+        job.usage_baseline = usage_totals(self.machine, run.node_ids())
+        self._active[job.job_id] = job
+        return True
+
+    def _on_settled(self, run) -> None:
+        self._wake = True
+
+    # -- revocation (preemption + fault recovery) ----------------------------
+    def _revoke(self, action: Preempt) -> None:
+        victim = self.jobs[action.victim_id]
+        if victim.state is not JobState.RUNNING:
+            return  # already settling or draining; the plan is stale
+        victim.state = JobState.PREEMPTING
+        if victim.store.has_complete_generation(victim.run.n_ranks):
+            victim.run.abort()
+        self._spawn_ticker(victim)
+
+    def _begin_recovery(self, job: Job) -> None:
+        had_ticker = job.state is JobState.PREEMPTING
+        job.state = JobState.RECOVERING
+        job.run.abort()
+        if not had_ticker:
+            self._spawn_ticker(job)
+        self._wake = True
+
+    def _spawn_ticker(self, job: Job) -> None:
+        """Keep the service waking while a revocation drains.
+
+        The ticker is the liveness source for states with no settle
+        callback: each period it flags a wake-up so :meth:`_reap` can
+        re-check the checkpoint gate / quiescence.  It exits on its own
+        once the job leaves the draining states.
+        """
+
+        def tick():
+            while job.state in (JobState.PREEMPTING, JobState.RECOVERING):
+                self._wake = True
+                yield self.sim.timeout(self.poll_period)
+
+        self.sim.process(tick(), name=f"revoke-ticker{job.job_id}")
+
+    def _finish_revoke(self, job: Job) -> None:
+        """The drained victim's teardown: finalize, release, requeue."""
+        run = job.run
+        run.finalize()
+        self.daemon.release(job.alloc)
+        self._account_attempt(job)
+        node_seconds = run.n_ranks * (self.sim.now - job.last_start)
+        del self._active[job.job_id]
+        if job.state is JobState.PREEMPTING:
+            job.preemptions += 1
+            self.core.job_ended(job.job_id, node_seconds, requeue=True)
+            job.state = JobState.QUEUED
+            return
+        # fault recovery: bounded diagnosis sweep, then requeue or fail
+        diagnosis = self.daemon.handle_fault(drain=False)
+        job.diagnoses.append(diagnosis)
+        job.restarts += 1
+        if job.restarts > self.max_restarts:
+            self.core.job_ended(job.job_id, node_seconds, requeue=False)
+            self._fail(
+                job,
+                MachineError(
+                    f"job {job.job_id} exceeded {self.max_restarts} "
+                    f"fault restarts (last fault: {run.faults[0]!r})"
+                ),
+            )
+            return
+        self.core.job_ended(job.job_id, node_seconds, requeue=True)
+        job.state = JobState.QUEUED
+
+    # -- resolution ----------------------------------------------------------
+    def _account_attempt(self, job: Job) -> None:
+        """Fold this attempt's node-counter deltas into the job ledger."""
+        after = usage_totals(self.machine, job.run.node_ids())
+        for key, value in usage_delta(after, job.usage_baseline).items():
+            job.usage[key] = job.usage.get(key, 0.0) + value
+        job.run_seconds += self.sim.now - job.last_start
+
+    def _complete(self, job: Job) -> None:
+        run = job.run
+        results = run.results()
+        self._account_attempt(job)
+        run.finalize()
+        self.daemon.release(job.alloc)
+        node_seconds = run.n_ranks * (self.sim.now - job.last_start)
+        del self._active[job.job_id]
+        self.core.job_ended(job.job_id, node_seconds, requeue=False)
+        solve = gather_cg_results(
+            self.machine,
+            job.mapping,
+            results,
+            machine_time=job.run_seconds,
+            flops=job.usage.get("flops", 0.0),
+            audit=False,  # other jobs are mid-flight; audited at drain
+        )
+        job.result = JobResult(
+            job_id=job.job_id,
+            tenant=job.tenant,
+            x=solve.x,
+            converged=solve.converged,
+            iterations=solve.iterations,
+            residuals=solve.residuals,
+            machine_time=job.run_seconds,
+            flops=job.usage.get("flops", 0.0),
+            restarts=job.restarts,
+            preemptions=job.preemptions,
+            queue_latency=job.queue_latency,
+        )
+        job.state = JobState.DONE
+        job.finished_at = self.sim.now
+        self._rollup(job.tenant).absorb(job)
+
+    def _fail(self, job: Job, error: BaseException) -> None:
+        job.error = error
+        job.state = JobState.FAILED
+        job.finished_at = self.sim.now
+        self._rollup(job.tenant).absorb(job)
+
+    def _fail_unplaceable(self) -> bool:
+        """Nothing runs and nothing starts: the leftovers cannot ever run.
+
+        With an idle machine, quota cannot be the blocker (admission
+        bounds every job by its quota), so a pending job that still has
+        no placement is blocked by dead hardware — permanently.  Failing
+        it (with the degraded-machine diagnosis) instead of leaving it
+        queued is what "zero lost jobs" means on a shrinking machine.
+        """
+        progressed = False
+        for entry in self.core.order():
+            if self._place(entry, frozenset()) is None:
+                self.core.drop_pending(entry.job_id)
+                self._fail(
+                    self.jobs[entry.job_id],
+                    DegradedMachineError(
+                        requested=tuple(self.jobs[entry.job_id].spec.extents),
+                        failed_nodes=sorted(
+                            set(self.daemon.failed_nodes())
+                            | set(self.daemon.failed)
+                        ),
+                        dead_links=self.machine.network.dead_links(),
+                        detail="no healthy congruent sub-torus remains",
+                    ),
+                )
+                progressed = True
+        if not progressed:
+            raise MachineError(
+                "service wedged: idle machine, placeable jobs, no dispatch"
+            )
+        return progressed
+
+    def _rollup(self, tenant: str) -> TenantRollup:
+        rollup = self.rollups.get(tenant)
+        if rollup is None:
+            rollup = self.rollups[tenant] = TenantRollup(tenant)
+        return rollup
+
+    # -- reporting -----------------------------------------------------------
+    def report(self) -> dict:
+        """Service-level accounting (the E17 artifact's body)."""
+        states: Dict[str, int] = {}
+        for job_id in sorted(self.jobs):
+            state = self.jobs[job_id].state.value
+            states[state] = states.get(state, 0) + 1
+        terminal = [j for j in self.jobs.values() if j.terminal]
+        latencies = [j.queue_latency for j in terminal]
+        busy_node_seconds = sum(
+            j.run_seconds * j.spec.n_nodes for j in self.jobs.values()
+        )
+        makespan = (
+            self.sim.now - self.started_serving
+            if self.started_serving is not None
+            else 0.0
+        )
+        capacity = self.machine.n_nodes * makespan
+        return {
+            "jobs": {
+                "submitted": len(self.jobs),
+                "resolved": len(terminal),
+                "lost": len(self.jobs) - len(terminal) - len(self._active)
+                - len(self.core.pending),
+                "states": states,
+                "restarts": sum(j.restarts for j in self.jobs.values()),
+                "preemptions": sum(
+                    j.preemptions for j in self.jobs.values()
+                ),
+            },
+            "queue_latency": {
+                "p50": percentile(latencies, 50),
+                "p99": percentile(latencies, 99),
+                "max": max(latencies) if latencies else 0.0,
+            },
+            "packing": {
+                "busy_node_seconds": busy_node_seconds,
+                "makespan": makespan,
+                "efficiency": (
+                    busy_node_seconds / capacity if capacity > 0 else 0.0
+                ),
+            },
+            "machine": {
+                "nodes": self.machine.n_nodes,
+                "shards": self.machine.shards,
+                "held_nodes": len(self.daemon.held_nodes()),
+                "failed_nodes": sorted(
+                    set(self.daemon.failed_nodes()) | set(self.daemon.failed)
+                ),
+                "quarantined_cables": list(self.daemon.quarantined_cables),
+                "in_flight_words": sum(
+                    self.machine.nodes[i].scu.in_flight_words()
+                    for i in sorted(self.machine.nodes)
+                ),
+                "checksum_mismatches": self.machine.audit_checksums(),
+            },
+            "tenants": {
+                name: self.rollups[name].as_dict()
+                for name in sorted(self.rollups)
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QcdocService({len(self.core.pending)} queued, "
+            f"{len(self._active)} active, "
+            f"{len(self.jobs)} total on {self.machine!r})"
+        )

@@ -1,0 +1,102 @@
+"""Per-job and per-tenant usage attribution over the CounterBank paths.
+
+The machine's counters are machine-wide; the scheduler's no-node-sharing
+invariant is what makes attribution exact: between a job's launch and
+its teardown, *every* delta on its nodes' counters belongs to that job.
+:func:`usage_totals` reads the same ``node<i>.*`` paths the telemetry
+bank samples (via :func:`repro.telemetry.counters.sample_nodes`) and
+collapses them to the handful of totals the service accounts per job;
+:class:`TenantRollup` sums resolved jobs into the per-tenant ledger the
+E17 artifact reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.telemetry.counters import sample_nodes
+
+#: job-attributed totals -> the per-node counter path suffix they sum
+USAGE_COUNTERS: Dict[str, str] = {
+    "flops": "cpu.flops_charged",
+    "compute_seconds": "cpu.compute_seconds",
+    "payload_words": "scu.payload_words_sent",
+    "wire_words": "scu.wire_words_sent",
+    "resends": "scu.resends",
+}
+
+
+def usage_totals(machine, node_ids: Iterable[int]) -> Dict[str, float]:
+    """The :data:`USAGE_COUNTERS` totals summed over ``node_ids``."""
+    wanted = {suffix: key for key, suffix in USAGE_COUNTERS.items()}
+    totals = {key: 0.0 for key in USAGE_COUNTERS}
+    for path, value in sample_nodes(machine, node_ids).items():
+        suffix = path.split(".", 1)[1]
+        key = wanted.get(suffix)
+        if key is not None:
+            totals[key] += value
+    return totals
+
+
+def usage_delta(
+    after: Dict[str, float], before: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-key difference (counters are monotone, so this is the usage)."""
+    return {key: after[key] - before.get(key, 0.0) for key in after}
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Percentile of a sample (0 for an empty one)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+class TenantRollup:
+    """Accumulated per-tenant accounting, fed one resolved job at a time."""
+
+    def __init__(self, tenant: str):
+        self.tenant = tenant
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.restarts = 0
+        self.preemptions = 0
+        self.node_seconds = 0.0
+        self.queue_latencies: List[float] = []
+        self.usage: Dict[str, float] = {key: 0.0 for key in USAGE_COUNTERS}
+
+    def absorb(self, job) -> None:
+        """Fold one terminal job into the rollup."""
+        from repro.service.jobs import JobState  # local: avoid cycle
+
+        if job.state is JobState.DONE:
+            self.jobs_completed += 1
+        else:
+            self.jobs_failed += 1
+        self.restarts += job.restarts
+        self.preemptions += job.preemptions
+        self.node_seconds += job.run_seconds * job.spec.n_nodes
+        self.queue_latencies.append(job.queue_latency)
+        for key, value in job.usage.items():
+            self.usage[key] = self.usage.get(key, 0.0) + value
+
+    def as_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "restarts": self.restarts,
+            "preemptions": self.preemptions,
+            "node_seconds": self.node_seconds,
+            "queue_latency_p50": percentile(self.queue_latencies, 50),
+            "queue_latency_p99": percentile(self.queue_latencies, 99),
+            "usage": dict(self.usage),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantRollup({self.tenant!r}, {self.jobs_completed} done, "
+            f"{self.jobs_failed} failed)"
+        )

@@ -324,16 +324,26 @@ class Simulator:
         return self._heap[0][0] if self._heap else float("inf")
 
     def run(
-        self, until: Optional[Event] = None, max_time: float = float("inf")
+        self,
+        until: Optional[Event] = None,
+        max_time: float = float("inf"),
+        stop: Optional[Callable[[], bool]] = None,
     ) -> Any:
-        """Run until ``until`` triggers, the heap drains, or ``max_time``.
+        """Run until ``until`` triggers, ``stop()`` holds, the heap
+        drains, or ``max_time``.
 
-        Returns ``until.value`` when an event is given.  Raises
-        :class:`SimulationError` if the heap drains with ``until`` pending
-        (deadlock) or the time horizon is exceeded.
+        Returns ``until.value`` when an event is given.  ``stop`` is a
+        zero-argument predicate evaluated after every step — the
+        single-heap twin of the sharded engine's barrier stop condition,
+        so machine code driving concurrent jobs (the job-service layer)
+        can be written against one API.  Raises :class:`SimulationError`
+        if the heap drains with ``until`` pending or ``stop`` unmet
+        (deadlock), or the time horizon is exceeded.
         """
         if until is not None and until.triggered:
             return until.value
+        if stop is not None and stop():
+            return None
         while self._heap:
             if self._heap[0][0] > max_time:
                 raise SimulationError(
@@ -342,8 +352,15 @@ class Simulator:
             self.step()
             if until is not None and until.triggered:
                 return until.value
+            if stop is not None and stop():
+                return None
         if until is not None:
             raise SimulationError(
                 f"deadlock: event heap drained at t={self._now} with target pending"
+            )
+        if stop is not None:
+            raise SimulationError(
+                f"deadlock: event heap drained at t={self._now} with stop "
+                "condition unmet"
             )
         return None

@@ -86,6 +86,15 @@ class CGCheckpointStore:
             if len(ranks) == n_ranks
         )
 
+    def has_complete_generation(self, n_ranks: int) -> bool:
+        """True once some generation has every rank's state.
+
+        A pure query (no pruning) — the service layer's preemption gate:
+        a victim is only revoked once this holds, so "checkpoint before
+        revoke" is an invariant rather than a race.
+        """
+        return bool(self.complete_iterations(n_ranks))
+
     def latest_complete_states(self, n_ranks: int) -> Optional[Dict[int, dict]]:
         """Newest complete generation as ``{rank: state}``, or ``None``.
 

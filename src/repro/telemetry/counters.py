@@ -208,6 +208,22 @@ def _link_provider(src: int, direction: int, link) -> Callable[[], Sample]:
     return sample
 
 
+def sample_nodes(machine, node_ids: Iterable[int]) -> Sample:
+    """One-shot counter snapshot restricted to the given nodes.
+
+    Same paths and values as the ``node<i>.*`` subset of
+    :func:`bank_for_machine`'s bank, but without registering anything —
+    the building block for per-job/per-tenant attribution: since a
+    scheduler guarantees no two jobs share a node, the delta of this
+    sample over a job's nodes between launch and completion is exactly
+    the job's resource usage.
+    """
+    out: Sample = {}
+    for node_id in sorted(node_ids):
+        out.update(_node_provider(node_id, machine.nodes[node_id])())
+    return out
+
+
 def bank_for_machine(machine) -> CounterBank:
     """The canonical :class:`CounterBank` over a
     :class:`~repro.machine.machine.QCDOCMachine`.

@@ -249,3 +249,80 @@ class TestRunKernel:
                 return "refused"
 
         assert machine.sim.run(until=kern.run_application(app())) == "refused"
+
+
+class TestQuarantineAtomicity:
+    """LINK_DOWN ingestion is atomic with sweeps and placements.
+
+    The SCU watchdogs append to ``machine.link_down_log`` from inside
+    the event loop; the daemon reads it with a cursor.  The race these
+    tests pin down (PR 8, satellite 4): a report that lands *between* a
+    health-check sweep and the next allocation — or mid-sweep, while
+    the ping replies are still in flight — must be quarantined before
+    any placement decision sees the machine, never leaked into a fresh
+    allocation on a cable the watchdog already condemned.
+    """
+
+    def setup_daemon(self):
+        machine, daemon = make_system(dims=(2, 2, 2, 1, 1, 1))
+        ok = daemon.boot()
+        assert all(ok.values())
+        return machine, daemon
+
+    def test_report_between_sweep_and_allocate_never_leaks(self):
+        from repro.host.remap import partition_cables
+
+        machine, daemon = self.setup_daemon()
+        assert all(daemon.health_check().values())  # cursor is current
+        # a resend-storm trip arrives *after* the sweep returned: the
+        # network layer still thinks the wire is fine
+        machine.link_down_log.append((0, 0, "no-ack-progress"))
+        assert machine.network.link_ok(0, 0)
+        alloc = daemon.allocate(
+            "alice", [(0,), (1,), (2,), (3,)], extents=(2, 2, 1, 1, 1, 1)
+        )
+        # the allocation ingested the report first: both cable ends are
+        # quarantined, proactively failed, and routed around
+        nbr = machine.topology.neighbour_by_direction(0, 0)
+        opp = machine.topology.opposite(0)
+        assert (0, 0) in daemon.quarantined_cables
+        assert (nbr, opp) in daemon.quarantined_cables
+        assert not machine.network.link_ok(0, 0)
+        assert (0, 0) not in partition_cables(alloc.partition)
+
+    def test_report_landing_mid_sweep_is_quarantined_before_verdict(self):
+        machine, daemon = self.setup_daemon()
+        # the report lands while the ping replies are still in flight:
+        # earlier than any RPC round-trip can complete
+        machine.sim.schedule(
+            1e-9, machine.link_down_log.append, (1, 2, "header-code")
+        )
+        verdict = daemon.health_check()
+        assert (1, 2) in daemon.quarantined_cables
+        assert all(verdict.values())  # nodes answer; only the cable is bad
+
+    def test_adoption_cannot_revive_a_condemned_cable(self):
+        from repro.host.remap import partition_cables
+        from repro.util.errors import DegradedMachineError
+
+        machine, daemon = self.setup_daemon()
+        placement = machine.partition(
+            [(0,), (1,), (2,), (3,)], extents=(2, 2, 1, 1, 1, 1)
+        )
+        src, d = partition_cables(placement)[0]
+        machine.link_down_log.append((src, d, "no-ack-progress"))
+        with pytest.raises(DegradedMachineError):
+            daemon.adopt_partition("service", placement)
+        assert daemon.held_nodes() == []  # nothing was booked
+
+    def test_ingest_is_idempotent(self):
+        machine, daemon = self.setup_daemon()
+        machine.link_down_log.append((0, 0, "no-ack-progress"))
+        first = daemon.ingest_link_down()
+        assert len(first) == 2  # the cable and its ack partner
+        assert daemon.ingest_link_down() == []
+        # a duplicate report for a known-bad cable adds nothing
+        machine.link_down_log.append((0, 0, "no-ack-progress"))
+        before = list(daemon.quarantined_cables)
+        assert daemon.ingest_link_down() == []
+        assert daemon.quarantined_cables == before

@@ -1,0 +1,170 @@
+"""Direct unit tests for the congruent-sub-torus enumeration (PR 8,
+satellite 3).
+
+``host/remap.py`` has until now been exercised only through the qdaemon
+and chaos suites; these tests pin its contract piece by piece on small
+tori where every answer can be written out by hand: candidate-origin
+enumeration (full axes pinned, partial axes sliding), the cable cover a
+partition's traffic touches, health checks against excluded nodes and
+dead wires, the deterministic first-fit scan order, and the
+``DegradedMachineError`` carrying the full diagnosis when nothing
+healthy remains.
+"""
+
+import pytest
+
+from repro.host.remap import (
+    candidate_origins,
+    find_healthy_partition,
+    partition_cables,
+    partition_is_healthy,
+    partition_nodes,
+)
+from repro.machine.asic import MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.util.errors import DegradedMachineError
+
+pytestmark = pytest.mark.service
+
+GROUPS = [(0,), (1,), (2,), (3,)]
+
+
+def machine(dims=(2, 2, 2, 1, 1, 1)):
+    m = QCDOCMachine(MachineConfig(dims=dims))
+    m.bring_up()
+    return m
+
+
+class TestCandidateOrigins:
+    def test_full_axes_pin_origin_at_zero(self):
+        # every axis fully spanned: exactly one candidate, the zero origin
+        assert candidate_origins((2, 2, 2), (2, 2, 2)) == [(0, 0, 0)]
+
+    def test_partial_axis_slides(self):
+        # a 1-wide box on a 4-long axis has 4 offsets; full axes stay 0
+        assert candidate_origins((4, 2), (1, 2)) == [
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 0),
+        ]
+
+    def test_lexicographic_order(self):
+        origins = candidate_origins((2, 2, 2, 1, 1, 1), (1, 1, 2, 1, 1, 1))
+        assert origins == sorted(origins)
+        assert origins[0] == (0, 0, 0, 0, 0, 0)
+        assert len(origins) == 4  # two sliding axes x two offsets each
+
+    def test_box_equal_to_machine_has_one_origin(self):
+        dims = (2, 2, 2, 2, 2, 2)
+        assert candidate_origins(dims, dims) == [tuple([0] * 6)]
+
+
+class TestPartitionCables:
+    def test_pair_partition_uses_both_wires_of_the_hop(self):
+        m = machine((2, 1, 1, 1, 1, 1))
+        p = m.partition([(0,)], extents=(2, 1, 1, 1, 1, 1))
+        cables = partition_cables(p)
+        # one logical axis of extent 2 between nodes 0 and 1: the forward
+        # cable out of each node plus the matching ack wire at the far
+        # end — both directions of the axis, nothing else
+        assert ((0, 0) in cables) and ((1, 0) in cables)
+        assert all(src in (0, 1) for src, _d in cables)
+
+    def test_extent_one_axes_need_no_wires(self):
+        m = machine((2, 2, 1, 1, 1, 1))
+        p = m.partition(GROUPS, extents=(2, 1, 1, 1, 1, 1))
+        cables = partition_cables(p)
+        nodes = set(partition_nodes(p))
+        assert len(nodes) == 2
+        # only the spanned axis contributes; the collapsed axes are
+        # node-local wraps with no SCU traffic
+        assert all(src in nodes for src, _d in cables)
+        assert len(cables) > 0
+
+    def test_cable_cover_is_sorted_and_unique(self):
+        m = machine()
+        p = m.partition(GROUPS, extents=(2, 2, 2, 1, 1, 1))
+        cables = partition_cables(p)
+        assert cables == sorted(set(cables))
+
+
+class TestPartitionHealth:
+    def test_healthy_partition_passes(self):
+        m = machine()
+        p = m.partition(GROUPS, extents=(2, 2, 1, 1, 1, 1))
+        assert partition_is_healthy(m, p)
+
+    def test_excluded_node_fails(self):
+        m = machine()
+        p = m.partition(GROUPS, extents=(2, 2, 1, 1, 1, 1))
+        held = partition_nodes(p)[0]
+        assert not partition_is_healthy(m, p, exclude_nodes=[held])
+        assert partition_is_healthy(m, p, exclude_nodes=[99])
+
+    def test_dead_wire_inside_the_partition_fails(self):
+        m = machine()
+        p = m.partition(GROUPS, extents=(2, 2, 1, 1, 1, 1))
+        src, d = partition_cables(p)[0]
+        m.network.fail_link(src, d, mode="dead")
+        assert not partition_is_healthy(m, p)
+
+    def test_dead_wire_elsewhere_is_irrelevant(self):
+        m = machine()
+        p = m.partition(GROUPS, extents=(2, 2, 1, 1, 1, 1))
+        used = set(partition_cables(p))
+        spare = next(
+            (n, d)
+            for n in sorted(m.nodes)
+            for d in range(12)
+            if (n, d) not in used and m.network.link_ok(n, d)
+        )
+        m.network.fail_link(*spare, mode="dead")
+        assert partition_is_healthy(m, p)
+
+
+class TestFindHealthyPartition:
+    def test_scan_is_first_fit_deterministic(self):
+        m = machine()
+        p1 = find_healthy_partition(m, GROUPS, (2, 2, 1, 1, 1, 1))
+        p2 = find_healthy_partition(m, GROUPS, (2, 2, 1, 1, 1, 1))
+        assert partition_nodes(p1) == partition_nodes(p2)
+        assert p1.origin == tuple([0] * 6)
+
+    def test_excluding_first_placement_moves_to_next_origin(self):
+        m = machine()
+        first = find_healthy_partition(m, GROUPS, (2, 2, 1, 1, 1, 1))
+        second = find_healthy_partition(
+            m, GROUPS, (2, 2, 1, 1, 1, 1), exclude_nodes=partition_nodes(first)
+        )
+        assert not (set(partition_nodes(first)) & set(partition_nodes(second)))
+        assert second.logical_dims == first.logical_dims
+
+    def test_remap_around_dead_cable(self):
+        m = machine()
+        first = find_healthy_partition(m, GROUPS, (2, 2, 1, 1, 1, 1))
+        src, d = partition_cables(first)[0]
+        m.network.fail_link(src, d, mode="dead")
+        moved = find_healthy_partition(m, GROUPS, (2, 2, 1, 1, 1, 1))
+        assert partition_is_healthy(m, moved)
+        assert (src, d) not in partition_cables(moved)
+
+    def test_no_healthy_candidate_raises_with_diagnosis(self):
+        m = machine((2, 2, 1, 1, 1, 1))
+        # the shape spans the whole machine; kill one cable it must use
+        whole = m.partition(GROUPS, extents=(2, 2, 1, 1, 1, 1))
+        src, d = partition_cables(whole)[0]
+        m.network.fail_link(src, d, mode="dead")
+        with pytest.raises(DegradedMachineError) as err:
+            find_healthy_partition(m, GROUPS, (2, 2, 1, 1, 1, 1))
+        assert err.value.requested == (2, 2, 1, 1, 1, 1)
+        assert (src, d) in err.value.dead_links
+        assert "tried" in str(err.value)
+
+    def test_all_nodes_excluded_raises(self):
+        m = machine()
+        with pytest.raises(DegradedMachineError) as err:
+            find_healthy_partition(
+                m, GROUPS, (2, 1, 1, 1, 1, 1), exclude_nodes=range(8)
+            )
+        assert err.value.failed_nodes == tuple(range(8))

@@ -357,6 +357,31 @@ class TestHygieneRules:
         result = lint(tmp_path, "repro/machine/x.py", src, ["REPRO403"])
         assert result.clean
 
+    def test_service_sits_above_every_other_layer(self, tmp_path):
+        # the job service orchestrates host, machine, solvers and
+        # telemetry: all of those imports are downward and legal
+        src = (
+            "from repro.host.qdaemon import Qdaemon\n"
+            "from repro.host.remap import find_healthy_partition\n"
+            "from repro.machine.machine import QCDOCMachine\n"
+            "from repro.solvers.checkpoint import CGCheckpointStore\n"
+            "from repro.telemetry.counters import sample_nodes\n"
+        )
+        result = lint(tmp_path, "repro/service/x.py", src, ["REPRO403"])
+        assert result.clean
+
+    def test_analysis_importing_service_fires(self, tmp_path):
+        # nothing may reach *up* into the service layer — not even the
+        # analysis tools one rank below it
+        src = "from repro.service.scheduler import SchedulerCore\n"
+        result = lint(tmp_path, "repro/analysis/x.py", src, ["REPRO403"])
+        assert rules_fired(result) == ["REPRO403"]
+
+    def test_host_importing_service_fires(self, tmp_path):
+        src = "from repro.service import QcdocService\n"
+        result = lint(tmp_path, "repro/host/x.py", src, ["REPRO403"])
+        assert rules_fired(result) == ["REPRO403"]
+
 
 # ---------------------------------------------------------------------------
 # framework: allowlist, engine, CLI
