@@ -3,7 +3,7 @@ PYTEST  = PYTHONPATH=src $(PY) -m pytest
 
 .PHONY: test protocol overlap bench bench-smoke verify verify-telemetry \
         lint verify-sanitizer verify-faults verify-sharding verify-hotpath \
-        verify-service
+        verify-service verify-flow
 
 ## tier-1: the full unit/integration/property suite
 test:
@@ -32,21 +32,34 @@ bench-smoke:
 verify-telemetry:
 	$(PYTEST) -m telemetry -q
 
-## reprolint (the in-tree simulator-aware linter) over src/, plus ruff
-## and mypy when installed (skipped gracefully when absent — the
-## container does not bake them in)
+## reprolint (the in-tree simulator-aware linter): full rule set
+## including the whole-program REPRO5xx flow family over src/, plus
+## API-hygiene-only scans of tests/ and benchmarks/ (fixture code there
+## would trip the simulator-semantics rules on purpose).  ruff and mypy
+## run when installed (skipped gracefully — the container does not bake
+## them in).
 lint:
-	PYTHONPATH=src $(PY) -m repro.analysis src
+	PYTHONPATH=src $(PY) -m repro.analysis src --flow
+	PYTHONPATH=src $(PY) -m repro.analysis tests --hygiene --no-allowlist
+	PYTHONPATH=src $(PY) -m repro.analysis benchmarks --hygiene --no-allowlist
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests; \
 	else \
 		echo "lint: ruff not installed, skipping"; \
 	fi
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/analysis src/repro/telemetry; \
+		mypy src/repro/analysis src/repro/telemetry src/repro/service src/repro/sim; \
 	else \
 		echo "lint: mypy not installed, skipping"; \
 	fi
+
+## whole-program flow analysis + SCU protocol state-machine verifier:
+## the REPRO5xx interprocedural rules over src/, the bounded-model
+## protocol enumeration against the production scu.py, and their suites
+verify-flow:
+	PYTHONPATH=src $(PY) -m repro.analysis src --flow
+	PYTHONPATH=src $(PY) -m repro.analysis --protocol
+	$(PYTEST) tests/test_flow_analysis.py tests/test_protocol_verifier.py -q
 
 ## halo-buffer race sanitizer: clean-pipeline run + seeded-race detection
 verify-sanitizer:
@@ -73,7 +86,7 @@ verify-service:
 	$(PYTEST) -m service -q
 
 ## what CI gates a merge on: tier-1 + overlap bit-exactness + static
-## analysis + the race sanitizer + the hard-fault + sharding + hot-path
-## suites
-verify: test overlap lint verify-sanitizer verify-faults verify-sharding verify-hotpath verify-service
-	@echo "verify: tier-1 + overlap + lint + sanitizer + faults + sharding + hotpath + service green"
+## analysis (incl. whole-program flow + the protocol verifier) + the
+## race sanitizer + the hard-fault + sharding + hot-path suites
+verify: test overlap lint verify-flow verify-sanitizer verify-faults verify-sharding verify-hotpath verify-service
+	@echo "verify: tier-1 + overlap + lint + flow/protocol + sanitizer + faults + sharding + hotpath + service green"

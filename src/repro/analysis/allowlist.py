@@ -29,6 +29,11 @@ from repro.util.errors import ConfigError
 #: conventional allowlist filename, discovered at the repository root
 ALLOWLIST_FILENAME = ".reprolint-allow"
 
+#: hard ceiling on allowlist entries: the list is standing debt, and a
+#: list past this size means suppression has replaced fixing — parsing
+#: refuses it outright rather than letting it grow quietly
+ALLOWLIST_BUDGET = 10
+
 
 @dataclass(frozen=True)
 class AllowEntry:
@@ -64,6 +69,11 @@ def parse_allowlist(text: str) -> List[AllowEntry]:
                 f"got {raw!r}"
             )
         entries.append(AllowEntry(fields[0], fields[1], justification))
+    if len(entries) > ALLOWLIST_BUDGET:
+        raise ConfigError(
+            f"allowlist has {len(entries)} entries, over the budget of "
+            f"{ALLOWLIST_BUDGET}: fix findings instead of suppressing them"
+        )
     return entries
 
 

@@ -99,6 +99,10 @@ class Rule:
     rule_id: str = ""
     name: str = ""
     summary: str = ""
+    #: whole-program rules (the REPRO5xx flow family) accumulate every
+    #: module in :meth:`check` and analyse in :meth:`finish`; the CLI
+    #: runs them only under ``--flow`` or an explicit ``--select``
+    whole_program: bool = False
 
     def check(self, module: ModuleContext) -> Iterable[Finding]:
         raise NotImplementedError

@@ -1,0 +1,45 @@
+"""Whole-program flow analysis for reprolint (the REPRO5xx rule family).
+
+This subpackage layers interprocedural analysis on top of the per-file
+engine in :mod:`repro.analysis.engine`:
+
+``symbols``
+    A project-wide symbol table: every function/method of every scanned
+    module, keyed by bare name and by qualified name.
+``callgraph``
+    A name-resolved call graph over the symbol table (``self.m()`` binds
+    to the caller's own class when it defines ``m``).
+``cfg``
+    Per-function control-flow graphs at statement granularity, with
+    exception edges into enclosing ``except`` handlers.
+``dataflow``
+    Def-use helpers: dead-store detection, taint-style return/escape
+    tracking, and consuming-use classification.
+``rules``
+    The REPRO501..REPRO504 whole-program rules.  They register into the
+    ordinary rule registry but carry ``whole_program = True`` so the CLI
+    only runs them under ``--flow`` (or an explicit ``--select``).
+
+The model-bounds and soundness caveats are documented in DESIGN.md
+section 14.
+"""
+
+from repro.analysis.flow.callgraph import CallGraph, build_call_graph
+from repro.analysis.flow.cfg import CFG, build_cfg
+from repro.analysis.flow.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    SymbolTable,
+    build_symbols,
+)
+
+__all__ = [
+    "CFG",
+    "CallGraph",
+    "ClassInfo",
+    "FunctionInfo",
+    "SymbolTable",
+    "build_call_graph",
+    "build_cfg",
+    "build_symbols",
+]

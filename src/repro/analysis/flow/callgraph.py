@@ -1,0 +1,105 @@
+"""Name-resolved call graph over the project symbol table.
+
+Resolution is intentionally simple and *over-approximating* — Python
+has no static types here, so a call site binds to every definition its
+bare name could mean:
+
+* ``self.m(...)`` binds to ``m`` on the caller's own class when that
+  class defines it (the precise, common case), otherwise falls back to
+  every definition named ``m``;
+* ``obj.m(...)`` and ``m(...)`` bind to every definition named ``m``.
+
+Rules that act on call sites must therefore decide what to do with
+ambiguity; the REPRO5xx rules only fire when *every* candidate agrees
+(see :mod:`repro.analysis.flow.rules`), trading recall for a zero
+false-positive budget.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.flow.symbols import FunctionInfo, SymbolTable
+
+
+@dataclass
+class CallSite:
+    """One call expression inside one function body."""
+
+    caller: FunctionInfo
+    call: ast.Call
+    callee_name: str
+    candidates: Tuple[FunctionInfo, ...]
+
+
+@dataclass
+class CallGraph:
+    """Edges between qualified names, plus per-callee call sites."""
+
+    symbols: SymbolTable
+    callees: Dict[str, Set[str]] = field(default_factory=dict)
+    callers: Dict[str, Set[str]] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+
+    def callers_of(self, qualname: str) -> Set[str]:
+        return self.callers.get(qualname, set())
+
+    def callees_of(self, qualname: str) -> Set[str]:
+        return self.callees.get(qualname, set())
+
+
+def callee_name(call: ast.Call) -> str:
+    """The bare name a call binds through (``a.b.c(...)`` -> ``"c"``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def resolve(
+    call: ast.Call, caller: FunctionInfo, symbols: SymbolTable
+) -> Tuple[FunctionInfo, ...]:
+    """Candidate definitions for one call site (possibly empty)."""
+    name = callee_name(call)
+    if not name:
+        return ()
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+        and caller.cls is not None
+    ):
+        own = symbols.methods_of(caller.cls, name)
+        if own:
+            return tuple(own)
+    return tuple(symbols.functions.get(name, ()))
+
+
+def build_call_graph(symbols: SymbolTable) -> CallGraph:
+    graph = CallGraph(symbols=symbols)
+    for infos in symbols.functions.values():
+        for info in infos:
+            graph.callees.setdefault(info.qualname, set())
+            graph.callers.setdefault(info.qualname, set())
+    for infos in symbols.functions.values():
+        for info in infos:
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                candidates = resolve(node, info, symbols)
+                site = CallSite(
+                    caller=info,
+                    call=node,
+                    callee_name=callee_name(node),
+                    candidates=candidates,
+                )
+                graph.sites.append(site)
+                for target in candidates:
+                    graph.callees[info.qualname].add(target.qualname)
+                    graph.callers[target.qualname].add(info.qualname)
+    return graph

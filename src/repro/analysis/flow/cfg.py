@@ -1,0 +1,228 @@
+"""Statement-granularity control-flow graphs with exception edges.
+
+One :class:`CFG` node per statement (compound statements contribute a
+node for their test/header, plus nodes for each nested statement).  Two
+virtual nodes bracket the function: ``ENTRY`` and ``EXIT``.
+
+Exception edges
+---------------
+A statement that can raise (it contains a call, ``raise``, ``assert``,
+``yield`` or ``await``) gets an edge into each handler of the
+*innermost* enclosing ``try`` — or into its ``finally`` block when the
+``try`` has no handlers.  ``finally`` frontiers additionally edge to
+``EXIT``, modelling the re-raise continuation of an exceptional entry.
+
+Soundness bound (DESIGN.md section 14): outside any ``try``, an
+implicit raise from a call is *not* given an edge to ``EXIT`` — doing
+so would make every statement an exit and drown path-sensitive rules
+in noise.  Explicit ``raise`` statements always get their edge.  The
+practical consequence for REPRO502: a claim acquired and handed off in
+straight-line code is considered safe even though the handoff call
+itself could in principle fail.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+ENTRY = 0
+EXIT = 1
+
+
+class CFG:
+    """Successor-map control-flow graph over integer node ids."""
+
+    def __init__(self) -> None:
+        self.succ: Dict[int, Set[int]] = {ENTRY: set(), EXIT: set()}
+        #: nid -> the statement (None for ENTRY/EXIT/virtual nodes)
+        self.stmts: Dict[int, Optional[ast.AST]] = {ENTRY: None, EXIT: None}
+        self._nid_by_stmt: Dict[int, int] = {}
+        self._next = 2
+
+    def add_node(self, stmt: Optional[ast.AST]) -> int:
+        nid = self._next
+        self._next += 1
+        self.succ[nid] = set()
+        self.stmts[nid] = stmt
+        if stmt is not None:
+            self._nid_by_stmt[id(stmt)] = nid
+        return nid
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succ[src].add(dst)
+
+    def nid_of(self, stmt: ast.AST) -> Optional[int]:
+        return self._nid_by_stmt.get(id(stmt))
+
+    def reaches_exit_avoiding(self, start: int, avoid: Set[int]) -> bool:
+        """True when EXIT is reachable from ``start`` without touching
+        any node in ``avoid`` (``start`` itself is exempt)."""
+        seen = {start}
+        stack = [start]
+        while stack:
+            for nxt in self.succ[stack.pop()]:
+                if nxt == EXIT:
+                    return True
+                if nxt in seen or nxt in avoid:
+                    continue
+                seen.add(nxt)
+                stack.append(nxt)
+        return False
+
+
+def _expr_can_raise(nodes: Iterable[ast.AST]) -> bool:
+    for root in nodes:
+        if root is None:
+            continue
+        for node in ast.walk(root):
+            if isinstance(
+                node,
+                (ast.Call, ast.Raise, ast.Assert, ast.Yield, ast.YieldFrom, ast.Await),
+            ):
+                return True
+    return False
+
+
+def _raise_parts(stmt: ast.stmt) -> List[ast.AST]:
+    """The sub-expressions of ``stmt`` evaluated *at this node* (for a
+    compound statement, its header only — nested statements get their
+    own nodes)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: innermost-first stack of exception targets (handler entries,
+        #: or the finally entry of a handler-less try)
+        self.exc_stack: List[List[int]] = []
+        #: innermost-first stack of finally entries (for return routing)
+        self.fin_stack: List[int] = []
+        #: (break collector, continue target) per enclosing loop
+        self.loop_stack: List[List[Set[int]]] = []
+
+    # -- plumbing -----------------------------------------------------------
+    def _link(self, preds: Set[int], nid: int) -> None:
+        for p in preds:
+            self.cfg.add_edge(p, nid)
+
+    def _exception_edges(self, nid: int, stmt: ast.stmt) -> None:
+        if not self.exc_stack:
+            return
+        if _expr_can_raise(_raise_parts(stmt)):
+            for target in self.exc_stack[-1]:
+                self.cfg.add_edge(nid, target)
+
+    # -- statement walkers --------------------------------------------------
+    def seq(self, stmts: Sequence[ast.stmt], preds: Set[int]) -> Set[int]:
+        for stmt in stmts:
+            preds = self.stmt(stmt, preds)
+        return preds
+
+    def stmt(self, stmt: ast.stmt, preds: Set[int]) -> Set[int]:
+        nid = self.cfg.add_node(stmt)
+        self._link(preds, nid)
+        self._exception_edges(nid, stmt)
+
+        if isinstance(stmt, ast.Return):
+            self.cfg.add_edge(nid, self.fin_stack[-1] if self.fin_stack else EXIT)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            if self.exc_stack:
+                for target in self.exc_stack[-1]:
+                    self.cfg.add_edge(nid, target)
+            else:
+                self.cfg.add_edge(nid, EXIT)
+            return set()
+        if isinstance(stmt, ast.Break):
+            self.loop_stack[-1][0].add(nid)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            for target in self.loop_stack[-1][1]:
+                self.cfg.add_edge(nid, target)
+            return set()
+        if isinstance(stmt, ast.If):
+            then_frontier = self.seq(stmt.body, {nid})
+            else_frontier = self.seq(stmt.orelse, {nid}) if stmt.orelse else {nid}
+            return then_frontier | else_frontier
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: Set[int] = set()
+            self.loop_stack.append([breaks, {nid}])
+            body_frontier = self.seq(stmt.body, {nid})
+            self.loop_stack.pop()
+            self._link(body_frontier, nid)
+            always_loops = (
+                isinstance(stmt, ast.While)
+                and isinstance(stmt.test, ast.Constant)
+                and bool(stmt.test.value)
+            )
+            normal_exit: Set[int] = set() if always_loops else {nid}
+            if stmt.orelse:
+                normal_exit = self.seq(stmt.orelse, normal_exit)
+            return normal_exit | breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.seq(stmt.body, {nid})
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, {nid})
+        # simple statement (Expr, Assign, AugAssign, Assert, Pass, ...)
+        return {nid}
+
+    def _try(self, stmt: ast.Try, preds: Set[int]) -> Set[int]:
+        handler_entries = [self.cfg.add_node(h) for h in stmt.handlers]
+        fin_entry = self.cfg.add_node(None) if stmt.finalbody else None
+
+        # body: exceptions go to this try's handlers (or its finally)
+        if handler_entries:
+            self.exc_stack.append(handler_entries)
+        elif fin_entry is not None:
+            self.exc_stack.append([fin_entry])
+        if fin_entry is not None:
+            self.fin_stack.append(fin_entry)
+        body_frontier = self.seq(stmt.body, preds)
+        if handler_entries or (fin_entry is not None and not handler_entries):
+            self.exc_stack.pop()
+
+        if stmt.orelse:
+            body_frontier = self.seq(stmt.orelse, body_frontier)
+
+        # handler bodies: exceptions propagate to the *outer* frame, but
+        # still run this try's finally first
+        handler_frontiers: Set[int] = set()
+        if fin_entry is not None:
+            self.exc_stack.append([fin_entry])
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            handler_frontiers |= self.seq(handler.body, {entry})
+        if fin_entry is not None:
+            self.exc_stack.pop()
+            self.fin_stack.pop()
+
+        normal_exits = body_frontier | handler_frontiers
+        if fin_entry is None:
+            return normal_exits
+        self._link(normal_exits, fin_entry)
+        fin_frontier = self.seq(stmt.finalbody, {fin_entry})
+        # exceptional continuation: after an exceptional entry the
+        # finally block re-raises past this function
+        for nid in fin_frontier:
+            self.cfg.add_edge(nid, EXIT)
+        return fin_frontier
+
+
+def build_cfg(fn: FunctionNode) -> CFG:
+    """Build the control-flow graph of one function body."""
+    builder = _Builder()
+    frontier = builder.seq(fn.body, {ENTRY})
+    for nid in frontier:
+        builder.cfg.add_edge(nid, EXIT)
+    return builder.cfg

@@ -1,0 +1,37 @@
+"""SCU protocol state-machine verifier (DESIGN.md section 14).
+
+Three pieces:
+
+* :mod:`repro.analysis.protocol.spec` — the declarative transition
+  spec of the SendUnit/RecvUnit go-back-N protocol, plus AST matchers
+  that check ``repro/machine/scu.py`` actually implements each guard
+  the spec declares (so the model and the code cannot silently drift).
+* :mod:`repro.analysis.protocol.model` — a bounded executable model of
+  one sender/receiver pair (<= 3 words in flight, <= 1 transient
+  fault) whose every interleaving can be enumerated.
+* :mod:`repro.analysis.protocol.verifier` — exhaustive DFS over the
+  model's state graph for a matrix of configurations (word_batch 1 and
+  FACE_BATCH, idle-receive drain variants, fault budgets), checking
+  no-lost-word, no-duplicate-delivery, no-deadlock and quiescence.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.protocol.model import ModelConfig, Violation, explore
+from repro.analysis.protocol.spec import (
+    DEFAULT_SPEC,
+    SpecToggles,
+    check_conformance,
+)
+from repro.analysis.protocol.verifier import ProtocolReport, verify_protocol
+
+__all__ = [
+    "DEFAULT_SPEC",
+    "ModelConfig",
+    "ProtocolReport",
+    "SpecToggles",
+    "Violation",
+    "check_conformance",
+    "explore",
+    "verify_protocol",
+]

@@ -1,0 +1,423 @@
+"""Bounded executable model of the SCU automatic-resend protocol.
+
+One sender/receiver pair, one transfer, exhaustively enumerable:
+
+* at most :attr:`ModelConfig.n` <= 4 payload words (default matrix
+  uses <= 3 — the paper's ack window);
+* at most one transient fault (a corrupted payload frame);
+* two in-order wires (data: sender->receiver, control: the reverse),
+  matching the HSSL's FIFO delivery;
+* every interleaving of transmit / deliver / post / store-complete
+  explored by DFS over immutable states.
+
+The model mirrors :mod:`repro.machine.scu` guard-for-guard; each
+guard is named by a :class:`~repro.analysis.protocol.spec.SpecToggles`
+flag so the verifier can seed a mutation (clear a flag) and prove the
+enumeration catches it.  Not every guard is safety-critical within the
+model's bounds: ``gap_resend`` and ``dup_reack`` are latency
+optimisations made redundant by go-back-N rewind over a reliable
+control wire, and ``resend_rewind_floor`` / ``ack_monotonic`` defend
+against reorderings the FIFO wires cannot produce — dropping those
+four changes no safety verdict (the enumeration confirms it), but the
+conformance pass still pins them in the production code.  What the model deliberately does *not* cover
+(see DESIGN.md section 14): watchdog timers and the resend-storm trip
+(wall-clock behaviour), checksums, multi-transfer back-to-back
+overlap, and the event-loop wakeup plumbing — those are exercised by
+the runtime fault-injection suites instead.
+
+A ``ProtocolError`` raised by the production code corresponds to a
+:class:`Violation` here: correct executions never reach one, so any
+reachable violation — or any terminal state short of full quiescence
+(``in_flight == 0``, both wires empty, every word stored exactly
+once) — fails verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple, Union
+
+from repro.analysis.protocol.spec import DEFAULT_SPEC, SpecToggles
+
+#: sentinel matching :data:`repro.machine.scu.FACE_BATCH`
+FACE = "face"
+
+#: receiver phases
+UNPOSTED, POSTED, COMPLETE = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One cell of the verification matrix."""
+
+    #: transfer length in words (keep <= 4: state space)
+    n: int = 3
+    #: words per frame: an int or :data:`FACE` (whole transfer)
+    batch: Union[int, str] = 1
+    #: sender ack window; ``None`` = ``max(3, batch)`` as in the ASIC
+    window: Optional[int] = None
+    #: receiver idle-hold registers (paper: first three words held)
+    idle_hold: int = 3
+    #: transient-fault budget (corrupted payload frames)
+    faults: int = 0
+    #: ``True``: descriptor posted late (idle receive drains on post)
+    drain: bool = False
+    toggles: SpecToggles = field(default=DEFAULT_SPEC)
+
+    @property
+    def resolved_batch(self) -> int:
+        return self.n if self.batch == FACE else int(self.batch)
+
+    @property
+    def resolved_window(self) -> int:
+        if self.window is not None:
+            return self.window
+        return max(3, self.resolved_batch)
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n} batch={self.batch} window={self.resolved_window} "
+            f"faults={self.faults} drain={self.drain}"
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A safety failure on some interleaving (== a lost word, a
+    duplicate delivery, a deadlock, or a ``ProtocolError`` in the
+    production code)."""
+
+    kind: str
+    message: str
+    trace: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        path = " -> ".join(self.trace) if self.trace else "(initial)"
+        return f"{self.kind}: {self.message}\n    via {path}"
+
+
+# frames on the data wire: (kind, seq, nwords, corrupt)
+DATA, EOT = "data", "eot"
+# frames on the control wire: (kind, seq)
+ACK, RESEND = "ack", "resend"
+
+
+@dataclass(frozen=True)
+class State:
+    """One interleaving point; hashable for the explored-set."""
+
+    s_base: int = 0
+    s_next: int = 0
+    s_eot_sent: bool = False
+    data: Tuple[tuple, ...] = ()
+    ctrl: Tuple[tuple, ...] = ()
+    r_phase: int = POSTED
+    r_expected: int = 0
+    r_cursor: int = 0
+    r_stored: int = 0
+    r_held: Tuple[tuple, ...] = ()
+    store_q: Tuple[int, ...] = ()
+    eot_due: Tuple[int, ...] = ()
+    faults: int = 0
+
+
+def initial_state(cfg: ModelConfig) -> State:
+    return State(
+        r_phase=UNPOSTED if cfg.drain else POSTED, faults=cfg.faults
+    )
+
+
+Succ = Union[State, Violation]
+
+
+def _accept(s: State, cfg: ModelConfig, seq: int, nwords: int) -> Succ:
+    """Mirror of ``RecvUnit._accept``: write at the cursor, ACK, rearm."""
+    if seq != s.r_cursor:
+        return Violation(
+            "non-sequential-write",
+            f"chunk at seq {seq} written with cursor {s.r_cursor} "
+            "(lost or duplicated word)",
+        )
+    if s.r_cursor + nwords > cfg.n:
+        return Violation(
+            "overrun", f"{nwords} words but {cfg.n - s.r_cursor} slots left"
+        )
+    cursor = s.r_cursor + nwords
+    # ACK carries the *current* expected (already advanced past this
+    # chunk — and past all held chunks when draining at post time)
+    ctrl = s.ctrl + ((ACK, s.r_expected),)
+    phase, expected, eot_due = s.r_phase, s.r_expected, s.eot_due
+    if cursor >= cfg.n:
+        # wire side complete: owe one EOT, rearm the sequence space
+        eot_due = eot_due + (cfg.n,)
+        phase, expected = COMPLETE, 0
+    return replace(
+        s,
+        r_cursor=cursor,
+        ctrl=ctrl,
+        r_phase=phase,
+        r_expected=expected,
+        eot_due=eot_due,
+        store_q=s.store_q + (nwords,),
+    )
+
+
+def _on_data(s: State, cfg: ModelConfig, frame: tuple) -> Succ:
+    """Mirror of ``RecvUnit.on_data`` for one delivered payload frame."""
+    t = cfg.toggles
+    _, seq, nwords, corrupt = frame
+    if t.stale_eot_filter and s.eot_due:
+        # FIFO wire: this frame was queued before the owed EOT, so it
+        # is a stale resend duplicate of the finished transfer
+        return s
+    if corrupt:
+        if t.corrupt_resend:
+            return replace(s, ctrl=s.ctrl + ((RESEND, seq),))
+        return s  # mutated: corrupt frame silently dropped
+    if seq != s.r_expected:
+        if seq > s.r_expected:
+            if t.gap_resend:
+                return replace(s, ctrl=s.ctrl + ((RESEND, s.r_expected),))
+        else:
+            if t.idle_dup_silence and s.r_phase != POSTED:
+                return s  # held words must not return window credit
+            if t.dup_reack:
+                return replace(s, ctrl=s.ctrl + ((ACK, s.r_expected),))
+        return s
+    s = replace(s, r_expected=s.r_expected + nwords)
+    if s.r_phase != POSTED:
+        # idle receive: hold without acknowledging (first frame of any
+        # size is legal; beyond that the holding registers bound it)
+        held_words = sum(nw for _sq, nw in s.r_held)
+        if (
+            t.idle_hold_guard
+            and held_words
+            and held_words + nwords > cfg.idle_hold
+        ):
+            return Violation(
+                "idle-hold-overflow",
+                f"{held_words + nwords} held words > {cfg.idle_hold} "
+                "registers (the sender violated the ack window)",
+            )
+        return replace(s, r_held=s.r_held + ((seq, nwords),))
+    return _accept(s, cfg, seq, nwords)
+
+
+def _on_eot(s: State, cfg: ModelConfig, seq: int) -> Succ:
+    """Mirror of ``RecvUnit.on_eot``."""
+    if not cfg.toggles.eot_accounting:
+        return s  # mutated: EOTs unchecked
+    if s.eot_due:
+        owed = s.eot_due[0]
+        if seq != owed:
+            return Violation(
+                "eot-mismatch", f"EOT at {seq}, completed transfer owed {owed}"
+            )
+        return replace(s, eot_due=s.eot_due[1:])
+    if s.r_phase == POSTED:
+        return Violation(
+            "truncated-dma",
+            f"EOT at {seq} with {cfg.n - s.r_cursor} descriptor words outstanding",
+        )
+    return Violation("unexpected-eot", f"EOT at {seq} with no transfer owed")
+
+
+def successors(s: State, cfg: ModelConfig) -> List[Tuple[str, Succ]]:
+    """Every enabled transition from ``s`` (the interleaving fan-out)."""
+    t, n = cfg.toggles, cfg.n
+    window = cfg.resolved_window
+    out: List[Tuple[str, Succ]] = []
+
+    # -- sender: transmit the next frame -------------------------------
+    in_flight = s.s_next - s.s_base
+    can_tx = s.s_next < n and not s.s_eot_sent
+    if t.ack_window_guard:
+        can_tx = can_tx and in_flight < window
+    if can_tx:
+        batch = min(cfg.resolved_batch, n - s.s_next)
+        if t.ack_window_guard:
+            batch = min(batch, window - in_flight)
+        frame = (DATA, s.s_next, batch, False)
+        nxt = replace(s, s_next=s.s_next + batch, data=s.data + (frame,))
+        out.append((f"tx({s.s_next}+{batch})", nxt))
+        if s.faults > 0:
+            bad = (DATA, s.s_next, batch, True)
+            out.append((
+                f"tx({s.s_next}+{batch})!corrupt",
+                replace(nxt, data=s.data + (bad,), faults=s.faults - 1),
+            ))
+
+    # -- sender: end-of-transfer marker --------------------------------
+    drained = s.s_base >= n if t.eot_after_drain else s.s_next >= n
+    if drained and not s.s_eot_sent:
+        out.append((
+            "eot",
+            replace(s, s_eot_sent=True, data=s.data + ((EOT, n, 0, False),)),
+        ))
+
+    # -- receiver: post the DMA descriptor (drain variant) -------------
+    if cfg.drain and s.r_phase == UNPOSTED:
+        nxt: Succ = replace(s, r_phase=POSTED, r_held=())
+        for seq, nwords in s.r_held:
+            nxt = _accept(nxt, cfg, seq, nwords)
+            if isinstance(nxt, Violation):
+                break
+        out.append(("post", nxt))
+
+    # -- wires: in-order delivery --------------------------------------
+    if s.data:
+        frame, rest = s.data[0], s.data[1:]
+        base = replace(s, data=rest)
+        if frame[0] == EOT:
+            out.append((f"rx-eot({frame[1]})", _on_eot(base, cfg, frame[1])))
+        else:
+            label = f"rx({frame[1]}+{frame[2]})" + ("!" if frame[3] else "")
+            out.append((label, _on_data(base, cfg, frame)))
+    if s.ctrl:
+        (kind, seq), rest = s.ctrl[0], s.ctrl[1:]
+        nxt = replace(s, ctrl=rest)
+        if kind == ACK:
+            if not t.ack_monotonic or seq > nxt.s_base:
+                nxt = replace(nxt, s_base=seq)
+        else:  # RESEND: go back and retransmit
+            if seq < nxt.s_next:
+                floor = max(seq, nxt.s_base) if t.resend_rewind_floor else seq
+                nxt = replace(nxt, s_next=floor)
+        out.append((f"{kind}({seq})", nxt))
+
+    # -- receiver: DMA store pipeline completes one chunk --------------
+    if s.store_q:
+        out.append((
+            f"stored({s.store_q[0]})",
+            replace(
+                s,
+                store_q=s.store_q[1:],
+                r_stored=s.r_stored + s.store_q[0],
+            ),
+        ))
+
+    return out
+
+
+def check_invariants(s: State, cfg: ModelConfig) -> Optional[Violation]:
+    """Safety properties that must hold in *every* reachable state."""
+    in_flight = s.s_next - s.s_base
+    window = cfg.resolved_window
+    if in_flight > window:
+        return Violation(
+            "window-exceeded",
+            f"{in_flight} unacknowledged words in flight > window {window}",
+        )
+    # NOTE ``base > next`` (negative in_flight) is deliberately NOT a
+    # violation: a stale RESEND can rewind ``next`` to a word whose ACK
+    # is still on the control wire, and when that ACK lands ``base``
+    # overtakes ``next``.  The production sender then retransmits an
+    # already-acknowledged word, which the receiver re-ACKs as a
+    # duplicate — wasteful, but safe.  The enumeration found this quirk
+    # on its first run (n=2, batch=1, one corrupt frame).
+    if s.r_stored > cfg.n:
+        return Violation(
+            "duplicate-delivery", f"{s.r_stored} words stored of {cfg.n}"
+        )
+    return None
+
+
+def is_quiesced(s: State, cfg: ModelConfig) -> bool:
+    """Full completion: transfer done AND the partition is reclaimable
+    (nothing in flight anywhere — the machine-as-a-service invariant).
+
+    ``next`` is *not* required to equal ``n``: a stale RESEND delivered
+    after the last ACK benignly rewinds it below ``base`` with no
+    process left to retransmit (per-transfer state the next ``start()``
+    resets).  Everything observable must be drained though: both wires
+    empty, every word stored exactly once, nothing idle-held, no EOT
+    owed."""
+    return (
+        s.s_eot_sent
+        and s.s_base == cfg.n
+        and not s.data
+        and not s.ctrl
+        and s.r_stored == cfg.n
+        and s.r_cursor == cfg.n
+        and not s.r_held
+        and not s.store_q
+        and not s.eot_due
+        and s.r_phase != POSTED
+    )
+
+
+@dataclass
+class ExploreResult:
+    config: ModelConfig
+    states: int = 0
+    completed_runs: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        head = (
+            f"[{'ok' if self.ok else 'FAIL'}] {self.config.describe()}: "
+            f"{self.states} states, {self.completed_runs} quiesced terminals"
+        )
+        return "\n".join([head] + ["  " + v.format() for v in self.violations])
+
+
+#: report at most this many violations per config (they repeat)
+_MAX_VIOLATIONS = 4
+
+
+def explore(cfg: ModelConfig) -> ExploreResult:
+    """Enumerate every reachable interleaving; collect all failures.
+
+    A violating successor is recorded and not expanded.  After the
+    sweep, zero quiesced terminal states means no execution completes
+    at all — a livelock/deadlock of the whole protocol — which is
+    reported even if no single state violated a safety property.
+    """
+    result = ExploreResult(config=cfg)
+    init = initial_state(cfg)
+    seen = {init}
+    stack: List[Tuple[State, Tuple[str, ...]]] = [(init, ())]
+    while stack:
+        s, trace = stack.pop()
+        result.states += 1
+        succ = successors(s, cfg)
+        if not succ:
+            if is_quiesced(s, cfg):
+                result.completed_runs += 1
+            elif len(result.violations) < _MAX_VIOLATIONS:
+                result.violations.append(
+                    Violation(
+                        "deadlock",
+                        f"terminal state short of quiescence: base={s.s_base} "
+                        f"next={s.s_next} stored={s.r_stored}/{cfg.n} "
+                        f"held={len(s.r_held)} eot_sent={s.s_eot_sent}",
+                        trace,
+                    )
+                )
+            continue
+        for label, nxt in succ:
+            if isinstance(nxt, Violation):
+                if len(result.violations) < _MAX_VIOLATIONS:
+                    result.violations.append(
+                        replace(nxt, trace=trace + (label,))
+                    )
+                continue
+            bad = check_invariants(nxt, cfg)
+            if bad is not None:
+                if len(result.violations) < _MAX_VIOLATIONS:
+                    result.violations.append(
+                        replace(bad, trace=trace + (label,))
+                    )
+                continue
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, trace + (label,)))
+    if not result.violations and result.completed_runs == 0:
+        result.violations.append(
+            Violation("livelock", "no execution reaches quiescence")
+        )
+    return result

@@ -3,12 +3,21 @@
 Numbering scheme
 ----------------
 ``REPRO1xx`` determinism, ``REPRO2xx`` SCU protocol conformance,
-``REPRO3xx`` accounting hygiene, ``REPRO4xx`` API hygiene and layering.
-The full catalogue with rationale lives in DESIGN.md section 9.
+``REPRO3xx`` accounting hygiene, ``REPRO4xx`` API hygiene and layering,
+``REPRO5xx`` whole-program flow analysis (``repro.analysis.flow``).
+The full catalogue with rationale lives in DESIGN.md sections 9 and 14.
 """
 
 from __future__ import annotations
 
+from repro.analysis.flow import rules as flow_rules
 from repro.analysis.rules import accounting, determinism, hygiene, layering, protocol
 
-__all__ = ["accounting", "determinism", "hygiene", "layering", "protocol"]
+__all__ = [
+    "accounting",
+    "determinism",
+    "flow_rules",
+    "hygiene",
+    "layering",
+    "protocol",
+]

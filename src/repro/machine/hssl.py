@@ -234,7 +234,13 @@ class SerialLink:
         "alive",
         "stuck",
         "frames_dropped",
+        "in_transit",
     )
+
+    #: live-heap-only state (REPRO504): the receiver callback is wired
+    #: into the peer SCU's dispatcher at attach time and is re-created
+    #: by topology construction, never shipped across the fork boundary
+    _SNAPSHOT_TRANSIENT = ("_receiver",)
 
     def snapshot_state(self) -> dict:
         """Picklable wire state/counters (fork-executor gather)."""

@@ -380,6 +380,22 @@ class SendUnit:
         "base",
         "next",
         "active",
+        "_consec_resends",
+    )
+
+    #: live-heap-only state (REPRO504 audit): events, the generator
+    #: process, the in-flight payload view and watchdog scheduling all
+    #: reference the worker's event heap and are rebuilt per transfer —
+    #: the fork coordinator only snapshots quiesced shards
+    _SNAPSHOT_TRANSIENT = (
+        "words",
+        "_batch",
+        "done",
+        "_region",
+        "_proc",
+        "_t_start",
+        "_wake",
+        "_wd_gen",
     )
 
     def snapshot_state(self) -> dict:
@@ -420,6 +436,12 @@ class RecvUnit:
         self.idle_held_words_total = 0
         #: frames that arrived before a descriptor was posted
         self.idle_hold_events = 0
+        #: stale resend duplicates of a finished transfer, discarded
+        #: because its trailing EOT had not yet arrived (FIFO wire)
+        self.stale_frames_discarded = 0
+        #: duplicates seen during idle receive, dropped without re-ack
+        #: (held words must not return window credit)
+        self.idle_dups_discarded = 0
         #: DMA receives run to completion by this unit
         self.transfers_completed = 0
         self._t_post = 0.0
@@ -466,6 +488,19 @@ class RecvUnit:
         return self.done
 
     def on_data(self, frame: Frame) -> None:
+        if self._eot_due:
+            # A finished transfer's trailing EOT is still in flight, and
+            # the wire is FIFO: this frame was queued *before* that EOT,
+            # so it is a stale resend duplicate of the finished transfer
+            # (a late RESEND can rewind the sender past words whose ACKs
+            # were still on the control wire, making it retransmit words
+            # the receiver already accepted).  Without this filter the
+            # duplicate matches the rearmed ``expected == 0`` sequence
+            # space and is idle-held — to be drained into the *next*
+            # transfer's buffer by a later post().  Found by exhaustive
+            # enumeration of the protocol model (DESIGN.md section 14).
+            self.stale_frames_discarded += 1
+            return
         if frame.is_corrupt():
             # Hardware detects the flip via header code or parity and
             # requests a resend of the failed word ("automatic resend").
@@ -489,6 +524,16 @@ class RecvUnit:
                 self.resend_requests += 1
                 self.control.send(PacketType.RESEND, self.expected)
             else:
+                if self.descriptor is None:
+                    # Idle receive holds *without acknowledging*: here
+                    # ``expected`` counts words that are only held, so a
+                    # re-ack would return window credit for them — the
+                    # sender could then finish and EOT a transfer the
+                    # receiver never began accepting, tripping on_eot.
+                    # Stay silent; post() drains the held words and acks
+                    # then.  Found by the protocol-model enumeration.
+                    self.idle_dups_discarded += 1
+                    return
                 # Duplicate: re-ack so the sender's window advances.
                 self.acks_sent += 1
                 self.control.send(PacketType.ACK, self.expected)
@@ -675,12 +720,30 @@ class RecvUnit:
         "acks_sent",
         "idle_held_words_total",
         "idle_hold_events",
+        "stale_frames_discarded",
+        "idle_dups_discarded",
         "transfers_completed",
         "watchdog_trips",
         "backoff_waits",
         "total",
         "stored",
         "write_cursor",
+    )
+
+    #: live-heap-only state (REPRO504 audit): the active descriptor,
+    #: its resolved destination view, the completion event, idle-held
+    #: frames and the EOT FIFO exist only while a transfer is in
+    #: flight on the worker's heap; quiesced-shard snapshots never
+    #: carry them
+    _SNAPSHOT_TRANSIENT = (
+        "descriptor",
+        "_buffer_name",
+        "_indices",
+        "done",
+        "_t_post",
+        "held",
+        "_eot_due",
+        "_wd_gen",
     )
 
     def snapshot_state(self) -> dict:
@@ -1018,6 +1081,7 @@ class SCU:
             },
             "links_down": dict(self.links_down),
             "drained_frames": self.drained_frames,
+            "draining": self._draining,
             "supervisor_reg": dict(self.supervisor_reg),
         }
 
@@ -1028,6 +1092,7 @@ class SCU:
             self.recv_units[d].restore_state(unit_state)
         self.links_down = dict(state["links_down"])
         self.drained_frames = state["drained_frames"]
+        self._draining = state["draining"]
         self.supervisor_reg = dict(state["supervisor_reg"])
 
     # -- supervisor packets ---------------------------------------------------

@@ -18,7 +18,7 @@ client script has returned.
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
+from typing import Any, Coroutine, Optional
 
 from repro.service.jobs import Job, JobResult, WilsonJobSpec
 from repro.service.service import QcdocService
@@ -28,7 +28,7 @@ from repro.util.errors import MachineError
 class ServiceClient:
     """One tenant's handle on the service (submit / wait / solve)."""
 
-    def __init__(self, service: QcdocService, tenant: str):
+    def __init__(self, service: QcdocService, tenant: str) -> None:
         self.service = service
         self.tenant = tenant
 
@@ -59,7 +59,7 @@ class ServiceClient:
 
 def run_service(
     service: QcdocService,
-    *coros,
+    *coros: Coroutine[Any, Any, Any],
     max_time: float = float("inf"),
     idle_limit: int = 10_000,
 ) -> list:

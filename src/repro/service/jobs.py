@@ -101,7 +101,7 @@ class Job:
         seq: int,
         submit_time: float,
         store: CGCheckpointStore,
-    ):
+    ) -> None:
         self.job_id = job_id
         self.tenant = tenant
         self.spec = spec

@@ -94,7 +94,7 @@ class SchedulerCore:
         max_queue: int = 256,
         backfill: bool = True,
         preemption: bool = True,
-    ):
+    ) -> None:
         self.place_fn = place_fn
         self.quotas: Dict[str, int] = dict(quotas or {})
         self.max_queue = int(max_queue)

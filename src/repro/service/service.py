@@ -39,7 +39,7 @@ running healthy neighbours' jobs to completion.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.fermions.clover import CloverDirac
 from repro.host.qdaemon import Qdaemon
@@ -65,6 +65,10 @@ from repro.util.errors import (
     DegradedMachineError,
     MachineError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.machine import PartitionRun
+    from repro.machine.topology import Partition
 
 
 class QcdocService:
@@ -104,7 +108,7 @@ class QcdocService:
         backfill: bool = True,
         preemption: bool = True,
         poll_period: float = 2e-6,
-    ):
+    ) -> None:
         if not daemon.booted:
             raise MachineError("boot the machine before serving jobs")
         machine = daemon.machine
@@ -137,7 +141,9 @@ class QcdocService:
         self.started_serving: Optional[float] = None
 
     # -- placement (the scheduler's injected place_fn) -----------------------
-    def _place(self, entry: SchedJob, held):
+    def _place(
+        self, entry: SchedJob, held: Iterable[int]
+    ) -> Optional[Tuple["Partition", FrozenSet[int]]]:
         """First healthy congruent placement avoiding held/dead hardware."""
         spec = self.jobs[entry.job_id].spec
         exclude = sorted(
@@ -295,7 +301,7 @@ class QcdocService:
             progressed = self._fail_unplaceable()
         return progressed
 
-    def _start(self, job: Job, partition) -> bool:
+    def _start(self, job: Job, partition: "Partition") -> bool:
         """Launch (or resume) one job on an adopted placement."""
         spec = job.spec
         try:
@@ -347,7 +353,7 @@ class QcdocService:
         self._active[job.job_id] = job
         return True
 
-    def _on_settled(self, run) -> None:
+    def _on_settled(self, run: "PartitionRun") -> None:
         self._wake = True
 
     # -- revocation (preemption + fault recovery) ----------------------------

@@ -12,11 +12,15 @@ E17 artifact reports.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List
+
 
 import numpy as np
 
 from repro.telemetry.counters import sample_nodes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.jobs import Job
 
 #: job-attributed totals -> the per-node counter path suffix they sum
 USAGE_COUNTERS: Dict[str, str] = {
@@ -28,7 +32,7 @@ USAGE_COUNTERS: Dict[str, str] = {
 }
 
 
-def usage_totals(machine, node_ids: Iterable[int]) -> Dict[str, float]:
+def usage_totals(machine: Any, node_ids: Iterable[int]) -> Dict[str, float]:
     """The :data:`USAGE_COUNTERS` totals summed over ``node_ids``."""
     wanted = {suffix: key for key, suffix in USAGE_COUNTERS.items()}
     totals = {key: 0.0 for key in USAGE_COUNTERS}
@@ -57,7 +61,7 @@ def percentile(values: List[float], q: float) -> float:
 class TenantRollup:
     """Accumulated per-tenant accounting, fed one resolved job at a time."""
 
-    def __init__(self, tenant: str):
+    def __init__(self, tenant: str) -> None:
         self.tenant = tenant
         self.jobs_completed = 0
         self.jobs_failed = 0
@@ -67,7 +71,7 @@ class TenantRollup:
         self.queue_latencies: List[float] = []
         self.usage: Dict[str, float] = {key: 0.0 for key in USAGE_COUNTERS}
 
-    def absorb(self, job) -> None:
+    def absorb(self, job: "Job") -> None:
         """Fold one terminal job into the rollup."""
         from repro.service.jobs import JobState  # local: avoid cycle
 

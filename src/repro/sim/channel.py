@@ -31,7 +31,7 @@ class Channel:
         sim: Simulator,
         capacity: Optional[int] = None,
         latency: float = 0.0,
-    ):
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError("channel capacity must be >= 1")
         self.sim = sim
@@ -100,7 +100,7 @@ class Resource:
     >>> bus.release()
     """
 
-    def __init__(self, sim: Simulator, slots: int = 1):
+    def __init__(self, sim: Simulator, slots: int = 1) -> None:
         if slots < 1:
             raise SimulationError("resource needs >= 1 slot")
         self.sim = sim

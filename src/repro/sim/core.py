@@ -40,7 +40,7 @@ class Event:
 
     PENDING, SUCCEEDED, FAILED = 0, 1, 2
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._state = Event.PENDING
@@ -101,7 +101,7 @@ class Timeout(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(sim)
@@ -118,7 +118,7 @@ class Interrupt(Exception):
     arriving at a neighbour's CPU, paper section 2.2 item 2).
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -128,7 +128,7 @@ class Process(Event):
 
     __slots__ = ("gen", "name", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = "") -> None:
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
@@ -195,7 +195,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_n_done")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
         self._n_done = 0

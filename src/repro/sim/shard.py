@@ -33,11 +33,14 @@ from __future__ import annotations
 
 import os
 from heapq import heappop, heappush
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.core import Event, Simulator
 from repro.sim.sync import CrossShardRouter, ShardPost, conservative_lookahead
 from repro.util.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.connection import Connection
 
 #: seconds the fork coordinator waits on a worker pipe before declaring
 #: the worker hung (a backstop against protocol bugs, not a tuning knob)
@@ -54,7 +57,7 @@ class ShardLane:
 
     __slots__ = ("index", "heap", "now", "seq", "events_processed")
 
-    def __init__(self, index: int):
+    def __init__(self, index: int) -> None:
         self.index = index
         self.heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self.now = 0.0
@@ -80,7 +83,7 @@ class _ShardContext:
 
     __slots__ = ("sim", "shard")
 
-    def __init__(self, sim: "ShardedSimulator", shard: int):
+    def __init__(self, sim: "ShardedSimulator", shard: int) -> None:
         self.sim = sim
         self.shard = shard
 
@@ -96,7 +99,7 @@ class ShardedSimulator(Simulator):
     """A :class:`Simulator` whose heap is partitioned into window-synced
     shard lanes."""
 
-    def __init__(self, n_shards: int, lookahead: float):
+    def __init__(self, n_shards: int, lookahead: float) -> None:
         super().__init__()
         if n_shards < 1:
             raise SimulationError(f"need >= 1 shard, got {n_shards}")
@@ -342,7 +345,7 @@ class ShardedSimulator(Simulator):
                 except ChildProcessError:
                     pass
 
-    def _fork_recv(self, conn) -> tuple:
+    def _fork_recv(self, conn: "Connection") -> tuple:
         if not conn.poll(_WORKER_TIMEOUT):
             raise SimulationError("fork worker stalled (pipe timeout)")
         msg = conn.recv()
@@ -350,7 +353,13 @@ class ShardedSimulator(Simulator):
             raise SimulationError(f"fork worker died:\n{msg[1]}")
         return msg
 
-    def _fork_coordinate(self, conns, stop, max_time, ctrl_for_stop) -> None:
+    def _fork_coordinate(
+        self,
+        conns: List["Connection"],
+        stop: Callable[[], bool],
+        max_time: float,
+        ctrl_for_stop: Optional[Callable[[], List[str]]],
+    ) -> None:
         n = len(conns)
         peeks = [lane.peek() for lane in self._lanes]
         pending: List[List[ShardPost]] = [[] for _ in range(n)]
@@ -414,7 +423,7 @@ class ShardedSimulator(Simulator):
             [self._committed] + [lane_now for _k, _s, lane_now in snaps]
         )
 
-    def _fork_worker(self, k: int, conn) -> None:
+    def _fork_worker(self, k: int, conn: "Connection") -> None:
         lane = self._lanes[k]
         ctrl_hooks = self.fork_hooks.get("ctrl", {})
         while True:

@@ -44,7 +44,7 @@ from repro.util.errors import SimulationError
 COORDINATOR = -1
 
 
-def conservative_lookahead(asic) -> float:
+def conservative_lookahead(asic: Any) -> float:
     """The window width ``W``: minimum cross-shard influence latency.
 
     Duck-typed on the ASIC config (layering: :mod:`repro.sim` cannot
@@ -117,7 +117,7 @@ class CrossShardRouter:
     populated before the fork, so both sides decode identically.
     """
 
-    def __init__(self, n_shards: int, current_shard: Callable[[], int]):
+    def __init__(self, n_shards: int, current_shard: Callable[[], int]) -> None:
         self.n_shards = int(n_shards)
         self._current_shard = current_shard
         #: link-key -> SerialLink (duck-typed: needs ``_deliver(frame)``)
@@ -220,7 +220,7 @@ class CrossShardRouter:
             handler(note)
 
     # -- delivery (target-lane side) --------------------------------------
-    def deliver(self, post: ShardPost, lane) -> None:
+    def deliver(self, post: ShardPost, lane: Any) -> None:
         """Decode one post into a heap entry on its target lane."""
         if post.kind == "frame":
             link = self.links.get(post.key)

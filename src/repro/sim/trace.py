@@ -44,7 +44,7 @@ class TraceNamespace:
 
     __slots__ = ("trace", "prefix")
 
-    def __init__(self, trace: "Trace", prefix: str):
+    def __init__(self, trace: "Trace", prefix: str) -> None:
         self.trace = trace
         self.prefix = prefix
 
@@ -73,7 +73,7 @@ class Trace:
         ring-buffer mode for long runs); :attr:`dropped` counts evictions.
     """
 
-    def __init__(self, sim=None, maxlen: Optional[int] = None):
+    def __init__(self, sim: Optional[Any] = None, maxlen: Optional[int] = None) -> None:
         self.sim = sim
         self.maxlen = maxlen
         self.records = deque(maxlen=maxlen) if maxlen is not None else []

@@ -1,0 +1,267 @@
+"""CLI modes added in PR 9: --flow gating, --hygiene, --protocol,
+SARIF output, allowlist budget and stale-entry enforcement."""
+
+import json
+
+import pytest
+
+from repro.analysis.allowlist import ALLOWLIST_BUDGET, parse_allowlist
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.util.errors import ConfigError
+
+pytestmark = pytest.mark.analysis
+
+
+#: fires REPRO501 (dead store of a send-family completion event)
+FLOW_BAD = (
+    "def go(api, buf):\n"
+    "    ev = api.send_buffer(buf)\n"
+    "    return None\n"
+)
+
+#: fires REPRO101 (wall-clock call) — a per-file rule
+WALLCLOCK_BAD = "import time\nx = time.time()\n"
+
+
+def write_pkg(tmp_path, source, rel="repro/machine/user.py"):
+    f = tmp_path / rel
+    f.parent.mkdir(parents=True, exist_ok=True)
+    f.write_text(source)
+    return tmp_path
+
+
+# ---------------------------------------------------------------------------
+# --flow gating of the whole-program family
+# ---------------------------------------------------------------------------
+
+
+class TestFlowGating:
+    def test_default_run_excludes_flow_rules(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, FLOW_BAD)
+        assert main([str(root), "--no-allowlist"]) == EXIT_CLEAN
+        assert "REPRO501" not in capsys.readouterr().out
+
+    def test_flow_flag_includes_them(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, FLOW_BAD)
+        assert main([str(root), "--flow", "--no-allowlist"]) == EXIT_FINDINGS
+        assert "REPRO501" in capsys.readouterr().out
+
+    def test_explicit_select_needs_no_flow_flag(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, FLOW_BAD)
+        code = main([str(root), "--select", "REPRO501", "--no-allowlist"])
+        assert code == EXIT_FINDINGS
+        assert "REPRO501" in capsys.readouterr().out
+
+    def test_select_combines_flow_and_per_file_rules(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, FLOW_BAD + WALLCLOCK_BAD)
+        code = main(
+            [str(root), "--select", "REPRO501,REPRO101", "--no-allowlist"]
+        )
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "REPRO501" in out and "REPRO101" in out
+
+    def test_list_rules_tags_whole_program(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "REPRO501" in out and "[whole-program]" in out
+
+
+# ---------------------------------------------------------------------------
+# --hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestHygiene:
+    def test_hygiene_skips_semantics_rules(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, WALLCLOCK_BAD)
+        assert main([str(root), "--hygiene", "--no-allowlist"]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_hygiene_still_reports_hygiene_rules(self, tmp_path, capsys):
+        root = write_pkg(
+            tmp_path, "from repro.machine.scu import SendUnit\n",
+            rel="repro/parallel/bad.py",
+        )
+        code = main([str(root), "--hygiene", "--no-allowlist"])
+        out = capsys.readouterr().out
+        if code == EXIT_FINDINGS:
+            assert "REPRO40" in out
+        # (clean is acceptable if the layering rule scopes differently;
+        # the mode contract is "only 401/402 can fire")
+        assert "REPRO101" not in out
+
+    def test_hygiene_and_select_are_exclusive(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, WALLCLOCK_BAD)
+        code = main([str(root), "--hygiene", "--select", "REPRO101"])
+        assert code == EXIT_USAGE
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# --protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolFlag:
+    def test_protocol_verifier_passes_and_exits_clean(self, capsys):
+        assert main(["--protocol"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "protocol verification: ok" in out
+        assert "conformance: ok" in out
+
+    def test_protocol_combines_with_scan(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, WALLCLOCK_BAD)
+        code = main(["--protocol", str(root), "--no-allowlist"])
+        assert code == EXIT_FINDINGS  # the scan's finding, not the verifier
+        out = capsys.readouterr().out
+        assert "protocol verification: ok" in out and "REPRO101" in out
+
+
+# ---------------------------------------------------------------------------
+# SARIF output
+# ---------------------------------------------------------------------------
+
+
+class TestSarif:
+    def _sarif(self, capsys):
+        return json.loads(capsys.readouterr().out)
+
+    def test_exit_codes_unchanged_by_format(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, WALLCLOCK_BAD)
+        assert (
+            main([str(root), "--format", "sarif", "--no-allowlist"])
+            == EXIT_FINDINGS
+        )
+        capsys.readouterr()
+        clean = write_pkg(tmp_path / "c", "x = 1\n")
+        assert (
+            main([str(clean), "--format", "sarif", "--no-allowlist"])
+            == EXIT_CLEAN
+        )
+        capsys.readouterr()
+
+    def test_sarif_round_trips_the_findings(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, WALLCLOCK_BAD + "y = time.time()\n")
+        main([str(root), "--format", "json", "--no-allowlist"])
+        findings = json.loads(capsys.readouterr().out)["findings"]
+        main([str(root), "--format", "sarif", "--no-allowlist"])
+        sarif = self._sarif(capsys)
+
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        results = run["results"]
+        assert len(results) == len(findings)
+        for want, got in zip(findings, results):
+            assert got["ruleId"] == want["rule"]
+            assert got["message"]["text"] == want["message"]
+            loc = got["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == want["path"]
+            assert loc["region"]["startLine"] == want["line"]
+            # SARIF columns are 1-based; findings are 0-based
+            assert loc["region"]["startColumn"] == want["col"] + 1
+
+    def test_sarif_declares_every_run_rule(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, "x = 1\n")
+        main([str(root), "--format", "sarif", "--flow", "--no-allowlist"])
+        sarif = self._sarif(capsys)
+        declared = {r["id"] for r in sarif["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"REPRO101", "REPRO501", "REPRO504", "REPRO000"} <= declared
+
+    def test_sarif_marks_suppressed_findings(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, WALLCLOCK_BAD)
+        allow = tmp_path / "allow"
+        allow.write_text("REPRO101  repro/machine/user.py  :: fixture\n")
+        code = main(
+            [str(root), "--format", "sarif", "--allowlist", str(allow)]
+        )
+        assert code == EXIT_CLEAN
+        sarif = self._sarif(capsys)
+        results = sarif["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["suppressions"] == [{"kind": "external"}]
+
+
+# ---------------------------------------------------------------------------
+# allowlist budget + staleness
+# ---------------------------------------------------------------------------
+
+
+def entry_lines(count):
+    return "".join(
+        f"REPRO101  repro/machine/f{i}.py  :: reason {i}\n"
+        for i in range(count)
+    )
+
+
+class TestAllowlistBudget:
+    def test_budget_exactly_ten_parses(self):
+        entries = parse_allowlist(entry_lines(ALLOWLIST_BUDGET))
+        assert len(entries) == ALLOWLIST_BUDGET
+
+    def test_budget_eleven_refused(self):
+        with pytest.raises(ConfigError, match="budget"):
+            parse_allowlist(entry_lines(ALLOWLIST_BUDGET + 1))
+
+    def test_cli_reports_over_budget_as_usage_error(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, "x = 1\n")
+        allow = tmp_path / "allow"
+        allow.write_text(entry_lines(ALLOWLIST_BUDGET + 1))
+        code = main([str(root), "--allowlist", str(allow)])
+        assert code == EXIT_USAGE
+        assert "budget" in capsys.readouterr().err
+
+
+class TestStaleEntries:
+    def test_stale_entry_fails_loudly(self, tmp_path, capsys):
+        # rule ran, file scanned, nothing suppressed -> hard failure
+        root = write_pkg(tmp_path, "x = 1\n")
+        allow = tmp_path / "allow"
+        allow.write_text("REPRO101  repro/machine/user.py  :: fixed long ago\n")
+        code = main([str(root), "--allowlist", str(allow)])
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "stale allowlist entry" in out
+
+    def test_unscanned_path_stays_a_warning(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, "x = 1\n")
+        allow = tmp_path / "allow"
+        allow.write_text("REPRO101  repro/other/elsewhere.py  :: other module\n")
+        code = main([str(root), "--allowlist", str(allow)])
+        assert code == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "warning: unused allowlist entry" in out
+        assert "stale" not in out
+
+    def test_unrun_rule_stays_a_warning(self, tmp_path, capsys):
+        # --select skipped the entry's rule: staleness is unproven
+        root = write_pkg(tmp_path, "x = 1\n")
+        allow = tmp_path / "allow"
+        allow.write_text("REPRO101  repro/machine/user.py  :: checked later\n")
+        code = main(
+            [str(root), "--select", "REPRO402", "--allowlist", str(allow)]
+        )
+        assert code == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "warning: unused allowlist entry" in out
+        assert "stale" not in out
+
+    def test_used_entry_is_neither_warned_nor_stale(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, WALLCLOCK_BAD)
+        allow = tmp_path / "allow"
+        allow.write_text("REPRO101  repro/machine/user.py  :: fixture\n")
+        assert main([str(root), "--allowlist", str(allow)]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "warning" not in out and "stale" not in out
+
+    def test_stale_reported_in_json(self, tmp_path, capsys):
+        root = write_pkg(tmp_path, "x = 1\n")
+        allow = tmp_path / "allow"
+        allow.write_text("REPRO101  repro/machine/user.py  :: fixed\n")
+        code = main(
+            [str(root), "--format", "json", "--allowlist", str(allow)]
+        )
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["stale_allowlist_entries"]) == 1

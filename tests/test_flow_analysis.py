@@ -1,0 +1,583 @@
+"""Whole-program flow analysis suite (PR 9): REPRO501..REPRO504.
+
+Four layers:
+
+1. **Infrastructure** — the CFG builder's exception edges, ``finally``
+   routing and loop structure; call-graph resolution (``self.m()``
+   binds to the caller's class); return-escape taint through locals
+   and containers.
+2. **Rule fixtures** — every REPRO5xx rule gets minimal fire *and*
+   pass fixtures pinning its contract, including the interprocedural
+   cases a per-file rule cannot see.
+3. **The gate** — the repository's own ``src/`` tree is clean under
+   the full flow family (the bugs the rules found were *fixed*, not
+   allowlisted).
+4. **Snapshot regressions** — the concrete REPRO504 findings this PR
+   fixed (``SerialLink.in_transit``, ``SendUnit._consec_resends``,
+   ``SCU._draining``) round-trip through snapshot/restore at runtime.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Allowlist, LintEngine, get_rule
+from repro.analysis.flow import build_call_graph, build_cfg, build_symbols
+from repro.analysis.flow import cfg as cfgmod
+from repro.analysis.flow.dataflow import returns_source
+from repro.analysis.engine import ModuleContext
+from repro.machine.asic import MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.machine.scu import SCU, RecvUnit, SendUnit
+from repro.machine.hssl import SerialLink
+
+pytestmark = pytest.mark.analysis
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+FLOW_RULES = ["REPRO501", "REPRO502", "REPRO503", "REPRO504"]
+
+
+def lint_files(tmp_path, files, rule_ids):
+    """Lint a multi-file fixture tree (relpath -> source)."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    engine = LintEngine(
+        rules=[get_rule(r) for r in rule_ids], allowlist=Allowlist.empty()
+    )
+    return engine.run([tmp_path])
+
+
+def rules_fired(result):
+    return sorted({f.rule for f in result.findings})
+
+
+def _fn(source, name=None):
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and (
+            name is None or node.name == name
+        ):
+            return node
+    raise AssertionError("no function in fixture")
+
+
+def _module(relpath, source):
+    return ModuleContext(Path("/fixture") / relpath, relpath, source)
+
+
+# ---------------------------------------------------------------------------
+# infrastructure: CFG, call graph, taint
+# ---------------------------------------------------------------------------
+
+
+class TestCFG:
+    def _stmt_nid(self, cfg, fn, want):
+        for nid, stmt in cfg.stmts.items():
+            if stmt is not None and getattr(stmt, "lineno", None) == want:
+                return nid
+        raise AssertionError(f"no node at line {want}")
+
+    def test_linear_chain_reaches_exit(self):
+        fn = _fn("def f():\n    a = 1\n    b = 2\n    return b\n")
+        cfg = build_cfg(fn)
+        first = self._stmt_nid(cfg, fn, 2)
+        assert cfg.reaches_exit_avoiding(first, set())
+        # blocking the only path cuts EXIT off
+        ret = self._stmt_nid(cfg, fn, 4)
+        assert not cfg.reaches_exit_avoiding(first, {ret})
+
+    def test_if_else_has_two_paths(self):
+        fn = _fn(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    return 0\n"
+        )
+        cfg = build_cfg(fn)
+        test_nid = self._stmt_nid(cfg, fn, 2)
+        then_nid = self._stmt_nid(cfg, fn, 3)
+        # avoiding the then-branch still reaches EXIT via else
+        assert cfg.reaches_exit_avoiding(test_nid, {then_nid})
+
+    def test_exception_edge_into_handler(self):
+        fn = _fn(
+            "def f(g):\n"
+            "    try:\n"
+            "        g()\n"
+            "        done = True\n"
+            "    except ValueError:\n"
+            "        done = False\n"
+            "    return done\n"
+        )
+        cfg = build_cfg(fn)
+        call_nid = self._stmt_nid(cfg, fn, 3)
+        after_nid = self._stmt_nid(cfg, fn, 4)
+        # the call can bypass line 4 entirely (handler path)
+        assert cfg.reaches_exit_avoiding(call_nid, {after_nid})
+
+    def test_finally_dominates_all_exits(self):
+        fn = _fn(
+            "def f(g, h):\n"
+            "    try:\n"
+            "        g()\n"
+            "    finally:\n"
+            "        h()\n"
+        )
+        cfg = build_cfg(fn)
+        call_nid = self._stmt_nid(cfg, fn, 3)
+        fin_nid = self._stmt_nid(cfg, fn, 5)
+        # no path (normal or exceptional) dodges the finally body
+        assert not cfg.reaches_exit_avoiding(call_nid, {fin_nid})
+
+    def test_return_routes_through_finally(self):
+        fn = _fn(
+            "def f(g, h):\n"
+            "    try:\n"
+            "        return g()\n"
+            "    finally:\n"
+            "        h()\n"
+        )
+        cfg = build_cfg(fn)
+        ret_nid = self._stmt_nid(cfg, fn, 3)
+        fin_nid = self._stmt_nid(cfg, fn, 5)
+        assert not cfg.reaches_exit_avoiding(ret_nid, {fin_nid})
+
+    def test_while_loop_back_edge(self):
+        fn = _fn(
+            "def f(n):\n"
+            "    i = 0\n"
+            "    while i < n:\n"
+            "        i += 1\n"
+            "    return i\n"
+        )
+        cfg = build_cfg(fn)
+        body_nid = self._stmt_nid(cfg, fn, 4)
+        test_nid = self._stmt_nid(cfg, fn, 3)
+        assert test_nid in cfg.succ[body_nid]
+
+
+class TestCallGraphAndTaint:
+    def test_self_call_binds_to_own_class(self):
+        mod = _module(
+            "repro/machine/x.py",
+            "class A:\n"
+            "    def top(self):\n"
+            "        return self.helper()\n"
+            "    def helper(self):\n"
+            "        return 1\n"
+            "class B:\n"
+            "    def helper(self):\n"
+            "        return 2\n",
+        )
+        symbols = build_symbols([mod])
+        graph = build_call_graph(symbols)
+        callees = graph.callees_of("repro/machine/x.py::A.top")
+        assert callees == {"repro/machine/x.py::A.helper"}
+
+    def test_returns_source_through_local_and_dict(self):
+        direct = _fn("def f(api):\n    return api.send_buffer('b')\n")
+        via_local = _fn(
+            "def f(api):\n    ev = api.send_buffer('b')\n    return ev\n"
+        )
+        via_dict = _fn(
+            "def f(api):\n"
+            "    evs = {}\n"
+            "    evs['x'] = api.send_buffer('b')\n"
+            "    return evs\n"
+        )
+        laundered = _fn("def f(api):\n    return len(api.queue)\n")
+
+        def source(call):
+            return (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "send_buffer"
+            )
+
+        assert returns_source(direct, source)
+        assert returns_source(via_local, source)
+        assert returns_source(via_dict, source)
+        assert not returns_source(laundered, source)
+
+
+# ---------------------------------------------------------------------------
+# REPRO501 send-completion-escape
+# ---------------------------------------------------------------------------
+
+
+class TestSendCompletionEscape:
+    WRAPPER = (
+        "def kick(api, buf):\n"
+        "    ev = api.send_buffer(buf)\n"
+        "    return ev\n"
+    )
+
+    def test_dropped_wrapper_result_fires(self, tmp_path):
+        files = {
+            "repro/comms/helper.py": self.WRAPPER,
+            "repro/machine/user.py": (
+                "from repro.comms.helper import kick\n\n"
+                "def go(api, buf):\n"
+                "    kick(api, buf)\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO501"])
+        assert rules_fired(result) == ["REPRO501"]
+        assert "kick" in result.findings[0].message
+
+    def test_consumed_wrapper_result_passes(self, tmp_path):
+        files = {
+            "repro/comms/helper.py": self.WRAPPER,
+            "repro/machine/user.py": (
+                "def go(api, buf):\n"
+                "    ev = kick(api, buf)\n"
+                "    yield ev\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO501"])
+        assert result.clean
+
+    def test_dead_store_of_send_event_fires(self, tmp_path):
+        files = {
+            "repro/machine/user.py": (
+                "def go(api, buf):\n"
+                "    ev = api.send_buffer(buf)\n"
+                "    return None\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO501"])
+        assert rules_fired(result) == ["REPRO501"]
+        assert "'ev'" in result.findings[0].message
+
+    def test_container_escape_two_levels_fires(self, tmp_path):
+        files = {
+            "repro/comms/helper.py": (
+                "def kicks(api):\n"
+                "    evs = {}\n"
+                "    evs['x'] = api.send_buffer('b')\n"
+                "    return evs\n"
+                "def rekick(api):\n"
+                "    return kicks(api)\n"
+            ),
+            "repro/machine/user.py": (
+                "def go(api):\n"
+                "    rekick(api)\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO501"])
+        assert rules_fired(result) == ["REPRO501"]
+
+    def test_base_family_drop_left_to_repro201(self, tmp_path):
+        # a bare api.send_buffer() drop is REPRO201's finding, not ours
+        files = {
+            "repro/machine/user.py": (
+                "def go(api, buf):\n"
+                "    api.send_buffer(buf)\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO501"])
+        assert result.clean
+        result = lint_files(tmp_path, files, ["REPRO201"])
+        assert rules_fired(result) == ["REPRO201"]
+
+    def test_ambiguous_callee_does_not_fire(self, tmp_path):
+        # two defs share the name; only one returns an event -> no fire
+        files = {
+            "repro/comms/helper.py": self.WRAPPER,
+            "repro/sim/other.py": "def kick(api, buf):\n    return 0\n",
+            "repro/machine/user.py": (
+                "def go(api, buf):\n"
+                "    kick(api, buf)\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO501"])
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# REPRO502 claim-release-balance
+# ---------------------------------------------------------------------------
+
+
+class TestClaimReleaseBalance:
+    def test_handler_path_leaks_claim_fires(self, tmp_path):
+        src = (
+            "def xfer(san, api, ev):\n"
+            "    claim = san.dma_begin('halo', 0, 4)\n"
+            "    try:\n"
+            "        yield ev\n"
+            "    except LinkDownError:\n"
+            "        return\n"
+            "    san.dma_end(claim)\n"
+        )
+        result = lint_files(tmp_path, {"repro/machine/x.py": src}, ["REPRO502"])
+        assert rules_fired(result) == ["REPRO502"]
+        assert "claim" in result.findings[0].message
+
+    def test_early_return_leaks_claim_fires(self, tmp_path):
+        src = (
+            "def xfer(san, fast):\n"
+            "    claim = san.dma_begin('halo', 0, 4)\n"
+            "    if fast:\n"
+            "        return None\n"
+            "    san.dma_end(claim)\n"
+        )
+        result = lint_files(tmp_path, {"repro/machine/x.py": src}, ["REPRO502"])
+        assert rules_fired(result) == ["REPRO502"]
+
+    def test_finally_release_passes(self, tmp_path):
+        src = (
+            "def xfer(san, ev):\n"
+            "    claim = san.dma_begin('halo', 0, 4)\n"
+            "    try:\n"
+            "        yield ev\n"
+            "    finally:\n"
+            "        san.dma_end(claim)\n"
+        )
+        result = lint_files(tmp_path, {"repro/machine/x.py": src}, ["REPRO502"])
+        assert result.clean
+
+    def test_callback_handoff_passes(self, tmp_path):
+        # the scu.py idiom: the claim rides a completion callback
+        src = (
+            "def xfer(san, unit, words):\n"
+            "    claim = san.dma_begin('halo', 0, 4)\n"
+            "    done = unit.start(words)\n"
+            "    done.add_callback(lambda _e, c=claim, s=san: s.dma_end(c))\n"
+            "    return done\n"
+        )
+        result = lint_files(tmp_path, {"repro/machine/x.py": src}, ["REPRO502"])
+        assert result.clean
+
+    def test_handler_release_on_both_paths_passes(self, tmp_path):
+        src = (
+            "def xfer(san, ev):\n"
+            "    claim = san.dma_begin('halo', 0, 4)\n"
+            "    try:\n"
+            "        yield ev\n"
+            "    except LinkDownError:\n"
+            "        san.dma_end(claim)\n"
+            "        raise\n"
+            "    san.dma_end(claim)\n"
+        )
+        result = lint_files(tmp_path, {"repro/machine/x.py": src}, ["REPRO502"])
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# REPRO503 flop-charge-coverage
+# ---------------------------------------------------------------------------
+
+
+class TestFlopChargeCoverage:
+    HELPER = (
+        "import numpy as np\n\n"
+        "def matvec(u, v):\n"
+        "    return np.einsum('ij,j->i', u, v)\n"
+    )
+
+    def test_uncharged_chain_fires(self, tmp_path):
+        files = {
+            "repro/parallel/ops.py": (
+                self.HELPER + "\ndef entry(api, u, v):\n    return matvec(u, v)\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO503"])
+        assert rules_fired(result) == ["REPRO503"]
+        assert "einsum" in result.findings[0].message
+
+    def test_caller_charges_passes(self, tmp_path):
+        files = {
+            "repro/parallel/ops.py": (
+                self.HELPER
+                + "\ndef entry(api, u, v):\n"
+                "    out = matvec(u, v)\n"
+                "    yield api.compute(66, kernel='dslash')\n"
+                "    return out\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO503"])
+        assert result.clean
+
+    def test_self_charging_helper_passes(self, tmp_path):
+        files = {
+            "repro/parallel/ops.py": (
+                "import numpy as np\n\n"
+                "def entry(api, u, v):\n"
+                "    out = np.einsum('ij,j->i', u, v)\n"
+                "    yield api.compute(66, kernel='dslash')\n"
+                "    return out\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO503"])
+        assert result.clean
+
+    def test_deep_uncharged_chain_fires_at_kernel(self, tmp_path):
+        files = {
+            "repro/parallel/ops.py": (
+                self.HELPER
+                + "\ndef mid(u, v):\n"
+                "    return matvec(u, v)\n"
+                "\ndef entry(api, u, v):\n"
+                "    return mid(u, v)\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO503"])
+        assert rules_fired(result) == ["REPRO503"]
+        assert len(result.findings) == 1  # only the kernel site, not mid
+
+    def test_outside_parallel_package_ignored(self, tmp_path):
+        files = {
+            "repro/host/ops.py": (
+                self.HELPER + "\ndef entry(api, u, v):\n    return matvec(u, v)\n"
+            ),
+        }
+        result = lint_files(tmp_path, files, ["REPRO503"])
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# REPRO504 snapshot-completeness
+# ---------------------------------------------------------------------------
+
+
+SNAPSHOT_CLASS = """\
+class Unit:
+    _SNAPSHOT_ATTRS = ({attrs})
+{transient}
+    def __init__(self):
+        self.count = 0
+        self.mode = "idle"
+
+    def bump(self):
+        self.count += 1
+        self.mode = "run"
+
+    def snapshot_state(self):
+        return {{n: getattr(self, n) for n in self._SNAPSHOT_ATTRS}}
+
+    def restore_state(self, state):
+        for n, v in sorted(state.items()):
+            setattr(self, n, v)
+"""
+
+
+class TestSnapshotCompleteness:
+    def test_unsnapshotted_mutation_fires(self, tmp_path):
+        src = SNAPSHOT_CLASS.format(attrs="'count',", transient="")
+        result = lint_files(tmp_path, {"repro/machine/u.py": src}, ["REPRO504"])
+        assert rules_fired(result) == ["REPRO504"]
+        assert "Unit.mode" in result.findings[0].message
+
+    def test_snapshot_attrs_covers(self, tmp_path):
+        src = SNAPSHOT_CLASS.format(attrs="'count', 'mode'", transient="")
+        result = lint_files(tmp_path, {"repro/machine/u.py": src}, ["REPRO504"])
+        assert result.clean
+
+    def test_transient_declaration_covers(self, tmp_path):
+        src = SNAPSHOT_CLASS.format(
+            attrs="'count',", transient="    _SNAPSHOT_TRANSIENT = ('mode',)\n"
+        )
+        result = lint_files(tmp_path, {"repro/machine/u.py": src}, ["REPRO504"])
+        assert result.clean
+
+    def test_handwritten_restore_missing_attr_fires(self, tmp_path):
+        src = (
+            "class Unit:\n"
+            "    _SNAPSHOT_ATTRS = ('count', 'mode')\n\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "        self.mode = 'idle'\n\n"
+            "    def bump(self):\n"
+            "        self.count += 1\n"
+            "        self.mode = 'run'\n\n"
+            "    def snapshot_state(self):\n"
+            "        return {n: getattr(self, n) for n in self._SNAPSHOT_ATTRS}\n\n"
+            "    def restore_state(self, state):\n"
+            "        self.count = state['count']\n"
+        )
+        result = lint_files(tmp_path, {"repro/machine/u.py": src}, ["REPRO504"])
+        assert rules_fired(result) == ["REPRO504"]
+        assert "restore" in result.findings[0].message
+
+    def test_class_without_snapshot_state_ignored(self, tmp_path):
+        src = (
+            "class Free:\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n\n"
+            "    def bump(self):\n"
+            "        self.x += 1\n"
+        )
+        result = lint_files(tmp_path, {"repro/machine/u.py": src}, ["REPRO504"])
+        assert result.clean
+
+
+# ---------------------------------------------------------------------------
+# the gate: src/ is clean under the whole flow family
+# ---------------------------------------------------------------------------
+
+
+class TestSourceTreeFlowClean:
+    def test_source_tree_clean_under_flow_rules(self):
+        engine = LintEngine(
+            rules=[get_rule(r) for r in FLOW_RULES], allowlist=Allowlist.empty()
+        )
+        result = engine.run([SRC.parent])
+        assert result.findings == [], [f.format() for f in result.findings]
+
+    def test_flow_rules_are_whole_program(self):
+        for rule_id in FLOW_RULES:
+            assert get_rule(rule_id).whole_program
+        for rule_id in ("REPRO101", "REPRO201", "REPRO303", "REPRO401"):
+            assert not get_rule(rule_id).whole_program
+
+
+# ---------------------------------------------------------------------------
+# runtime regressions for the REPRO504 findings this PR fixed
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotRegressions:
+    DIMS = (2, 1, 1, 1, 1, 1)
+
+    def test_transient_declarations_stay_disjoint(self):
+        for cls in (SendUnit, RecvUnit, SerialLink):
+            overlap = set(cls._SNAPSHOT_ATTRS) & set(cls._SNAPSHOT_TRANSIENT)
+            assert not overlap, f"{cls.__name__}: {overlap}"
+
+    def test_serial_link_in_transit_round_trips(self):
+        machine = QCDOCMachine(MachineConfig(dims=self.DIMS))
+        link = next(iter(machine.network.links.values()))
+        assert "in_transit" in SerialLink._SNAPSHOT_ATTRS
+        link.in_transit = 3
+        snap = link.snapshot_state()
+        assert snap["in_transit"] == 3
+        link.in_transit = 0
+        link.restore_state(snap)
+        assert link.in_transit == 3
+
+    def test_send_unit_consec_resends_round_trips(self):
+        machine = QCDOCMachine(MachineConfig(dims=self.DIMS))
+        scu = machine.nodes[0].scu
+        unit = next(iter(scu.send_units.values()))
+        unit._consec_resends = 2
+        snap = unit.snapshot_state()
+        assert snap["_consec_resends"] == 2
+        unit._consec_resends = 0
+        unit.restore_state(snap)
+        assert unit._consec_resends == 2
+
+    def test_scu_draining_round_trips(self):
+        machine = QCDOCMachine(MachineConfig(dims=self.DIMS))
+        scu = machine.nodes[0].scu
+        scu._draining = True
+        snap = scu.snapshot_state()
+        assert snap["draining"] is True
+        scu._draining = False
+        scu.restore_state(snap)
+        assert scu._draining is True

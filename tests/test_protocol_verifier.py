@@ -1,0 +1,278 @@
+"""SCU protocol state-machine verifier suite (PR 9).
+
+Four layers:
+
+1. **The verdict** — the full default matrix (word_batch 1 and
+   FACE_BATCH, fault budgets, drain variants) passes against the
+   production ``scu.py``, and conformance finds every spec'd guard.
+2. **Mutation catching** — clearing each safety-critical
+   :class:`SpecToggles` flag makes the enumeration fail (the
+   acceptance criterion: a seeded spec bug is demonstrably caught);
+   the four guards that are provably redundant within the model's
+   bounds are pinned as such.
+3. **Conformance drift** — doctoring the production source (deleting
+   a guard textually) is reported against the right toggle.
+4. **Runtime regressions** — the two protocol bugs the enumeration
+   found in ``scu.py`` (stale post-completion duplicates idle-held
+   into the next transfer; idle-receive duplicates leaking window
+   credit) stay fixed at the RecvUnit level.
+"""
+
+import inspect
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.protocol import (
+    DEFAULT_SPEC,
+    ModelConfig,
+    check_conformance,
+    explore,
+    verify_protocol,
+)
+from repro.analysis.protocol.model import FACE, initial_state, successors
+from repro.analysis.protocol.verifier import default_matrix
+from repro.machine import scu as scu_module
+from repro.machine.asic import MachineConfig
+from repro.machine.machine import QCDOCMachine
+from repro.machine.packets import Frame, PacketType
+
+pytestmark = pytest.mark.analysis
+
+DIMS = (2, 1, 1, 1, 1, 1)
+
+
+def words(*vals):
+    return np.array(vals, dtype=np.uint64)
+
+
+# ---------------------------------------------------------------------------
+# the verdict
+# ---------------------------------------------------------------------------
+
+
+class TestVerdict:
+    def test_full_default_verification_passes(self):
+        report = verify_protocol()
+        assert report.conformance_failures == []
+        assert report.ok, report.format()
+        # every cell completed at least one quiesced execution
+        for result in report.results:
+            assert result.completed_runs >= 1, result.format()
+
+    def test_word_batch_one_cell(self):
+        result = explore(ModelConfig(n=3, batch=1, faults=1, drain=True))
+        assert result.ok, result.format()
+
+    def test_face_batch_cell(self):
+        result = explore(ModelConfig(n=3, batch=FACE, faults=1, drain=True))
+        assert result.ok, result.format()
+
+    def test_matrix_covers_required_axes(self):
+        matrix = default_matrix()
+        assert {c.batch for c in matrix} == {1, FACE}
+        assert {c.faults for c in matrix} == {0, 1}
+        assert {c.drain for c in matrix} == {False, True}
+        # the tighter-window cells that observe ack-window violations
+        assert any(c.resolved_window < c.idle_hold for c in matrix)
+
+    def test_exploration_is_deterministic(self):
+        cfg = ModelConfig(n=2, batch=1, faults=1, drain=True)
+        a, b = explore(cfg), explore(cfg)
+        assert (a.states, a.completed_runs) == (b.states, b.completed_runs)
+
+
+# ---------------------------------------------------------------------------
+# mutation catching
+# ---------------------------------------------------------------------------
+
+
+#: safety-critical guards: clearing any must fail the default matrix
+CAUGHT = (
+    "ack_window_guard",
+    "corrupt_resend",
+    "stale_eot_filter",
+    "idle_dup_silence",
+    "eot_after_drain",
+    "eot_accounting",
+)
+
+#: redundant-within-bounds guards (see the model module docstring):
+#: go-back-N rewind + FIFO wires make these latency/robustness-only
+REDUNDANT = (
+    "gap_resend",
+    "dup_reack",
+    "resend_rewind_floor",
+    "ack_monotonic",
+    "idle_hold_guard",
+)
+
+
+class TestMutations:
+    @pytest.mark.parametrize("toggle", CAUGHT)
+    def test_seeded_spec_bug_is_caught(self, toggle):
+        spec = replace(DEFAULT_SPEC, **{toggle: False})
+        report = verify_protocol(spec=spec)
+        assert not report.ok, f"dropping {toggle} went unnoticed"
+        # conformance skips disabled toggles, so the catch is the model's
+        assert report.conformance_failures == []
+
+    @pytest.mark.parametrize("toggle", REDUNDANT)
+    def test_redundant_guard_documented(self, toggle):
+        spec = replace(DEFAULT_SPEC, **{toggle: False})
+        report = verify_protocol(spec=spec)
+        assert report.ok, (
+            f"{toggle} became safety-critical: move it to CAUGHT and "
+            "update the model docstring\n" + report.format()
+        )
+
+    def test_window_mutation_names_the_violation(self):
+        spec = replace(DEFAULT_SPEC, ack_window_guard=False)
+        result = explore(
+            ModelConfig(n=3, batch=1, window=2, drain=True, toggles=spec)
+        )
+        assert not result.ok
+        kinds = {v.kind for v in result.violations}
+        assert kinds & {"window-exceeded", "idle-hold-overflow"}
+
+    def test_stale_eot_mutation_reproduces_the_found_bug(self):
+        # the held-stale-duplicate bug the enumeration originally found
+        spec = replace(DEFAULT_SPEC, stale_eot_filter=False)
+        result = explore(
+            ModelConfig(n=2, batch=1, faults=1, drain=False, toggles=spec)
+        )
+        assert not result.ok
+        assert any(v.kind == "deadlock" and "held=" in v.message
+                   for v in result.violations)
+
+    def test_violation_traces_are_replayable(self):
+        # every reported trace is a genuine action path from the initial
+        # state: replay it through successors() step by step
+        spec = replace(DEFAULT_SPEC, stale_eot_filter=False)
+        cfg = ModelConfig(n=2, batch=1, faults=1, drain=False, toggles=spec)
+        result = explore(cfg)
+        assert result.violations
+        trace = result.violations[0].trace
+        state = initial_state(cfg)
+        for label in trace:
+            succ = dict(successors(state, cfg))
+            assert label in succ, f"trace step {label} not enabled"
+            state = succ[label]
+            if not hasattr(state, "s_base"):  # reached the Violation
+                break
+
+
+# ---------------------------------------------------------------------------
+# conformance drift
+# ---------------------------------------------------------------------------
+
+
+class TestConformance:
+    @pytest.fixture(scope="class")
+    def production_source(self):
+        return inspect.getsource(scu_module)
+
+    def test_production_source_conforms(self, production_source):
+        assert check_conformance(production_source) == []
+
+    def test_doctored_ack_guard_is_reported(self, production_source):
+        doctored = production_source.replace(
+            "if seq > self.base:", "if True:"
+        )
+        assert doctored != production_source
+        failures = check_conformance(doctored)
+        assert any("ack_monotonic" in f for f in failures)
+
+    def test_doctored_rewind_floor_is_reported(self, production_source):
+        doctored = production_source.replace(
+            "self.next = max(seq, self.base)", "self.next = seq"
+        )
+        assert doctored != production_source
+        failures = check_conformance(doctored)
+        assert any("resend_rewind_floor" in f for f in failures)
+
+    def test_doctored_window_guard_is_reported(self, production_source):
+        doctored = production_source.replace(
+            "in_flight < self.window", "True"
+        )
+        assert doctored != production_source
+        failures = check_conformance(doctored)
+        assert any("ack_window_guard" in f for f in failures)
+
+    def test_disabled_toggle_skips_its_matcher(self, production_source):
+        doctored = production_source.replace(
+            "self.next = max(seq, self.base)", "self.next = seq"
+        )
+        spec = replace(DEFAULT_SPEC, resend_rewind_floor=False)
+        assert check_conformance(doctored, spec) == []
+
+    def test_gutted_source_fails_every_guard(self):
+        failures = check_conformance("class SendUnit:\n    pass\n")
+        assert len(failures) == len(
+            [f for f in DEFAULT_SPEC.__dataclass_fields__]
+        )
+
+
+# ---------------------------------------------------------------------------
+# runtime regressions for the two bugs the enumeration found
+# ---------------------------------------------------------------------------
+
+
+class TestRecvUnitRegressions:
+    def _recv_unit(self):
+        machine = QCDOCMachine(MachineConfig(dims=DIMS))
+        machine.bring_up()
+        node = machine.nodes[0]
+        node.memory.alloc("recv", np.zeros(8, dtype=np.uint64))
+        return next(iter(node.scu.recv_units.values()))
+
+    def test_stale_frame_discarded_while_eot_owed(self):
+        unit = self._recv_unit()
+        # a transfer just completed its wire side: EOT still in flight
+        unit._eot_due.append(4)
+        before = (unit.expected, unit.held_words, unit.acks_sent)
+        unit.on_data(Frame(PacketType.NORMAL, words(7), seq=0))
+        assert unit.stale_frames_discarded == 1
+        # the stale duplicate advanced nothing and was not held
+        assert (unit.expected, unit.held_words, unit.acks_sent) == before
+        assert unit.held == []
+
+    def test_eot_still_accounted_after_stale_discard(self):
+        unit = self._recv_unit()
+        unit._eot_due.append(4)
+        unit.on_data(Frame(PacketType.NORMAL, words(7), seq=0))
+        unit.on_eot(4)  # the owed EOT arrives and pops cleanly
+        assert unit._eot_due == []
+
+    def test_idle_duplicate_returns_no_window_credit(self):
+        unit = self._recv_unit()
+        # idle receive: two words held, none accepted (descriptor unset)
+        unit.on_data(Frame(PacketType.NORMAL, words(1), seq=0))
+        unit.on_data(Frame(PacketType.NORMAL, words(2), seq=1))
+        assert unit.held_words == 2 and unit.descriptor is None
+        acks_before = unit.acks_sent
+        # a resend-rewind duplicate of word 0 arrives
+        unit.on_data(Frame(PacketType.NORMAL, words(1), seq=0))
+        assert unit.idle_dups_discarded == 1
+        assert unit.acks_sent == acks_before, "held words returned credit"
+        assert unit.held_words == 2
+
+    def test_posted_duplicate_still_reacked(self):
+        unit = self._recv_unit()
+        from repro.machine.scu import DmaDescriptor
+
+        unit.post(DmaDescriptor(buffer="recv", block_len=4))
+        unit.on_data(Frame(PacketType.NORMAL, words(1), seq=0))
+        acks_before = unit.acks_sent
+        unit.on_data(Frame(PacketType.NORMAL, words(1), seq=0))  # duplicate
+        assert unit.acks_sent == acks_before + 1, "posted re-ack regressed"
+        assert unit.idle_dups_discarded == 0
+
+    def test_new_counters_snapshot(self):
+        unit = self._recv_unit()
+        unit.stale_frames_discarded = 5
+        unit.idle_dups_discarded = 2
+        snap = unit.snapshot_state()
+        assert snap["stale_frames_discarded"] == 5
+        assert snap["idle_dups_discarded"] == 2

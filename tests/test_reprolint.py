@@ -514,6 +514,7 @@ class TestCLI:
             "parse_errors",
             "clean",
             "unused_allowlist_entries",
+            "stale_allowlist_entries",
         }
         assert payload["clean"] is False
         finding = payload["findings"][0]

@@ -38,7 +38,20 @@ from repro.telemetry.schema import (
 
 pytestmark = pytest.mark.telemetry
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+#: every tree whose trace emissions must agree with the registry.
+#: ``tests/`` is deliberately absent: fixtures there emit bogus tags on
+#: purpose (to exercise validate_record and the REPRO303 rule itself).
+SCAN_ROOTS = (SRC, REPO / "benchmarks", REPO / "examples")
+
+
+def _scan_tree(root):
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for call, tag, fields in _emit_in_tree(tree):
+            yield path.relative_to(root), call.lineno, tag, fields
 
 
 def emit_call_sites():
@@ -49,10 +62,14 @@ def emit_call_sites():
     (the REPRO303 rule) — migrated there from this module so the lint
     gate and this suite share one implementation.
     """
-    for path in sorted(SRC.rglob("*.py")):
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for call, tag, fields in _emit_in_tree(tree):
-            yield path.relative_to(SRC), call.lineno, tag, fields
+    yield from _scan_tree(SRC)
+
+
+def emit_call_sites_everywhere():
+    """The same scan over *all* trees in :data:`SCAN_ROOTS`."""
+    for root in SCAN_ROOTS:
+        for f, line, tag, fields in _scan_tree(root):
+            yield root.name, f, line, tag, fields
 
 
 # ---------------------------------------------------------------------------
@@ -69,6 +86,7 @@ def test_source_scan_finds_emissions():
         "machine/node.py",
         "machine/interrupts.py",
         "machine/globalops.py",
+        "machine/replay.py",
         "parallel/pcg.py",
     ):
         assert expected in files, f"no emit() found in {expected}"
@@ -98,6 +116,37 @@ def test_emitted_fields_match_schema_exactly():
                 )
             )
     assert drift == [], f"field drift (file, line, tag, missing, extra): {drift}"
+
+
+def test_whole_tree_tags_and_fields_agree_with_registry():
+    """Drift scan over src + benchmarks + examples (NOT tests/).
+
+    Benchmarks and examples emit through the same registry as the
+    simulator proper; a tag invented in a bench script would otherwise
+    rot silently because the lint gate only scans ``src/``."""
+    problems = []
+    for root, f, line, tag, fields in emit_call_sites_everywhere():
+        expected = TRACE_SCHEMA.get(tag)
+        if expected is None:
+            problems.append((root, str(f), line, tag, "unregistered"))
+        elif fields != expected:
+            problems.append(
+                (
+                    root,
+                    str(f),
+                    line,
+                    tag,
+                    f"missing={sorted(expected - fields)} "
+                    f"extra={sorted(fields - expected)}",
+                )
+            )
+    assert problems == [], f"trace-tag drift outside src/: {problems}"
+
+
+def test_scan_roots_exist_and_exclude_tests():
+    for root in SCAN_ROOTS:
+        assert root.is_dir(), f"scan root vanished: {root}"
+    assert REPO / "tests" not in SCAN_ROOTS
 
 
 def test_every_registered_tag_is_emitted_somewhere():
