@@ -23,9 +23,12 @@ bench:
 	$(PYTEST) benchmarks -q
 
 ## quick dslash timing smoke: half-spinor comms vs the full-spinor seed
-## path + memoised vs rebuilt gather tables; writes BENCH_dslash.json
+## path + memoised vs rebuilt gather tables; writes BENCH_dslash.json,
+## then the E18 dynamical-HMC chaos run (fault/remap/resume), which
+## writes BENCH_hmc.json
 bench-smoke:
 	$(PYTEST) benchmarks/bench_dslash_smoke.py -m perf -q -s
+	$(PYTEST) benchmarks/bench_e18_dynamical_hmc.py -m perf -q -s
 
 ## telemetry invariants: counter conservation, trace-schema registry,
 ## fault-injection accounting, measured-vs-model crosscheck
@@ -85,8 +88,13 @@ verify-hotpath:
 verify-service:
 	$(PYTEST) -m service -q
 
+## distributed dynamical-fermion HMC: serial-vs-machine bit-identity,
+## force-kernel crosscheck/sanitizer runs, checkpoint/rebind resume
+verify-hmc:
+	$(PYTEST) -m hmc -q
+
 ## what CI gates a merge on: tier-1 + overlap bit-exactness + static
 ## analysis (incl. whole-program flow + the protocol verifier) + the
-## race sanitizer + the hard-fault + sharding + hot-path suites
-verify: test overlap lint verify-flow verify-sanitizer verify-faults verify-sharding verify-hotpath verify-service
-	@echo "verify: tier-1 + overlap + lint + flow/protocol + sanitizer + faults + sharding + hotpath + service green"
+## race sanitizer + the hard-fault + sharding + hot-path + HMC suites
+verify: test overlap lint verify-flow verify-sanitizer verify-faults verify-sharding verify-hotpath verify-service verify-hmc
+	@echo "verify: tier-1 + overlap + lint + flow/protocol + sanitizer + faults + sharding + hotpath + service + hmc green"

@@ -52,6 +52,43 @@ STAGGERED_DIAG_FLOPS = 12  # m * chi over 6 real components
 #: diagonal and the two chiral-projector hops in the 5th dimension
 DWF_5D_EXTRA_FLOPS = DIAG_AXPY_FLOPS + 2 * (12 * CADD)  # = 96
 
+# -- two-flavor Wilson fermion force (dynamical HMC) -------------------------
+# F_mu(x) = (1/2) TA[U_mu(x) B1(x) - D2(x) U_mu(x)^+] with B1/D2 colour
+# outer products of X and the (r -+ gamma_mu)-projected Y (derivation in
+# repro.hmc.pseudofermion.TwoFlavorWilsonHMC.fermion_force).
+
+#: one (r -+ gamma_mu) projection of a spinor site: gamma_mu is a signed
+#: spin permutation (12 complex adds against r*psi) after the 24-real-
+#: component scaling of psi by r
+WILSON_FORCE_PROJ_FLOPS = SPINOR_WORDS + 12 * CADD  # = 48
+
+#: the two 3x3 colour outer products (B1 and D2): 9 entries each, spin
+#: contraction of length 4 = 4 cmul + 3 cadd per entry
+WILSON_FORCE_OUTER_FLOPS = 2 * 9 * (4 * CMUL + 3 * CADD)  # = 540
+
+#: U B1 and D2 U^+ — two 3x3 complex matrix products
+WILSON_FORCE_MATMUL_FLOPS = 2 * (27 * CMUL + 18 * CADD)  # = 396
+
+#: grad = U B1 - D2 U^+ (9 cadds), then TA(grad): the anti-hermitian
+#: part (9 cadds + 18 real halvings), trace removal (2 cadds + 3
+#: diagonal subtractions = 6 flops + the /3) and the final 0.5 scaling
+#: over 18 real components
+WILSON_FORCE_TA_FLOPS = 9 * CADD + (9 * CADD + 18) + (2 * CADD + 8) + 18  # = 84
+
+#: per site, per direction mu — both projections of Y, the outer
+#: products, the link sandwiches and the TA projection
+WILSON_FORCE_FLOPS_PER_DIRECTION = (
+    2 * WILSON_FORCE_PROJ_FLOPS
+    + WILSON_FORCE_OUTER_FLOPS
+    + WILSON_FORCE_MATMUL_FLOPS
+    + WILSON_FORCE_TA_FLOPS
+)  # = 1116
+
+#: per received forward-face site on a decomposed axis the receiver
+#: recomputes (r + gamma_mu) Y locally on the halo rows (projection
+#: commutes with the transfer, keeping the wire at raw spinors)
+WILSON_FORCE_HALO_PROJ_FLOPS = WILSON_FORCE_PROJ_FLOPS
+
 
 @dataclass(frozen=True)
 class OperatorCost:

@@ -1,14 +1,23 @@
-"""Checkpoint/restart for the pure-gauge HMC evolution.
+"""Checkpoint/restart for HMC evolutions, pure-gauge and dynamical.
 
-Because every random draw in :class:`repro.hmc.hmc.HMC` comes from a
-named stream keyed by the trajectory index (``(seed, "momenta/<k>")``,
-``(seed, "metropolis/<k>")``), the full evolution is a pure function of
-``(initial configuration, seed)``: an evolution killed after trajectory
-``k`` and restarted from a snapshot of ``(links, k, history)`` replays
-trajectories ``k, k+1, ...`` with *exactly* the random numbers the
-uninterrupted run would have drawn — the resumed chain is identical in
-all bits (the paper's section-4 verification criterion, extended to the
-companion papers' fail/remap/resume operating mode).
+Because every random draw in the HMC drivers comes from a named stream
+keyed by the trajectory index (``(seed, "momenta/<k>")``,
+``(seed, "eta/<k>")``, ``(seed, "metropolis/<k>")``), the full evolution
+is a pure function of ``(initial configuration, seed)``: an evolution
+killed after trajectory ``k`` and restarted from a snapshot of
+``(links, k, history)`` replays trajectories ``k, k+1, ...`` with
+*exactly* the random numbers the uninterrupted run would have drawn —
+the resumed chain is identical in all bits (the paper's section-4
+verification criterion, extended to the companion papers'
+fail/remap/resume operating mode).
+
+The same snapshot serves all three drivers — the pure-gauge
+:class:`repro.hmc.hmc.HMC`, the serial
+:class:`repro.hmc.pseudofermion.TwoFlavorWilsonHMC` and the
+machine-distributed :class:`repro.parallel.phmc.DistributedTwoFlavorHMC` —
+the dynamical ones additionally carrying the ``cg_iterations`` audit
+trail, so a resumed dynamical chain reports the same solver history as
+the uninterrupted run.
 
 The snapshot deliberately excludes the integrator/step parameters: those
 belong to the job script, and restoring onto a differently-configured
@@ -18,12 +27,20 @@ driver is a *user* error the restore guards against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Union
 
 import numpy as np
 
 from repro.hmc.hmc import HMC, TrajectoryResult
+from repro.hmc.pseudofermion import TwoFlavorWilsonHMC
 from repro.util.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.phmc import DistributedTwoFlavorHMC
+
+#: Any driver with the (gauge, seed, trajectory_index, history) state
+#: contract; dynamical drivers additionally expose ``cg_iterations``.
+AnyHMC = Union[HMC, TwoFlavorWilsonHMC, "DistributedTwoFlavorHMC"]
 
 
 @dataclass(frozen=True)
@@ -39,32 +56,47 @@ class HMCCheckpoint:
     trajectory_index: int
     seed: int
     history: List[TrajectoryResult] = field(default_factory=list)
+    #: per-solve CG iteration counts (``None`` for pure-gauge drivers)
+    cg_iterations: Optional[List[int]] = None
 
     @classmethod
-    def save(cls, hmc: HMC) -> "HMCCheckpoint":
+    def save(cls, hmc: AnyHMC) -> "HMCCheckpoint":
         """Snapshot the driver between trajectories."""
+        cg_iterations = getattr(hmc, "cg_iterations", None)
         return cls(
             links=np.array(hmc.gauge.links, copy=True),
             trajectory_index=int(hmc.trajectory_index),
             seed=int(hmc.seed),
             history=list(hmc.history),
+            cg_iterations=None if cg_iterations is None else list(cg_iterations),
         )
 
-    def restore(self, hmc: HMC) -> HMC:
+    def restore(self, hmc: AnyHMC) -> AnyHMC:
         """Load this snapshot into a (fresh or reused) driver in place.
 
         The driver must use the same root seed — restoring a seed-``a``
         snapshot into a seed-``b`` evolution would silently splice two
-        different Markov chains.
+        different Markov chains.  Likewise pure-gauge and dynamical
+        snapshots cannot cross drivers: the actions differ, so the
+        "resumed" chain would not be a continuation of anything.
         """
         if int(hmc.seed) != self.seed:
             raise ConfigError(
                 f"checkpoint was taken at seed {self.seed}, driver has "
                 f"seed {hmc.seed}; refusing to splice chains"
             )
+        dynamical_driver = hasattr(hmc, "cg_iterations")
+        if (self.cg_iterations is not None) != dynamical_driver:
+            kind = "dynamical" if self.cg_iterations is not None else "pure-gauge"
+            raise ConfigError(
+                f"checkpoint is {kind} but the driver is not; "
+                "refusing to splice chains across actions"
+            )
         hmc.gauge.links = np.array(self.links, copy=True)
         hmc.trajectory_index = self.trajectory_index
         hmc.history = list(self.history)
+        if self.cg_iterations is not None:
+            hmc.cg_iterations = list(self.cg_iterations)
         return hmc
 
     def __repr__(self) -> str:
@@ -75,7 +107,7 @@ class HMCCheckpoint:
 
 
 def run_with_checkpoints(
-    hmc: HMC,
+    hmc: AnyHMC,
     n_trajectories: int,
     every: int = 5,
     reunitarise_every: int = 10,

@@ -92,7 +92,7 @@ class HMC:
 
         proposal = self.gauge.copy()
         INTEGRATORS[self.integrator](
-            proposal, momenta, self.action, self.n_steps, self.dt
+            proposal, momenta, self.action.force, self.n_steps, self.dt
         )
         h_new = kinetic_energy(momenta) + self.action(proposal)
         delta_h = h_new - h_old

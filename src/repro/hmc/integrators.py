@@ -8,6 +8,13 @@ Both integrators update ``(U, P)`` in place:
   (Omelyan/Mryglod/Folk), ~1.5-2x smaller energy violations at equal cost,
   the workhorse of production lattice programs.
 
+The force is a plain callable ``force(gauge) -> (ndim, V, 3, 3)`` so the
+same MD loop drives the pure-gauge action, the combined gauge +
+pseudofermion force of :class:`repro.hmc.pseudofermion.TwoFlavorWilsonHMC`,
+and the machine-distributed force of
+:class:`repro.parallel.phmc.DistributedTwoFlavorHMC` — there is exactly
+one Omelyan loop in the tree.
+
 Reversibility (integrate, negate momenta, integrate back, recover the
 start) and O(dt^2) energy conservation are asserted by the test suite —
 they are what make Metropolis exact.
@@ -19,12 +26,15 @@ from typing import Callable, Dict
 
 import numpy as np
 
-from repro.hmc.actions import WilsonGaugeAction
 from repro.lattice.gauge import GaugeField
 from repro.lattice.su3 import expm_su3
 
 #: Omelyan lambda: minimises the norm of the second-order error operator.
 OMELYAN_LAMBDA = 0.1931833275037836
+
+#: ``force(gauge) -> P_dot`` — any molecular-dynamics force, pure-gauge or
+#: gauge + fermion (the HMC drivers close over their pseudofermion field).
+ForceFn = Callable[[GaugeField], np.ndarray]
 
 
 def _drift(gauge: GaugeField, momenta: np.ndarray, dt: float) -> None:
@@ -39,23 +49,23 @@ def _drift(gauge: GaugeField, momenta: np.ndarray, dt: float) -> None:
 def leapfrog(
     gauge: GaugeField,
     momenta: np.ndarray,
-    action: WilsonGaugeAction,
+    force: ForceFn,
     n_steps: int,
     dt: float,
 ) -> None:
     """Standard leapfrog: P(dt/2) [U(dt) P(dt)]^(n-1) U(dt) P(dt/2)."""
-    momenta += (dt / 2.0) * action.force(gauge)
+    momenta += (dt / 2.0) * force(gauge)
     for step in range(n_steps):
         _drift(gauge, momenta, dt)
         if step < n_steps - 1:
-            momenta += dt * action.force(gauge)
-    momenta += (dt / 2.0) * action.force(gauge)
+            momenta += dt * force(gauge)
+    momenta += (dt / 2.0) * force(gauge)
 
 
 def omelyan(
     gauge: GaugeField,
     momenta: np.ndarray,
-    action: WilsonGaugeAction,
+    force: ForceFn,
     n_steps: int,
     dt: float,
     lam: float = OMELYAN_LAMBDA,
@@ -63,13 +73,13 @@ def omelyan(
     """Position-version Omelyan (2MN) integrator."""
     for _ in range(n_steps):
         _drift(gauge, momenta, lam * dt)
-        momenta += (dt / 2.0) * action.force(gauge)
+        momenta += (dt / 2.0) * force(gauge)
         _drift(gauge, momenta, (1.0 - 2.0 * lam) * dt)
-        momenta += (dt / 2.0) * action.force(gauge)
+        momenta += (dt / 2.0) * force(gauge)
         _drift(gauge, momenta, lam * dt)
 
 
-IntegratorFn = Callable[[GaugeField, np.ndarray, WilsonGaugeAction, int, float], None]
+IntegratorFn = Callable[[GaugeField, np.ndarray, ForceFn, int, float], None]
 
 INTEGRATORS: Dict[str, IntegratorFn] = {
     "leapfrog": leapfrog,

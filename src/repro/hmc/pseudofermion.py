@@ -23,8 +23,7 @@ This module implements the standard two-flavor algorithm:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -32,18 +31,17 @@ from repro.fermions.gamma import GAMMA, apply_spin_matrix
 from repro.fermions.wilson import WilsonDirac
 from repro.hmc.actions import WilsonGaugeAction, traceless_antihermitian
 from repro.hmc.hmc import TrajectoryResult, kinetic_energy
-from repro.hmc.integrators import OMELYAN_LAMBDA
+from repro.hmc.integrators import omelyan
 from repro.lattice.gauge import GaugeField
 from repro.lattice.su3 import dagger, expm_su3, random_algebra
-from repro.solvers.cg import cg
+from repro.solvers.cg import cg, mixed_precision_cg
+from repro.solvers.sitedot import canonical_dot
 from repro.util.errors import ConfigError
 from repro.util.rng import rng_stream
 
-
-def _drift(gauge: GaugeField, momenta: np.ndarray, dt: float) -> None:
-    ndim, v = momenta.shape[:2]
-    rot = expm_su3((dt * momenta).reshape(ndim * v, 3, 3)).reshape(ndim, v, 3, 3)
-    gauge.links = rot @ gauge.links
+#: force-solver choices: plain double-precision CG, or mixed-precision CG
+#: with reliable updates (:func:`repro.solvers.cg.mixed_precision_cg`)
+SOLVERS = ("cg", "mixed")
 
 
 class TwoFlavorWilsonHMC:
@@ -59,7 +57,12 @@ class TwoFlavorWilsonHMC:
         dt: float = 0.05,
         cg_tol: float = 1e-10,
         cg_maxiter: int = 4000,
+        solver: str = "cg",
     ):
+        if solver not in SOLVERS:
+            raise ConfigError(
+                f"unknown force solver {solver!r}; options: {list(SOLVERS)}"
+            )
         self.gauge = gauge
         self.gauge_action = WilsonGaugeAction(beta)
         self.mass = float(mass)
@@ -68,6 +71,7 @@ class TwoFlavorWilsonHMC:
         self.dt = float(dt)
         self.cg_tol = float(cg_tol)
         self.cg_maxiter = int(cg_maxiter)
+        self.solver = solver
         self.trajectory_index = 0
         self.history: List[TrajectoryResult] = []
         self.cg_iterations: List[int] = []
@@ -77,9 +81,26 @@ class TwoFlavorWilsonHMC:
         return WilsonDirac(gauge, mass=self.mass)
 
     def _solve_x(self, gauge: GaugeField, phi: np.ndarray) -> np.ndarray:
-        """``X = (D^+ D)^{-1} phi`` by CG on the normal operator."""
+        """``X = (D^+ D)^{-1} phi`` by CG on the normal operator.
+
+        Every inner product is the decomposition-independent
+        :func:`~repro.solvers.sitedot.canonical_dot`, so the machine-
+        distributed driver reproduces this solve bit for bit at any node
+        count.
+        """
         d = self._dirac(gauge)
-        res = cg(d.normal, phi, tol=self.cg_tol, maxiter=self.cg_maxiter)
+        if self.solver == "mixed":
+            res = mixed_precision_cg(
+                d.normal, phi, tol=self.cg_tol, maxiter=self.cg_maxiter
+            )
+        else:
+            res = cg(
+                d.normal,
+                phi,
+                tol=self.cg_tol,
+                maxiter=self.cg_maxiter,
+                dot=canonical_dot,
+            )
         if not res.converged:
             raise ConfigError(
                 f"fermion-force CG failed to converge in {self.cg_maxiter}"
@@ -89,7 +110,7 @@ class TwoFlavorWilsonHMC:
 
     def pseudofermion_action(self, gauge: GaugeField, phi: np.ndarray) -> float:
         x = self._solve_x(gauge, phi)
-        return float(np.vdot(phi, x).real)
+        return float(canonical_dot(phi, x).real)
 
     def fermion_force(self, gauge: GaugeField, phi: np.ndarray) -> np.ndarray:
         """``P_dot`` contribution of ``S_pf`` (traceless anti-hermitian).
@@ -163,27 +184,23 @@ class TwoFlavorWilsonHMC:
         phi = self._dirac(self.gauge).apply_dagger(eta)
         return momenta, eta, phi
 
-    def _integrate(self, gauge: GaugeField, momenta: np.ndarray, phi: np.ndarray):
-        """Omelyan MD with the combined gauge + fermion force."""
-        lam = OMELYAN_LAMBDA
-        dt = self.dt
-        for _ in range(self.n_steps):
-            _drift(gauge, momenta, lam * dt)
-            momenta += (dt / 2.0) * self.total_force(gauge, phi)
-            _drift(gauge, momenta, (1.0 - 2.0 * lam) * dt)
-            momenta += (dt / 2.0) * self.total_force(gauge, phi)
-            _drift(gauge, momenta, lam * dt)
-
     def trajectory(self) -> TrajectoryResult:
         momenta, eta, phi = self.draw_fields()
         # S_pf(start) = eta^+ eta exactly, by construction of phi.
         h_old = (
             kinetic_energy(momenta)
             + self.gauge_action(self.gauge)
-            + float(np.vdot(eta, eta).real)
+            + float(canonical_dot(eta, eta).real)
         )
         proposal = self.gauge.copy()
-        self._integrate(proposal, momenta, phi)
+        # the shared Omelyan loop, closed over the pseudofermion field
+        omelyan(
+            proposal,
+            momenta,
+            lambda g: self.total_force(g, phi),
+            self.n_steps,
+            self.dt,
+        )
         h_new = (
             kinetic_energy(momenta)
             + self.gauge_action(proposal)

@@ -16,10 +16,18 @@ from repro.parallel.pstaggered import DistributedStaggeredContext
 from repro.parallel.pdwf import DistributedDWFContext
 from repro.parallel.pcg import (
     DistributedSolveResult,
+    MachineSiteDot,
+    machine_cg,
     machine_cgne,
+    machine_mixed_cg,
+    machine_multishift_cg,
     solve_dwf_on_machine,
     solve_on_machine,
     solve_staggered_on_machine,
+)
+from repro.parallel.phmc import (
+    DistributedTwoFlavorHMC,
+    multishift_solve_on_machine,
 )
 
 __all__ = [
@@ -28,8 +36,14 @@ __all__ = [
     "DistributedStaggeredContext",
     "DistributedDWFContext",
     "DistributedSolveResult",
+    "MachineSiteDot",
+    "machine_cg",
     "machine_cgne",
+    "machine_mixed_cg",
+    "machine_multishift_cg",
     "solve_on_machine",
     "solve_staggered_on_machine",
     "solve_dwf_on_machine",
+    "DistributedTwoFlavorHMC",
+    "multishift_solve_on_machine",
 ]

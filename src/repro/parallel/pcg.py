@@ -24,6 +24,8 @@ from repro.machine.topology import Partition
 from repro.parallel.decomp import PhysicsMapping
 from repro.parallel.pdirac import DistributedWilsonContext
 from repro.solvers.checkpoint import CGCheckpointStore
+from repro.solvers.kernels import axpy, scale_axpy, xpay
+from repro.solvers.sitedot import reduce_site_inner, site_inner
 from repro.util.errors import ConfigError
 
 
@@ -45,6 +47,233 @@ class DistributedSolveResult:
     @property
     def sustained_flops(self) -> float:
         return self.flops / self.machine_time if self.machine_time > 0 else 0.0
+
+
+class MachineSiteDot:
+    """Canonical inner product through the SCU global-sum tree (generator).
+
+    Bitwise mirror of :func:`repro.solvers.sitedot.canonical_dot`: the
+    rank reduces its own sites locally (per-site, so the partials do not
+    depend on the tiling), scatters them into a zero-padded global site
+    array, and contributes that through the machine's elementwise global
+    sum.  Canonical rank-order accumulation of disjoint zero-padded
+    arrays rebuilds exactly the site array the serial code sums — every
+    rank then finishes with the identical
+    :func:`~repro.solvers.sitedot.reduce_site_inner`, so the dot value
+    is the serial value in all bits at any node count, shard count or
+    word batch.
+
+    Works in any dtype the fields carry — the mixed-precision inner
+    solver routes ``complex64`` site arrays through the same tree.
+    """
+
+    def __init__(self, api, global_sites: np.ndarray, global_volume: int):
+        self.api = api
+        self.global_sites = np.asarray(global_sites)
+        self.global_volume = int(global_volume)
+
+    def __call__(self, u: np.ndarray, v: np.ndarray):
+        site = site_inner(u, v)
+        padded = np.zeros(self.global_volume, dtype=site.dtype)
+        padded[self.global_sites] = site
+        summed = yield self.api.global_sum(padded)
+        return reduce_site_inner(summed)
+
+
+def machine_cg(api, ctx, b, dot, tol, maxiter):
+    """Distributed CG directly on ``ctx.normal`` (generator).
+
+    The HMC force solver: mirrors :func:`repro.solvers.cg.cg` with
+    ``x0=None`` *bit for bit* — same fused vector kernels
+    (:mod:`repro.solvers.kernels`, elementwise so tiling is invisible),
+    same arithmetic order, with every inner product a
+    :class:`MachineSiteDot` — so iteration counts, residual histories
+    and the solution field all match the serial solve exactly.  (The
+    serial solver's audit-only ``true_residual`` applies are skipped:
+    they read the finished solution and touch nothing the evolution
+    consumes.)
+
+    Returns ``(x, converged, iterations, residuals)``.
+    """
+    x = np.zeros_like(b)
+    r = b.copy()
+    p = r.copy()
+    rr = (yield from dot(r, r)).real
+    bb = (yield from dot(b, b)).real
+    if bb == 0.0:
+        return x, True, 0, [0.0]
+    target = tol * tol * bb
+    residuals = [float(np.sqrt(rr / bb))]
+    converged = rr <= target
+    it = 0
+    ws = np.empty_like(b)
+    while not converged and it < maxiter:
+        ap = yield from ctx.normal(p)
+        alpha = rr / (yield from dot(p, ap)).real
+        axpy(alpha, p, x, ws)  # x += alpha p
+        axpy(-alpha, ap, r, ws)  # r -= alpha ap (axpy_norm2, dot split off)
+        rr_new = (yield from dot(r, r)).real
+        beta = rr_new / rr
+        xpay(r, beta, p)  # p <- r + beta p, in place
+        rr = rr_new
+        it += 1
+        residuals.append(float(np.sqrt(rr / bb)))
+        converged = rr <= target
+        if api.trace is not None:
+            api.trace.emit(
+                "cg.iteration",
+                rank=api.rank,
+                iteration=it,
+                residual=residuals[-1],
+            )
+    return x, bool(converged), it, residuals
+
+
+def machine_mixed_cg(api, ctx, b, dot, tol, maxiter, delta=1e-2, max_inner=100):
+    """Distributed mixed-precision CG with reliable updates (generator).
+
+    Bitwise mirror of :func:`repro.solvers.cg.mixed_precision_cg`: the
+    inner defect solve runs entirely in ``complex64`` — vectors, fused
+    kernels and the canonical site dots (which flow through the global-
+    sum tree in single precision too) — while each operator application
+    promotes to the shared double-precision kernel and each cycle ends
+    with a double-precision residual replacement ``r = b - A x``.
+
+    Returns ``(x, converged, iterations, residuals)``.
+    """
+    x = np.zeros_like(b)
+    bb = (yield from dot(b, b)).real
+    if bb == 0.0:
+        return x, True, 0, [0.0]
+    target = tol * tol * bb
+    r = b.copy()
+    rr = bb
+    residuals = [float(np.sqrt(rr / bb))]
+    converged = rr <= target
+    it = 0
+    ws32 = None
+    while not converged and it < maxiter:
+        # -- inner cycle: CG on A e = r, entirely in single precision --
+        r32 = r.astype(np.complex64)
+        e = np.zeros_like(r32)
+        p = r32.copy()
+        rr32 = (yield from dot(r32, r32)).real
+        if rr32 == 0.0:
+            break  # r underflows single precision: no representable defect
+        inner_target = (delta * delta) * rr32
+        if ws32 is None:
+            ws32 = np.empty_like(r32)
+        inner = 0
+        while rr32 > inner_target and inner < max_inner and it + inner < maxiter:
+            ap = yield from ctx.normal(p.astype(np.complex128))
+            ap32 = ap.astype(np.complex64)
+            alpha = rr32 / (yield from dot(p, ap32)).real
+            axpy(alpha, p, e, ws32)  # e += alpha p
+            axpy(-alpha, ap32, r32, ws32)
+            rr32_new = (yield from dot(r32, r32)).real
+            beta = rr32_new / rr32
+            xpay(r32, beta, p)  # p <- r32 + beta p
+            rr32 = rr32_new
+            inner += 1
+        it += inner
+        # -- reliable update: promote, accumulate, replace the residual --
+        x += e.astype(np.complex128)
+        ax = yield from ctx.normal(x)
+        r = b - ax
+        rr = (yield from dot(r, r)).real
+        residuals.append(float(np.sqrt(rr / bb)))
+        converged = rr <= target
+        if api.trace is not None:
+            api.trace.emit(
+                "cg.iteration",
+                rank=api.rank,
+                iteration=it,
+                residual=residuals[-1],
+            )
+    return x, bool(converged), it, residuals
+
+
+def machine_multishift_cg(api, ctx, b, shifts, dot, tol, maxiter):
+    """Distributed multi-shift CG on ``ctx.normal`` (generator).
+
+    Bitwise mirror of :func:`repro.solvers.multishift.multishift_cg`
+    including the converged-shift freezing — the Jegerlehner zeta
+    recursion runs on globally-summed scalars, the per-shift vector
+    updates are the same fused kernels on the local tile, and a shift
+    is frozen the moment ``zeta_s^2 ||r||^2 <= tol^2 ||b||^2``.  The
+    multi-mass/RHMC-style action path of the distributed HMC rides on
+    this.
+
+    Returns ``(shifts, x, converged, iterations, residuals)`` with ``x``
+    a dict keyed by shift.
+    """
+    shifts = [float(s) for s in shifts]
+    if not shifts:
+        raise ConfigError("need at least one shift")
+    if any(s < 0 for s in shifts):
+        raise ConfigError(f"shifts must be non-negative: {shifts}")
+    if tol <= 0:
+        raise ConfigError("tolerance must be positive")
+
+    bb = (yield from dot(b, b)).real
+    if bb == 0.0:
+        zero = {s: np.zeros_like(b) for s in shifts}
+        return shifts, zero, True, 0, [0.0]
+    target = tol * tol * bb
+
+    r = b.copy()
+    p = b.copy()
+    rr = bb
+    alpha_old = 1.0
+    beta_old = 0.0
+
+    x = {s: np.zeros_like(b) for s in shifts}
+    ps = {s: b.copy() for s in shifts}
+    zeta = {s: 1.0 for s in shifts}
+    zeta_prev = {s: 1.0 for s in shifts}
+
+    residuals = [float(np.sqrt(rr / bb))]
+    it = 0
+    active = [s for s in shifts if zeta[s] * zeta[s] * rr > target]
+    ws = np.empty_like(b)
+    while active and it < maxiter:
+        ap = yield from ctx.normal(p)
+        p_ap = (yield from dot(p, ap)).real
+        alpha = rr / p_ap
+
+        for s in active:
+            denom = (
+                alpha * beta_old * (zeta_prev[s] - zeta[s])
+                + zeta_prev[s] * alpha_old * (1.0 + s * alpha)
+            )
+            zeta_new = (zeta[s] * zeta_prev[s] * alpha_old) / denom
+            alpha_s = alpha * zeta_new / zeta[s]
+            axpy(alpha_s, ps[s], x[s], ws)  # x_s += alpha_s p_s
+            zeta_prev[s], zeta[s] = zeta[s], zeta_new
+
+        axpy(-alpha, ap, r, ws)  # r -= alpha ap
+        rr_new = (yield from dot(r, r)).real
+        beta = rr_new / rr
+        xpay(r, beta, p)  # p <- r + beta p, in place
+        still_active = [
+            s for s in active if zeta[s] * zeta[s] * rr_new > target
+        ]
+        for s in still_active:
+            beta_s = beta * (zeta[s] / zeta_prev[s]) ** 2
+            scale_axpy(zeta[s], r, beta_s, ps[s], ws)
+        active = still_active
+        alpha_old, beta_old = alpha, beta
+        rr = rr_new
+        it += 1
+        residuals.append(float(np.sqrt(rr / bb)))
+        if api.trace is not None:
+            api.trace.emit(
+                "cg.iteration",
+                rank=api.rank,
+                iteration=it,
+                residual=residuals[-1],
+            )
+    return shifts, x, not active, it, residuals
 
 
 def machine_cgne(api, ctx, b, tol, maxiter, checkpoint=None, resume_state=None):

@@ -1,0 +1,488 @@
+"""Distributed two-flavor dynamical HMC on the simulated machine.
+
+The paper's production workload — "evolve[ing] a QCD system through the
+phase space of the Feynman path integral" with Dirac solves inside every
+MD force step (the five-day 128-node verification run) — executed end to
+end on the machine model: the pseudofermion heat-bath
+(``phi = D^+ eta``), every fermion-force CG solve, the ``Y = D X`` apply,
+the force outer products (with their own SCU halo exchange) and the
+Metropolis pseudofermion action all run as node programs through
+:class:`~repro.parallel.pdirac.DistributedWilsonContext`, while the RNG
+draws, the gauge force, the symplectic drift and the accept/reject test
+stay host-side with arithmetic identical to the serial driver.
+
+Bit-identity contract
+---------------------
+:class:`DistributedTwoFlavorHMC` produces *exactly* the trajectory
+history of :class:`repro.hmc.pseudofermion.TwoFlavorWilsonHMC` — same
+``delta_h`` doubles, same acceptances, same ``cg_iterations``, same final
+links — at any node count, shard count or word batch, because every
+ingredient is individually bitwise stable under tiling:
+
+* the operator applications (``D``, ``D^+``, ``D^+ D``) are the
+  established bit-identical distributed kernels of ``pdirac``;
+* every inner product is the decomposition-independent canonical site
+  dot (:mod:`repro.solvers.sitedot`), serial and machine flavours
+  summing the *same* length-``V`` site array in the same order;
+* the CG loops (:func:`~repro.parallel.pcg.machine_cg`,
+  :func:`~repro.parallel.pcg.machine_mixed_cg`) reuse the serial fused
+  vector kernels, which are elementwise;
+* the fermion-force kernel mirrors the serial einsum chain per site,
+  with raw ``X``/``Y`` low faces exchanged over the SCU and the
+  ``(r + gamma_mu)`` projection recomputed on received rows (projection
+  is row-independent, so patch-then-project equals project-then-gather).
+
+Named RNG streams keyed by the absolute trajectory index make the
+evolution a pure function of ``(configuration, seed)``, so
+:class:`~repro.hmc.checkpoint.HMCCheckpoint` snapshots restore onto a
+*different* healthy partition (after a hard fault and a Qdaemon remap)
+and replay the chain bit-identically — benchmark E18.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.comms.api import full_descriptor
+from repro.fermions.flops import (
+    WILSON_FORCE_FLOPS_PER_DIRECTION,
+    WILSON_FORCE_HALO_PROJ_FLOPS,
+)
+from repro.fermions.gamma import GAMMA, apply_spin_matrix
+from repro.hmc.actions import WilsonGaugeAction, traceless_antihermitian
+from repro.hmc.hmc import TrajectoryResult, kinetic_energy
+from repro.hmc.integrators import omelyan
+from repro.hmc.pseudofermion import SOLVERS
+from repro.lattice.gauge import GaugeField
+from repro.lattice.su3 import dagger, random_algebra
+from repro.machine.machine import QCDOCMachine
+from repro.machine.topology import Partition
+from repro.parallel.decomp import PhysicsMapping
+from repro.parallel.pcg import (
+    MachineSiteDot,
+    machine_cg,
+    machine_mixed_cg,
+    machine_multishift_cg,
+)
+from repro.parallel.pdirac import DistributedWilsonContext
+from repro.solvers.sitedot import canonical_dot
+from repro.util.errors import ConfigError
+from repro.util.rng import rng_stream
+
+
+def wilson_force_kernel(api, ctx, x_field, y_field):
+    """The two-flavor fermion force on one rank's tile (generator).
+
+    Per communicated axis the rank ships the raw low faces of **both**
+    solver fields packed into a single transfer (``X`` then ``Y``,
+    ``2 * nface`` full spinors — the ``"wilson-force"`` wire format of
+    :func:`repro.perfmodel.dirac_perf.halo_payload_words`) and patches
+    the received rows into its locally-gathered forward hops.  The
+    ``(r + gamma_mu) Y(x + mu)`` projection is recomputed on the halo
+    rows — projection is per-site and row-independent, so the patched
+    arrays equal the serial project-then-gather bit for bit.
+
+    The per-``mu`` einsum chain then mirrors
+    :meth:`repro.hmc.pseudofermion.TwoFlavorWilsonHMC.fermion_force`
+    exactly; flops are charged against the exact closed form of
+    :func:`repro.perfmodel.dirac_perf.dirac_flops_per_node`
+    (``op="wilson-force"``), which the telemetry crosscheck enforces.
+    """
+    g = ctx.geometry
+    v = g.volume
+    r = ctx.r
+    mem = api.memory
+    halos = {}
+    events = []
+    for mu in ctx.comm_axes:
+        plan = ctx.plans[mu]
+        nface = len(plan.send_low)
+        stage = mem.zeros(f"force_stage{mu}", (2, nface, 4, 3))
+        halos[mu] = mem.zeros(f"force_halo{mu}", (2, nface, 4, 3))
+        api.cpu_write(f"force_stage{mu}")
+        stage[0] = x_field[plan.send_low]
+        stage[1] = y_field[plan.send_low]
+        events.append(
+            api.send(
+                mu,
+                -1,
+                full_descriptor(api.node, f"force_stage{mu}"),
+                word_batch=ctx.word_batch,
+            )
+        )
+        events.append(
+            api.recv(mu, +1, full_descriptor(api.node, f"force_halo{mu}"))
+        )
+    yield api.wait(events)
+
+    out = np.empty((g.ndim, v, 3, 3), dtype=np.complex128)
+    for mu in range(g.ndim):
+        fwd = g.neighbour_fwd(mu)
+        proj_minus_y = r * y_field - apply_spin_matrix(GAMMA[mu], y_field)
+        proj_plus_y = r * y_field + apply_spin_matrix(GAMMA[mu], y_field)
+        x_fwd = x_field[fwd]
+        proj_plus_fwd = proj_plus_y[fwd]
+        nface = 0
+        if mu in halos:
+            api.cpu_read(f"force_halo{mu}")
+            plan = ctx.plans[mu]
+            halo_x, halo_y = halos[mu][0], halos[mu][1]
+            x_fwd[plan.fill_from_fwd] = halo_x
+            proj_plus_fwd[plan.fill_from_fwd] = r * halo_y + apply_spin_matrix(
+                GAMMA[mu], halo_y
+            )
+            nface = len(plan.fill_from_fwd)
+        b1 = np.einsum("xtc,xta->xca", x_fwd, np.conj(proj_minus_y))
+        d2 = np.einsum("xtb,xtc->xbc", x_field, np.conj(proj_plus_fwd))
+        grad = ctx.links[mu] @ b1 - d2 @ dagger(ctx.links[mu])
+        out[mu] = 0.5 * traceless_antihermitian(grad)
+        yield api.compute(
+            v * WILSON_FORCE_FLOPS_PER_DIRECTION
+            + nface * WILSON_FORCE_HALO_PROJ_FLOPS,
+            kernel="fermion_force",
+        )
+    return out
+
+
+def _force_context(api, mapping, local_links, mass, r, word_batch):
+    return DistributedWilsonContext(
+        api,
+        mapping.local_shape,
+        local_links[api.rank],
+        mass=mass,
+        r=r,
+        word_batch=word_batch,
+    )
+
+
+def _machine_dot(api, mapping):
+    return MachineSiteDot(
+        api, mapping.tiling.global_of[api.rank], mapping.geometry.volume
+    )
+
+
+def _machine_solve(api, ctx, dot, b, solver, tol, maxiter):
+    if solver == "mixed":
+        x, converged, iters, residuals = yield from machine_mixed_cg(
+            api, ctx, b, dot, tol, maxiter
+        )
+    else:
+        x, converged, iters, residuals = yield from machine_cg(
+            api, ctx, b, dot, tol, maxiter
+        )
+    if not converged:
+        raise ConfigError(f"fermion-force CG failed to converge in {maxiter}")
+    return x, iters
+
+
+def hmc_heatbath_program(api, mapping, local_links, local_eta, mass, r, word_batch):
+    """``phi = D^+ eta`` on the machine (the pseudofermion heat-bath)."""
+    ctx = _force_context(api, mapping, local_links, mass, r, word_batch)
+    phi = yield from ctx.apply_dagger(local_eta[api.rank])
+    return phi.copy()
+
+
+def hmc_force_program(
+    api, mapping, local_links, local_phi, mass, r, solver, tol, maxiter, word_batch
+):
+    """Solve ``X = (D^+ D)^{-1} phi``, apply ``Y = D X``, form the force."""
+    ctx = _force_context(api, mapping, local_links, mass, r, word_batch)
+    dot = _machine_dot(api, mapping)
+    x, iters = yield from _machine_solve(
+        api, ctx, dot, local_phi[api.rank], solver, tol, maxiter
+    )
+    y = yield from ctx.apply(x)
+    force = yield from wilson_force_kernel(api, ctx, x, y.copy())
+    if api.trace is not None:
+        api.trace.emit("hmc.force", rank=api.rank, iterations=iters)
+    return force, iters
+
+
+def hmc_action_program(
+    api, mapping, local_links, local_phi, mass, r, solver, tol, maxiter, word_batch
+):
+    """``S_pf = phi^+ (D^+ D)^{-1} phi`` for the Metropolis Hamiltonian."""
+    ctx = _force_context(api, mapping, local_links, mass, r, word_batch)
+    dot = _machine_dot(api, mapping)
+    x, iters = yield from _machine_solve(
+        api, ctx, dot, local_phi[api.rank], solver, tol, maxiter
+    )
+    s_pf = yield from dot(local_phi[api.rank], x)
+    return s_pf, iters
+
+
+def hmc_multishift_program(
+    api, mapping, local_links, local_b, shifts, mass, r, tol, maxiter, word_batch
+):
+    """Multi-mass solve ``(D^+ D + sigma) x = b`` for an RHMC-style action."""
+    ctx = _force_context(api, mapping, local_links, mass, r, word_batch)
+    dot = _machine_dot(api, mapping)
+    shifts_out, x, converged, iters, residuals = yield from machine_multishift_cg(
+        api, ctx, local_b[api.rank], shifts, dot, tol, maxiter
+    )
+    return [x[s] for s in shifts_out], converged, iters, residuals
+
+
+def multishift_solve_on_machine(
+    machine: QCDOCMachine,
+    partition: Partition,
+    gauge: GaugeField,
+    b: np.ndarray,
+    shifts,
+    mass: float,
+    r: float = 1.0,
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+    max_time: float = 1e9,
+    word_batch=None,
+):
+    """Distributed multi-shift CG on the normal operator (blocking).
+
+    Returns ``(x, converged, iterations, residuals)`` with ``x`` a dict
+    of *global* solution fields keyed by shift — the machine counterpart
+    of :func:`repro.solvers.multishift.multishift_cg` (which it matches
+    bit for bit when the serial solve uses the canonical site dot).
+    """
+    mapping = PhysicsMapping(gauge.geometry, partition)
+    if b.shape != (gauge.geometry.volume, 4, 3):
+        raise ConfigError(f"bad source shape {b.shape}")
+    results = machine.run_partition(
+        partition,
+        hmc_multishift_program,
+        max_time=max_time,
+        mapping=mapping,
+        local_links=mapping.scatter_gauge(gauge),
+        local_b=mapping.scatter_field(b),
+        shifts=[float(s) for s in shifts],
+        mass=mass,
+        r=r,
+        tol=tol,
+        maxiter=maxiter,
+        word_batch=word_batch,
+    )
+    iterations = {res[2] for res in results}
+    if len(iterations) != 1:
+        raise ConfigError(f"ranks disagree on iteration count: {iterations}")
+    x = {}
+    for i, s in enumerate([float(v) for v in shifts]):
+        x[s] = mapping.gather_field(np.stack([res[0][i] for res in results]))
+    return x, all(res[1] for res in results), results[0][2], results[0][3]
+
+
+class DistributedTwoFlavorHMC:
+    """Two-flavor Wilson HMC whose fermionic work runs on the machine.
+
+    Drop-in for :class:`~repro.hmc.pseudofermion.TwoFlavorWilsonHMC`
+    (same constructor physics parameters, same ``trajectory``/``run``/
+    ``history``/``cg_iterations``/``fingerprint`` surface, checkpoints
+    through :class:`~repro.hmc.checkpoint.HMCCheckpoint`) with the
+    machine and partition prepended.  Each trajectory launches
+    ``2 * n_steps + 2`` node-program runs: the heat-bath, two force
+    evaluations per Omelyan step (links change, so each run rebuilds its
+    operator context from freshly scattered links), and the final
+    pseudofermion action.  Run-allocated node buffers are freed after
+    every run so repeated launches on one machine never collide.
+    """
+
+    def __init__(
+        self,
+        machine: QCDOCMachine,
+        partition: Partition,
+        gauge: GaugeField,
+        beta: float,
+        mass: float,
+        seed: int = 0,
+        n_steps: int = 10,
+        dt: float = 0.05,
+        cg_tol: float = 1e-10,
+        cg_maxiter: int = 4000,
+        solver: str = "cg",
+        r: float = 1.0,
+        word_batch=None,
+        max_time: float = 1e9,
+    ):
+        if solver not in SOLVERS:
+            raise ConfigError(
+                f"unknown force solver {solver!r}; options: {list(SOLVERS)}"
+            )
+        self.machine = machine
+        self.partition = partition
+        self.mapping = PhysicsMapping(gauge.geometry, partition)
+        self.gauge = gauge
+        self.gauge_action = WilsonGaugeAction(beta)
+        self.mass = float(mass)
+        self.seed = int(seed)
+        self.n_steps = int(n_steps)
+        self.dt = float(dt)
+        self.cg_tol = float(cg_tol)
+        self.cg_maxiter = int(cg_maxiter)
+        self.solver = solver
+        self.r = float(r)
+        self.word_batch = word_batch
+        self.max_time = float(max_time)
+        self.trajectory_index = 0
+        self.history: List[TrajectoryResult] = []
+        self.cg_iterations: List[int] = []
+
+    # -- machine plumbing --------------------------------------------------------
+    def rebind(self, machine: QCDOCMachine, partition: Partition) -> None:
+        """Re-home the evolution onto a congruent (healthy) partition.
+
+        The fault-recovery path: after a hard fault kills the current
+        partition, the Qdaemon maps it out and allocates a spare of the
+        same logical shape; the evolution then restores its checkpoint
+        and replays bit-identically — tiling, not placement, is what the
+        arithmetic sees.
+        """
+        mapping = PhysicsMapping(self.gauge.geometry, partition)
+        if mapping.local_shape != self.mapping.local_shape:
+            raise ConfigError(
+                f"partition tiles the lattice as {mapping.local_shape}, "
+                f"evolution ran at {self.mapping.local_shape}; refusing"
+            )
+        self.machine = machine
+        self.partition = partition
+        self.mapping = mapping
+
+    def _run(self, program, **kwargs):
+        """``run_partition`` + free the buffers the programs allocated.
+
+        The success path of :meth:`QCDOCMachine.run_partition` leaves
+        node buffers in place (the fault path finalizes); an HMC
+        trajectory launches many runs on the same nodes, so each run
+        cleans up after itself exactly the way
+        :meth:`~repro.machine.machine.PartitionRun.finalize` would.
+        """
+        nodes = [
+            self.machine.nodes[self.partition.physical_node(rank)]
+            for rank in range(self.partition.n_nodes)
+        ]
+        pre = {n.node_id: set(n.memory.buffer_names()) for n in nodes}
+        try:
+            return self.machine.run_partition(
+                self.partition, program, max_time=self.max_time, **kwargs
+            )
+        finally:
+            for n in nodes:
+                for name in set(n.memory.buffer_names()) - pre[n.node_id]:
+                    n.memory.free(name)
+
+    def _solve_kwargs(self, gauge: GaugeField, phi: np.ndarray) -> dict:
+        return dict(
+            mapping=self.mapping,
+            local_links=self.mapping.scatter_gauge(gauge),
+            local_phi=self.mapping.scatter_field(phi),
+            mass=self.mass,
+            r=self.r,
+            solver=self.solver,
+            tol=self.cg_tol,
+            maxiter=self.cg_maxiter,
+            word_batch=self.word_batch,
+        )
+
+    def _record_iterations(self, results, index: int) -> None:
+        iters = {res[index] for res in results}
+        if len(iters) != 1:
+            raise ConfigError(f"ranks disagree on CG iteration count: {iters}")
+        self.cg_iterations.append(results[0][index])
+
+    # -- pseudofermion machinery (machine-side) ----------------------------------
+    def fermion_force(self, gauge: GaugeField, phi: np.ndarray) -> np.ndarray:
+        results = self._run(hmc_force_program, **self._solve_kwargs(gauge, phi))
+        self._record_iterations(results, 1)
+        stacked = np.stack([res[0] for res in results])
+        g = self.gauge.geometry
+        out = np.empty((g.ndim, g.volume, 3, 3), dtype=np.complex128)
+        for mu in range(g.ndim):
+            out[mu] = self.mapping.tiling.gather(stacked[:, mu])
+        return out
+
+    def pseudofermion_action(self, gauge: GaugeField, phi: np.ndarray) -> float:
+        results = self._run(hmc_action_program, **self._solve_kwargs(gauge, phi))
+        self._record_iterations(results, 1)
+        values = {complex(res[0]) for res in results}
+        if len(values) != 1:
+            raise ConfigError(f"ranks disagree on S_pf: {values}")
+        return float(results[0][0].real)
+
+    def total_force(self, gauge: GaugeField, phi: np.ndarray) -> np.ndarray:
+        return self.gauge_action.force(gauge) + self.fermion_force(gauge, phi)
+
+    # -- trajectories ------------------------------------------------------------
+    def draw_fields(self):
+        """Host-side RNG draws (identical streams to the serial driver);
+        the heat-bath ``phi = D^+ eta`` runs on the machine."""
+        g = self.gauge.geometry
+        rng_p = rng_stream(self.seed, f"momenta/{self.trajectory_index}")
+        momenta = random_algebra(rng_p, g.ndim * g.volume).reshape(
+            g.ndim, g.volume, 3, 3
+        )
+        rng_e = rng_stream(self.seed, f"eta/{self.trajectory_index}")
+        eta = (
+            rng_e.standard_normal((g.volume, 4, 3))
+            + 1j * rng_e.standard_normal((g.volume, 4, 3))
+        ) / np.sqrt(2.0)
+        results = self._run(
+            hmc_heatbath_program,
+            mapping=self.mapping,
+            local_links=self.mapping.scatter_gauge(self.gauge),
+            local_eta=self.mapping.scatter_field(eta),
+            mass=self.mass,
+            r=self.r,
+            word_batch=self.word_batch,
+        )
+        phi = self.mapping.gather_field(np.stack(results))
+        return momenta, eta, phi
+
+    def trajectory(self) -> TrajectoryResult:
+        momenta, eta, phi = self.draw_fields()
+        # S_pf(start) = eta^+ eta exactly, by construction of phi.
+        h_old = (
+            kinetic_energy(momenta)
+            + self.gauge_action(self.gauge)
+            + float(canonical_dot(eta, eta).real)
+        )
+        proposal = self.gauge.copy()
+        # the shared Omelyan loop; the closed-over force runs on the machine
+        omelyan(
+            proposal,
+            momenta,
+            lambda g: self.total_force(g, phi),
+            self.n_steps,
+            self.dt,
+        )
+        h_new = (
+            kinetic_energy(momenta)
+            + self.gauge_action(proposal)
+            + self.pseudofermion_action(proposal, phi)
+        )
+        delta_h = h_new - h_old
+
+        rng = rng_stream(self.seed, f"metropolis/{self.trajectory_index}")
+        accepted = bool(rng.random() < np.exp(min(0.0, -delta_h)))
+        if accepted:
+            self.gauge.links = proposal.links
+        result = TrajectoryResult(
+            index=self.trajectory_index,
+            delta_h=float(delta_h),
+            accepted=accepted,
+            plaquette=self.gauge.plaquette(),
+            action=self.gauge_action(self.gauge),
+        )
+        self.history.append(result)
+        self.trajectory_index += 1
+        return result
+
+    def run(self, n_trajectories: int) -> List[TrajectoryResult]:
+        return [self.trajectory() for _ in range(n_trajectories)]
+
+    @property
+    def acceptance_rate(self) -> float:
+        if not self.history:
+            return 0.0
+        return sum(t.accepted for t in self.history) / len(self.history)
+
+    def fingerprint(self) -> bytes:
+        return self.gauge.links.tobytes()

@@ -71,6 +71,8 @@ from repro.fermions.flops import (
     SPINOR_WORDS,
     STAGGERED_WORDS,
     WILSON_DSLASH_FLOPS,
+    WILSON_FORCE_FLOPS_PER_DIRECTION,
+    WILSON_FORCE_HALO_PROJ_FLOPS,
     OperatorCost,
     operator_cost,
 )
@@ -413,9 +415,20 @@ def halo_payload_words(
     spinor wire format), times ``Ls`` slices for domain wall.  ASQTAD
     ships the depth-3 raw face (``3 * nface`` colour vectors) plus the
     packed fat+Naik products (``(1 + 3) * nface``): ``7 * nface * 6``
-    words, compression not applicable.
+    words, compression not applicable.  The two-flavor fermion force
+    (``"wilson-force"``) ships one packed transfer per axis — the raw
+    low faces of both solver fields ``X`` and ``Y = D X`` — so
+    ``2 * nface * 24`` words; the ``(r + gamma)`` projection happens on
+    the receiver, so compression does not apply.
     """
-    if op not in ("wilson", "clover", "dwf", "asqtad", "naive-staggered"):
+    if op not in (
+        "wilson",
+        "clover",
+        "dwf",
+        "asqtad",
+        "naive-staggered",
+        "wilson-force",
+    ):
         raise ConfigError(f"no distributed wire format for op {op!r}")
     shape, axes = _decomposed_axes(local_shape, machine_dims)
     volume = int(np.prod(shape))
@@ -428,6 +441,8 @@ def halo_payload_words(
         elif op == "dwf":
             w = HALF_SPINOR_WORDS if compress else SPINOR_WORDS
             total += 2 * int(Ls) * nface * w
+        elif op == "wilson-force":
+            total += 2 * nface * SPINOR_WORDS
         else:  # asqtad / naive-staggered colour vectors
             total += 7 * nface * STAGGERED_WORDS
     return total
@@ -445,7 +460,11 @@ def dirac_flops_per_node(
     halo exchange adds on decomposed axes: one ``U^+ (proj) psi`` SU(3)
     matvec per high-face site (per slice for domain wall); ASQTAD stages
     fat products on the depth-1 face and Naik products on the depth-3
-    face — four matvecs per face site.
+    face — four matvecs per face site.  ``"wilson-force"`` counts one
+    evaluation of the two-flavor fermion-force kernel (all ``ndim``
+    directions over the local volume) plus the receiver-side
+    ``(r + gamma_mu)`` projection it recomputes on each received
+    forward-face site of a decomposed axis.
     """
     shape, axes = _decomposed_axes(local_shape, machine_dims)
     volume = int(np.prod(shape))
@@ -459,6 +478,11 @@ def dirac_flops_per_node(
     if op == "asqtad":
         cost = operator_cost(op)
         return float(volume * cost.flops_per_site + 4 * sum_nface * MATVEC_SU3)
+    if op == "wilson-force":
+        return float(
+            volume * len(shape) * WILSON_FORCE_FLOPS_PER_DIRECTION
+            + sum_nface * WILSON_FORCE_HALO_PROJ_FLOPS
+        )
     raise ConfigError(f"no distributed flop model for op {op!r}")
 
 

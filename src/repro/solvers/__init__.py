@@ -8,15 +8,18 @@ parameter so the distributed versions can route it through the simulated
 machine's SCU global-sum hardware.
 """
 
-from repro.solvers.cg import SolveResult, cg, cgne
+from repro.solvers.cg import SolveResult, cg, cgne, mixed_precision_cg
 from repro.solvers.bicgstab import bicgstab
 from repro.solvers.mr import minres_iteration
 from repro.solvers.multishift import MultiShiftResult, multishift_cg
+from repro.solvers.sitedot import canonical_dot
 
 __all__ = [
     "SolveResult",
     "cg",
     "cgne",
+    "mixed_precision_cg",
+    "canonical_dot",
     "bicgstab",
     "minres_iteration",
     "multishift_cg",

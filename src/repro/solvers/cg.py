@@ -108,6 +108,99 @@ def cg(
     return SolveResult(x, bool(converged), it, residuals, true_res)
 
 
+def mixed_precision_cg(
+    apply_a: Apply,
+    b: np.ndarray,
+    tol: float = 1e-8,
+    maxiter: int = 2000,
+    delta: float = 1e-2,
+    max_inner: int = 100,
+    dot: Optional[Dot] = None,
+    callback: Optional[Callable[[int, float], None]] = None,
+) -> SolveResult:
+    """CG with single-precision inner accumulation and reliable updates.
+
+    QCDOC's kernels ran the bandwidth-bound inner arithmetic in single
+    precision wherever the physics allowed; this is the standard
+    reliable-update formulation that recovers full double-precision
+    accuracy anyway:
+
+    * each **cycle** runs plain CG on the defect system ``A e = r``
+      entirely in ``complex64`` (vectors, axpys and inner products),
+      driving the single-precision residual down by ``delta``;
+    * the correction is promoted and accumulated into ``x`` in double,
+      and the residual is **replaced** — recomputed as ``r = b - A x``
+      in full double precision — before the next cycle, so rounding in
+      the inner loop can delay but never corrupt convergence.
+
+    The operator itself stays the shared double-precision kernel (inner
+    vectors are promoted per application), which is what keeps the
+    serial and machine-distributed mixed solvers bitwise comparable:
+    both run exactly this arithmetic, with ``dot`` defaulting to the
+    decomposition-independent :func:`repro.solvers.sitedot.canonical_dot`.
+
+    ``iterations`` counts inner iterations across all cycles; the
+    residual history holds the double-precision relative residual at
+    entry 0 and after every reliable update.
+    """
+    from repro.solvers.sitedot import canonical_dot
+
+    if dot is None:
+        dot = canonical_dot
+    if tol <= 0:
+        raise ConfigError(f"tolerance must be positive, got {tol}")
+    if not 0.0 < delta < 1.0:
+        raise ConfigError(f"cycle reduction delta must be in (0, 1), got {delta}")
+    x = np.zeros_like(b)
+    bb = dot(b, b).real
+    if bb == 0.0:
+        return SolveResult(x, True, 0, [0.0], 0.0)
+    target = tol * tol * bb
+
+    r = b.copy()
+    rr = bb
+    residuals = [float(np.sqrt(rr / bb))]
+    converged = rr <= target
+    it = 0
+    ws32: Optional[np.ndarray] = None
+    while not converged and it < maxiter:
+        # -- inner cycle: CG on A e = r, entirely in single precision --
+        r32 = r.astype(np.complex64)
+        e = np.zeros_like(r32)
+        p = r32.copy()
+        rr32 = dot(r32, r32).real
+        if rr32 == 0.0:
+            break  # r underflows single precision: no representable defect
+        inner_target = (delta * delta) * rr32
+        if ws32 is None:
+            ws32 = np.empty_like(r32)
+        inner = 0
+        while rr32 > inner_target and inner < max_inner and it + inner < maxiter:
+            ap = apply_a(p.astype(np.complex128)).astype(np.complex64)
+            alpha = rr32 / dot(p, ap).real
+            axpy(alpha, p, e, ws32)  # e += alpha p
+            rr32_new = axpy_norm2(-alpha, ap, r32, ws32, dot)
+            beta = rr32_new / rr32
+            xpay(r32, beta, p)  # p <- r32 + beta p
+            rr32 = rr32_new
+            inner += 1
+        it += inner
+        # -- reliable update: promote, accumulate, replace the residual --
+        x += e.astype(np.complex128)
+        r = b - apply_a(x)
+        rr = dot(r, r).real
+        rel = float(np.sqrt(rr / bb))
+        residuals.append(rel)
+        if callback is not None:
+            callback(it, rel)
+        converged = rr <= target
+
+    true_res = float(
+        np.sqrt(dot(b - apply_a(x), b - apply_a(x)).real / bb)
+    )
+    return SolveResult(x, bool(converged), it, residuals, true_res)
+
+
 def cgne(
     apply_d: Apply,
     apply_d_dagger: Apply,

@@ -1,0 +1,65 @@
+"""Decomposition-independent inner products for bit-identical solves.
+
+``numpy.vdot`` reduces a flattened array with pairwise summation, whose
+association tree depends on the array *length* — so a lattice split into
+tiles and re-summed can differ from the serial value in the last bit, and
+"bit-identical at any node count" (the paper's section-4 verification
+criterion) would be unachievable for any quantity that crosses an inner
+product.  The canonical dot used by the HMC drivers fixes the reduction
+order by construction:
+
+1. reduce each *site* over its trailing (spin/colour) axes — a per-site
+   computation, independent of how many sites the array holds;
+2. normalise each per-site scalar with ``+ 0`` (in the site dtype), which
+   collapses ``-0.0`` components to ``+0.0`` — exactly the normalisation
+   the SCU global-sum tree applies when zero-padded rank contributions
+   are accumulated, so serial and distributed agree even on signed zeros;
+3. ``numpy.sum`` the length-``V`` site array, ``V`` the *global* volume.
+
+A distributed rank computes step 1 locally, scatters its site scalars
+into a zero-padded length-``V`` array at the tile's global site indices,
+and contributes that through the machine's global-sum tree: canonical
+rank-order accumulation of disjoint zero-padded arrays reconstructs the
+very site array the serial code built, and both sides then run the same
+steps 2–3.  Every float operation is therefore identical, whatever the
+node count, shard count or word batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def site_inner(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Per-site ``<u, v>`` partials: ``(V, ...) -> (V,)`` complex.
+
+    The reduction runs over the trailing axes of one site only, so the
+    result for site ``x`` does not depend on how many other sites the
+    array happens to carry — the property that makes the final sum
+    decomposition-independent.
+    """
+    n = len(u)
+    prod = np.conj(u.reshape(n, -1)) * v.reshape(n, -1)
+    return np.sum(prod, axis=1)
+
+
+def reduce_site_inner(site: np.ndarray) -> complex:
+    """Steps 2–3: normalise signed zeros, then sum the full site array.
+
+    The ``+ 0`` is in the *site dtype* (``complex64`` stays ``complex64``
+    for the single-precision inner solver) and is idempotent, so applying
+    it to an already-normalised globally-summed array changes nothing —
+    which is what lets the serial and distributed paths share it
+    unconditionally.
+    """
+    return complex(np.sum(site + site.dtype.type(0)))
+
+
+def canonical_dot(u: np.ndarray, v: np.ndarray) -> complex:
+    """Global ``<u, v>`` with a decomposition-independent reduction order.
+
+    Drop-in for the ``dot`` hook of :func:`repro.solvers.cg.cg` — same
+    value as ``numpy.vdot`` to machine precision, but bitwise stable
+    under lattice tiling.
+    """
+    return reduce_site_inner(site_inner(u, v))

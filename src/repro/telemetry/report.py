@@ -20,7 +20,7 @@ the behaviour the fault-injection telemetry test pins down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.perfmodel.dirac_perf import dirac_flops_per_node, halo_payload_words
 from repro.telemetry.counters import CounterBank, bank_for_machine
@@ -253,6 +253,63 @@ class MachineReport:
                 metric="flops_charged",
                 measured=self.total_flops,
                 predicted=float(n_ranks * n_applications * flops_per_rank),
+                rel_tol=rel_tol,
+            )
+        )
+        result.entries.append(
+            CrosscheckEntry(
+                metric="wire_overhead",
+                measured=self.wire_overhead,
+                predicted=1.0,
+                rel_tol=wire_tol,
+            )
+        )
+        return result
+
+    def crosscheck_composite(
+        self,
+        ops: Sequence[Tuple[str, int]],
+        local_shape: Sequence[int],
+        machine_dims: Sequence[int],
+        n_ranks: Optional[int] = None,
+        Ls: int = 1,
+        compress: bool = True,
+        rel_tol: float = EXACT_REL_TOL,
+        wire_tol: float = EXACT_REL_TOL,
+    ) -> CrosscheckResult:
+        """Crosscheck a window that mixed *several* distributed kernels.
+
+        ``ops`` is a sequence of ``(op, n_applications)`` pairs — e.g. a
+        dynamical-HMC force evaluation charges ``("wilson", 2 * iters + 1)``
+        operator applies plus ``("wilson-force", 1)`` — and the payload /
+        flop predictions are the sums of the per-op exact closed forms.
+        The same three counters are compared as for the single-op
+        :meth:`crosscheck`.
+        """
+        n_ranks = self.machine.n_nodes if n_ranks is None else int(n_ranks)
+        words_per_rank = 0.0
+        flops_per_rank = 0.0
+        for op, n_applications in ops:
+            words_per_rank += n_applications * halo_payload_words(
+                op, local_shape, machine_dims, Ls=Ls, compress=compress
+            )
+            flops_per_rank += n_applications * dirac_flops_per_node(
+                op, local_shape, machine_dims, Ls=Ls
+            )
+        result = CrosscheckResult()
+        result.entries.append(
+            CrosscheckEntry(
+                metric="payload_words_sent",
+                measured=self.total_payload_words,
+                predicted=float(n_ranks * words_per_rank),
+                rel_tol=rel_tol,
+            )
+        )
+        result.entries.append(
+            CrosscheckEntry(
+                metric="flops_charged",
+                measured=self.total_flops,
+                predicted=float(n_ranks * flops_per_rank),
                 rel_tol=rel_tol,
             )
         )

@@ -66,6 +66,7 @@ TRACE_SCHEMA: Dict[str, FrozenSet[str]] = {
     # -- solver layer -------------------------------------------------------
     "cg.iteration": frozenset({"rank", "iteration", "residual"}),
     "cg.checkpoint": frozenset({"rank", "iteration"}),
+    "hmc.force": frozenset({"rank", "iterations"}),
 }
 
 #: tags whose records are spans (carry ``dur``; exporter draws intervals)

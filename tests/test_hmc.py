@@ -83,16 +83,16 @@ class TestIntegrators:
     @pytest.mark.parametrize("integrator", [leapfrog, omelyan])
     def test_links_stay_in_su3(self, geom, rng, integrator):
         gauge, action, momenta = self.setup_system(rng, geom)
-        integrator(gauge, momenta, action, n_steps=5, dt=0.05)
+        integrator(gauge, momenta, action.force, n_steps=5, dt=0.05)
         assert is_su3(gauge.links, tol=1e-8)
 
     @pytest.mark.parametrize("integrator", [leapfrog, omelyan])
     def test_reversibility(self, geom, rng, integrator):
         gauge, action, momenta = self.setup_system(rng, geom)
         start = gauge.links.copy()
-        integrator(gauge, momenta, action, n_steps=8, dt=0.05)
+        integrator(gauge, momenta, action.force, n_steps=8, dt=0.05)
         momenta *= -1.0
-        integrator(gauge, momenta, action, n_steps=8, dt=0.05)
+        integrator(gauge, momenta, action.force, n_steps=8, dt=0.05)
         assert np.allclose(gauge.links, start, atol=1e-9)
 
     def test_energy_violation_scales_as_dt_squared(self, geom, rng):
@@ -100,7 +100,7 @@ class TestIntegrators:
             r = rng_stream(13, "dh-scaling")
             gauge, action, momenta = self.setup_system(r, geom)
             h0 = self.energy(gauge, action, momenta)
-            leapfrog(gauge, momenta, action, n_steps=n, dt=dt)
+            leapfrog(gauge, momenta, action.force, n_steps=n, dt=dt)
             return abs(self.energy(gauge, action, momenta) - h0)
 
         # fixed trajectory length tau = 0.4, halve dt -> dH / 4
@@ -113,7 +113,7 @@ class TestIntegrators:
             r = rng_stream(14, "omelyan-vs-lf")
             gauge, action, momenta = self.setup_system(r, geom)
             h0 = self.energy(gauge, action, momenta)
-            integrator(gauge, momenta, action, n_steps=8, dt=0.1)
+            integrator(gauge, momenta, action.force, n_steps=8, dt=0.1)
             return abs(self.energy(gauge, action, momenta) - h0)
 
         assert dh(omelyan) < dh(leapfrog)
